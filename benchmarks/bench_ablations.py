@@ -1,0 +1,100 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+* **Datalog semi-naive vs. naive** iteration on a recursive program
+  (transitive closure over a chain): semi-naive re-derives only from the
+  previous round's delta, so each round is O(delta) instead of O(all).
+* **SPARQL selectivity-ordered vs. textual-order** BGP evaluation: the
+  query lists an unselective pattern first; the optimizer's reordering
+  should dominate as the graph grows.
+* **GRH opaque-request cache** on the unaware per-tuple path (Fig. 9):
+  with many duplicate substituted queries, caching trades memory for
+  transport round-trips.
+"""
+
+import pytest
+
+from repro.bindings import Relation
+from repro.datalog import DatalogEngine
+from repro.grh import (ComponentSpec, GenericRequestHandler,
+                       LanguageDescriptor, LanguageRegistry)
+from repro.rdf import Graph, Literal, Namespace, select
+from repro.services import EXIST_LANG, ExistLikeService, InProcessTransport
+
+CHAIN = 60
+
+
+def chain_program():
+    facts = "\n".join(f"edge(n{i}, n{i + 1})." for i in range(CHAIN))
+    return facts + """
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+    """
+
+
+class TestDatalogStrategies:
+    @pytest.mark.parametrize("strategy", ["semi-naive", "naive"])
+    def test_transitive_closure(self, benchmark, strategy):
+        program = chain_program()
+
+        def run():
+            engine = DatalogEngine(program, strategy=strategy)
+            return len(engine.facts("path", 2))
+
+        result = benchmark(run)
+        assert result == CHAIN * (CHAIN + 1) // 2
+
+
+EX = Namespace("urn:bench#")
+
+
+def wide_graph(size):
+    graph = Graph()
+    for index in range(size):
+        subject = EX[f"item{index}"]
+        graph.add(subject, EX.kind, Literal("common"))       # unselective
+        graph.add(subject, EX.serial, Literal(str(index)))   # selective
+    return graph
+
+
+class TestSparqlJoinOrdering:
+    QUERY = ("PREFIX ex: <urn:bench#> SELECT ?x WHERE { "
+             "?x ex:kind 'common' . ?x ex:serial '7' }")
+
+    @pytest.mark.parametrize("reorder", [True, False],
+                             ids=["selectivity-ordered", "textual-order"])
+    def test_unselective_pattern_first(self, benchmark, reorder):
+        graph = wide_graph(800)
+        result = benchmark(select, graph, self.QUERY, reorder)
+        assert len(result) == 1
+
+
+class TestOpaqueRequestCache:
+    def _grh(self, cache):
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry, InProcessTransport(),
+                                    cache_opaque_requests=cache)
+        from repro.domain import synthetic_classes
+        grh.add_service(
+            LanguageDescriptor(EXIST_LANG, "query", "exist-like",
+                               framework_aware=False),
+            ExistLikeService({"classes.xml": synthetic_classes()}))
+        return grh
+
+    @pytest.mark.parametrize("cache", [False, True],
+                             ids=["no-cache", "cached"])
+    def test_duplicate_heavy_tuple_stream(self, benchmark, cache):
+        grh = self._grh(cache)
+        spec = ComponentSpec(
+            "query", EXIST_LANG,
+            opaque="doc('classes.xml')//entry[@model = '{OwnCar}']/@class",
+            bind_to="Class")
+        # 100 tuples over only 3 distinct models → 97% duplicates
+        relation = Relation({"OwnCar": ["Golf", "Polo", "Clio"][i % 3],
+                             "N": i} for i in range(100))
+
+        def run():
+            grh.clear_opaque_cache()
+            return grh.evaluate_query("b::q", spec, relation)
+
+        result = benchmark(run)
+        assert len(result) == 100

@@ -1,0 +1,63 @@
+"""BENCH-T1: engine throughput — rules fired per second.
+
+Series reported (no quantitative evaluation exists in the paper; this
+characterizes the prototype):
+
+* events/sec through the full stack with 1 simple E→A rule,
+* scaling with the number of registered rules (1, 10, 50) where each
+  event matches every rule,
+* scaling with selectivity: 50 rules of which only one matches,
+* the full Fig. 4 pipeline (3 query components) per event.
+
+Expected shape: throughput degrades roughly linearly in the number of
+*matching* rules (each match is an instance evaluation); non-matching
+rules cost only a pattern test at the event service.
+"""
+
+import pytest
+
+from repro.domain import (WorkloadConfig, booking_payloads,
+                          full_pipeline_rule_markup, simple_rule_markup)
+
+from conftest import build_world
+
+
+def _emit_all(deployment, payloads):
+    for payload in payloads:
+        deployment.stream.emit(payload.copy())
+
+
+class TestSimpleRuleThroughput:
+    def test_single_rule(self, benchmark, small_config):
+        deployment, engine = build_world(small_config)
+        engine.register_rule(simple_rule_markup("r0"))
+        payloads = booking_payloads(small_config, 50)
+        benchmark(_emit_all, deployment, payloads)
+        assert engine.stats["completed"] > 0
+
+    @pytest.mark.parametrize("rule_count", [1, 10, 50])
+    def test_all_rules_match(self, benchmark, small_config, rule_count):
+        deployment, engine = build_world(small_config)
+        for index in range(rule_count):
+            engine.register_rule(simple_rule_markup(f"r{index}"))
+        payloads = booking_payloads(small_config, 20)
+        benchmark(_emit_all, deployment, payloads)
+        assert engine.stats["instances"] >= rule_count * 20
+
+    def test_one_of_fifty_matches(self, benchmark, small_config):
+        deployment, engine = build_world(small_config)
+        engine.register_rule(simple_rule_markup("hit"))
+        for index in range(49):
+            engine.register_rule(
+                simple_rule_markup(f"miss{index}", event_name="never"))
+        payloads = booking_payloads(small_config, 20)
+        benchmark(_emit_all, deployment, payloads)
+
+
+class TestFullPipelineThroughput:
+    def test_fig4_pipeline_per_event(self, benchmark, small_config):
+        deployment, engine = build_world(small_config)
+        engine.register_rule(full_pipeline_rule_markup("pipeline"))
+        payloads = booking_payloads(small_config, 10)
+        benchmark(_emit_all, deployment, payloads)
+        assert engine.stats["instances"] >= 10

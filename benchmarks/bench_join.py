@@ -1,0 +1,67 @@
+"""BENCH-T2: natural-join scaling on binding relations.
+
+The join (Fig. 11) is the engine's core operation.  Series:
+
+* join cost vs. relation sizes (10x10 … 1000x1000) at fixed selectivity,
+* join cost vs. selectivity (0.01 … 1.0 match fraction) at fixed size,
+* the degenerate cross-product path (no shared variables),
+* serialization cost of relations to/from ``log:answers`` markup, which
+  every service boundary pays.
+
+Expected shape: hash join is ~linear in |input| + |output|; the
+cross-product fallback is quadratic; markup round-trip is linear with a
+large constant (string building + parsing).
+"""
+
+import pytest
+
+from repro.bindings import Relation, answers_to_relation, relation_to_answers
+from repro.xmlmodel import parse, serialize
+
+
+def left_relation(size):
+    return Relation({"Id": i, "Class": f"k{i % 17}", "L": f"left{i}"}
+                    for i in range(size))
+
+
+def right_relation(size, selectivity):
+    matching = int(size * selectivity)
+    rows = [{"Class": f"k{i % 17}", "R": f"right{i}"}
+            for i in range(matching)]
+    rows.extend({"Class": f"other{i}", "R": f"right{i}"}
+                for i in range(matching, size))
+    return Relation(rows)
+
+
+class TestJoinScaling:
+    @pytest.mark.parametrize("size", [10, 100, 1000])
+    def test_join_by_size(self, benchmark, size):
+        left = left_relation(size)
+        right = right_relation(size, selectivity=0.5)
+        result = benchmark(left.join, right)
+        assert isinstance(result, Relation)
+
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 1.0])
+    def test_join_by_selectivity(self, benchmark, selectivity):
+        left = left_relation(300)
+        right = right_relation(300, selectivity)
+        benchmark(left.join, right)
+
+    def test_cross_product_fallback(self, benchmark):
+        left = Relation({"A": i} for i in range(60))
+        right = Relation({"B": i} for i in range(60))
+        result = benchmark(left.join, right)
+        assert len(result) == 3600
+
+
+class TestMarkupCost:
+    @pytest.mark.parametrize("size", [10, 100, 1000])
+    def test_relation_to_wire_and_back(self, benchmark, size):
+        relation = left_relation(size)
+
+        def roundtrip():
+            return answers_to_relation(
+                parse(serialize(relation_to_answers(relation))))
+
+        result = benchmark(roundtrip)
+        assert result == relation

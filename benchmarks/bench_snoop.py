@@ -1,0 +1,94 @@
+"""BENCH-T3: composite event detection throughput (SNOOP and XChange).
+
+Series:
+
+* events/sec per SNOOP operator (seq, and, or, not, aperiodic) on a
+  stream with 10% relevant events,
+* the parameter-context matrix for seq: unrestricted / recent /
+  chronicle / continuous / cumulative — contexts differ in how much
+  partial-match state they retain, so throughput ranks
+  recent ≥ chronicle ≈ continuous ≥ cumulative ≥ unrestricted,
+* the XChange-style ``and`` with and without a time window.
+
+Expected shape: unrestricted accumulates initiators forever (cost grows
+over the stream); recent is O(1) state; windows bound XChange state.
+"""
+
+import pytest
+
+from repro.events import (And, Aperiodic, Atomic, AtomicPattern, AndQuery,
+                          EventStream, Not, Or, PatternQuery, Seq)
+from repro.xmlmodel import E, parse
+
+
+def atom(markup):
+    return Atomic(AtomicPattern(parse(markup)))
+
+
+def pattern_query(markup):
+    return PatternQuery(AtomicPattern(parse(markup)))
+
+
+def make_stream_payloads(count):
+    """10% a-events, 10% b-events, 80% noise."""
+    payloads = []
+    for index in range(count):
+        if index % 10 == 0:
+            payloads.append(E("a", {"k": str(index % 7)}))
+        elif index % 10 == 5:
+            payloads.append(E("b", {"k": str(index % 7)}))
+        else:
+            payloads.append(E(f"noise{index % 3}"))
+    return payloads
+
+
+def run_detector(detector, payloads):
+    detector.reset()
+    stream = EventStream()
+    detections = []
+    stream.subscribe(lambda event: detections.extend(detector.feed(event)))
+    stream.emit_all(payloads, spacing=1.0)
+    return detections
+
+
+OPERATORS = {
+    "seq": lambda: Seq(atom('<a k="{K}"/>'), atom('<b k="{K}"/>'),
+                       "chronicle"),
+    "and": lambda: And(atom("<a/>"), atom("<b/>"), "chronicle"),
+    "or": lambda: Or([atom("<a/>"), atom("<b/>")]),
+    "not": lambda: Not(atom("<a/>"), atom("<c/>"), atom("<b/>")),
+    "aperiodic": lambda: Aperiodic(atom("<a/>"), atom("<b/>"),
+                                   atom("<never/>")),
+}
+
+
+class TestOperatorThroughput:
+    @pytest.mark.parametrize("operator", sorted(OPERATORS))
+    def test_operator(self, benchmark, operator):
+        payloads = make_stream_payloads(500)
+        detector = OPERATORS[operator]()
+        benchmark(run_detector, detector, payloads)
+
+
+class TestParameterContexts:
+    @pytest.mark.parametrize("context", ["unrestricted", "recent",
+                                         "chronicle", "continuous",
+                                         "cumulative"])
+    def test_seq_context(self, benchmark, context):
+        payloads = make_stream_payloads(500)
+        detector = Seq(atom("<a/>"), atom("<b/>"), context)
+        benchmark(run_detector, detector, payloads)
+
+
+class TestXChangeThroughput:
+    def test_and_unbounded(self, benchmark):
+        payloads = make_stream_payloads(300)
+        query = AndQuery([pattern_query('<a k="{K}"/>'),
+                          pattern_query('<b k="{K}"/>')])
+        benchmark(run_detector, query, payloads)
+
+    def test_and_windowed(self, benchmark):
+        payloads = make_stream_payloads(300)
+        query = AndQuery([pattern_query('<a k="{K}"/>'),
+                          pattern_query('<b k="{K}"/>')], within=20.0)
+        benchmark(run_detector, query, payloads)

@@ -1,0 +1,30 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment of DESIGN.md's
+per-experiment index (BENCH-T1 … BENCH-T5).  Results are additionally
+collected into ``benchmarks/results.json`` by pytest-benchmark's own
+machinery when ``--benchmark-json`` is passed; EXPERIMENTS.md records a
+reference run.
+"""
+
+import pytest
+
+from repro.core import ECAEngine
+from repro.domain import (WorkloadConfig, synthetic_classes, synthetic_fleet,
+                          synthetic_persons)
+from repro.services import standard_deployment
+
+
+def build_world(config: WorkloadConfig):
+    """A wired deployment + engine over synthetic documents."""
+    deployment = standard_deployment()
+    deployment.add_document("persons.xml", synthetic_persons(config))
+    deployment.add_document("classes.xml", synthetic_classes())
+    deployment.add_document("fleet.xml", synthetic_fleet(config))
+    engine = ECAEngine(deployment.grh, keep_instances=False)
+    return deployment, engine
+
+
+@pytest.fixture()
+def small_config():
+    return WorkloadConfig(persons=50, fleet_size=40, cities=3)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Distributed deployment: component services behind real HTTP endpoints.
+
+The paper's architecture (Fig. 3) has the ECA engine talk to *autonomous,
+remote* language processors.  This script actually deploys them that way:
+
+* the XQ-lite node (framework-aware) and the eXist-like node
+  (framework-UNaware) run as real HTTP servers on localhost,
+* the engine's GRH reaches them through a :class:`HybridTransport` —
+  POSTed ``log:request`` messages for the aware node, plain GETs with the
+  substituted query string for the unaware node (exactly Fig. 9),
+* event detection and action execution stay co-located with the engine.
+
+The same car-rental rule from the paper then runs unchanged over the
+distributed deployment.
+
+Run: ``python examples/distributed_services.py``
+"""
+
+from repro import ECAEngine
+from repro.actions import ACTION_NS, ActionRuntime
+from repro.conditions import TEST_NS
+from repro.domain import (CAR_RENTAL_RULE, booking_event, classes_document,
+                          fleet_document, persons_document)
+from repro.events import ATOMIC_NS, EventStream
+from repro.grh import (GenericRequestHandler, LanguageDescriptor,
+                       LanguageRegistry)
+from repro.services import (ActionExecutionService, AtomicEventService,
+                            EXIST_LANG, ExistLikeService, HttpServiceServer,
+                            HybridTransport, TestLanguageService, XQ_LANG,
+                            XQService)
+
+
+def main() -> None:
+    registry = LanguageRegistry()
+    grh = GenericRequestHandler(registry, HybridTransport())
+    stream = EventStream()
+    runtime = ActionRuntime(event_stream=stream)
+
+    # local (co-located) services: events, tests, actions
+    atomic = AtomicEventService(grh.notify)
+    atomic.attach(stream)
+    grh.add_service(LanguageDescriptor(ATOMIC_NS, "event", "atomic-events"),
+                    atomic)
+    grh.add_service(LanguageDescriptor(TEST_NS, "test", "test"),
+                    TestLanguageService())
+    grh.add_service(LanguageDescriptor(ACTION_NS, "action", "actions"),
+                    ActionExecutionService(runtime))
+
+    # remote services: two query nodes behind real HTTP endpoints
+    xq_node = XQService({"persons.xml": persons_document(),
+                         "fleet.xml": fleet_document()})
+    exist_node = ExistLikeService({"classes.xml": classes_document(),
+                                   "fleet.xml": fleet_document()})
+    xq_server = HttpServiceServer(aware_handler=xq_node.handle)
+    exist_server = HttpServiceServer(opaque_handler=exist_node.execute)
+    xq_url = xq_server.start()
+    exist_url = exist_server.start()
+    print(f"framework-aware XQ-lite node    : POST {xq_url}")
+    print(f"framework-unaware eXist-like node: GET  {exist_url}?query=...")
+
+    grh.add_remote_language(
+        LanguageDescriptor(XQ_LANG, "query", "xquery-lite"), xq_url)
+    grh.add_remote_language(
+        LanguageDescriptor(EXIST_LANG, "query", "exist-like",
+                           framework_aware=False), exist_url)
+
+    try:
+        engine = ECAEngine(grh)
+        rule_id = engine.register_rule(CAR_RENTAL_RULE)
+        print(f"\nrule {rule_id!r} registered; "
+              ">>> booking John Doe, Munich → Paris\n")
+        stream.emit(booking_event())
+
+        (instance,) = engine.instances_of(rule_id)
+        print(f"instance status: {instance.status}; GRH mediated "
+              f"{grh.request_count} requests "
+              f"({len(exist_node.request_log)} of them plain GETs "
+              "to the unaware node)")
+        for message in runtime.messages("customer-notifications"):
+            offer = message.content
+            print(f"offer over the wire: {offer.get('car')} "
+                  f"(class {offer.get('class')}) for {offer.get('person')}")
+    finally:
+        xq_server.stop()
+        exist_server.stop()
+        print("\nHTTP services stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Semantic-Web fleet management: RDF data, SPARQL queries, RDF actions.
+
+Demonstrates the Semantic-Web side of the framework:
+
+* the rental fleet lives in an **RDF graph** (Turtle-parsed),
+* the rule's query component is **SPARQL-lite** (an LP-style language:
+  its solutions are joined with the rule's bindings),
+* the action **asserts new triples** (domain-ontology-level action,
+  Sec. 4.5) recording each reservation,
+* the rule itself is exported **as RDF** (Fig. 1: rules are objects of
+  the Semantic Web).
+
+Run: ``python examples/semantic_fleet.py``
+"""
+
+from repro import ECAEngine, parse_rule, standard_deployment
+from repro.actions import ACTION_NS
+from repro.domain import FLEET_NS, TRAVEL_NS, booking_event, fleet_graph
+from repro.rdf import to_ntriples
+from repro.services import SPARQL_LANG
+
+ECA = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
+
+RESERVATION_RULE = f"""
+<eca:rule {ECA} id="reserve-on-booking">
+  <eca:event>
+    <travel:booking xmlns:travel="{TRAVEL_NS}"
+                    person="{{Person}}" to="{{To}}"/>
+  </eca:event>
+
+  <!-- LP-style query: available class-B cars at the destination -->
+  <eca:query>
+    <sp:select xmlns:sp="{SPARQL_LANG}">
+      SELECT ?Car ?Model WHERE {{
+        ?Car fleet:location '{{To}}' ;
+             fleet:carClass 'B' ;
+             fleet:model ?Model .
+      }}
+    </sp:select>
+  </eca:query>
+
+  <!-- ontology-level action: record the reservation as triples -->
+  <eca:action>
+    <act:sequence xmlns:act="{ACTION_NS}">
+      <act:assert graph="fleet" s="{{Car}}"
+                  p="{FLEET_NS}reservedFor" o="{{Person}}"/>
+      <act:retract graph="fleet" s="{{Car}}"
+                   p="{FLEET_NS}location" o="{{To}}"/>
+      <act:send to="reservations">
+        <reserved model="{{Model}}" for="{{Person}}"/>
+      </act:send>
+    </act:sequence>
+  </eca:action>
+</eca:rule>
+"""
+
+
+def main() -> None:
+    graph = fleet_graph()
+    deployment = standard_deployment(graph=graph)
+    deployment.sparql.prefixes["fleet"] = FLEET_NS
+    deployment.runtime.register_graph("fleet", graph)
+
+    engine = ECAEngine(deployment.grh)
+    rule = parse_rule(RESERVATION_RULE)
+    engine.register_rule(rule)
+
+    print("the rule as a Semantic-Web resource (Fig. 1 ontology):\n")
+    print(to_ntriples(rule.to_rdf()))
+
+    print(">>> John Doe books a flight to Paris")
+    deployment.stream.emit(booking_event())
+
+    print("\nreservations mailbox:")
+    for message in deployment.runtime.messages("reservations"):
+        print(f"   {message.content.get('model')} reserved for "
+              f"{message.content.get('for')}")
+
+    print("\nfleet graph after the rule fired (reservation triples "
+          "asserted, location retracted):\n")
+    lines = [line for line in to_ntriples(graph).splitlines()
+             if "f1" in line]
+    print("\n".join(lines))
+
+    # firing again finds no class-B car left in Paris → instance dies
+    deployment.stream.advance(1)
+    deployment.stream.emit(booking_event(person="Jane Roe"))
+    second = engine.instances[-1]
+    print(f"\nsecond booking: instance status = {second.status} "
+          "(no class-B car left in Paris)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Composite-event travel monitoring: heterogeneous EVENT languages.
+
+Three monitoring rules over one event stream, each using a *different*
+event language behind the same Generic Request Handler:
+
+* **SNOOP** (chronicle context): booking followed by a cancellation of
+  the same person → churn alert.
+* **XChange-style** windowed conjunction: booking and a delayed flight
+  of the same person within 5 time units → apology + voucher.
+* **SNOOP aperiodic**: every delay report inside a trip window
+  (booking .. cancellation) → operations dashboard entry.
+
+Run: ``python examples/travel_monitoring.py``
+"""
+
+from repro import ECAEngine, standard_deployment
+from repro.actions import ACTION_NS
+from repro.domain import (TRAVEL_NS, booking_event, cancellation_event,
+                          delayed_flight_event)
+from repro.events import SNOOP_NS, XCHANGE_NS
+
+ECA = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
+ACT = f'xmlns:act="{ACTION_NS}"'
+TRAVEL = f'xmlns:travel="{TRAVEL_NS}"'
+
+CHURN_RULE = f"""
+<eca:rule {ECA} id="churn-alert">
+  <eca:event>
+    <snoop:seq xmlns:snoop="{SNOOP_NS}" context="chronicle">
+      <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+      <travel:cancellation {TRAVEL} person="{{Person}}"/>
+    </snoop:seq>
+  </eca:event>
+  <eca:action>
+    <act:send {ACT} to="sales">
+      <churn person="{{Person}}" lost-trip="{{To}}"/>
+    </act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+APOLOGY_RULE = f"""
+<eca:rule {ECA} id="delay-apology">
+  <eca:event>
+    <xc:and xmlns:xc="{XCHANGE_NS}" within="5">
+      <travel:booking {TRAVEL} person="{{Person}}"/>
+      <travel:delayed {TRAVEL} person="{{Person}}" flight="{{Flight}}"/>
+    </xc:and>
+  </eca:event>
+  <eca:test>$Flight != ''</eca:test>
+  <eca:action>
+    <act:sequence {ACT}>
+      <act:send to="customer-care">
+        <apology person="{{Person}}" flight="{{Flight}}"/>
+      </act:send>
+      <act:raise><voucher person="{{Person}}" amount="50"/></act:raise>
+    </act:sequence>
+  </eca:action>
+</eca:rule>
+"""
+
+DASHBOARD_RULE = f"""
+<eca:rule {ECA} id="ops-dashboard">
+  <eca:event>
+    <snoop:aperiodic xmlns:snoop="{SNOOP_NS}">
+      <travel:booking {TRAVEL} person="{{Person}}"/>
+      <travel:delayed {TRAVEL} person="{{Person}}" flight="{{Flight}}"
+                      minutes="{{Minutes}}"/>
+      <travel:cancellation {TRAVEL} person="{{Person}}"/>
+    </snoop:aperiodic>
+  </eca:event>
+  <eca:action>
+    <act:send {ACT} to="dashboard">
+      <delay flight="{{Flight}}" minutes="{{Minutes}}"/>
+    </act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+
+def main() -> None:
+    deployment = standard_deployment()
+    engine = ECAEngine(deployment.grh)
+    for rule in (CHURN_RULE, APOLOGY_RULE, DASHBOARD_RULE):
+        print("registered:", engine.register_rule(rule))
+
+    stream = deployment.stream
+    print("\n--- scenario ---")
+    stream.emit(booking_event("John Doe", "Munich", "Paris"))
+    stream.advance(1)
+    stream.emit(delayed_flight_event("LH123", "John Doe", minutes=45))
+    stream.advance(1)
+    stream.emit(delayed_flight_event("LH123", "John Doe", minutes=90))
+    stream.advance(1)
+    stream.emit(cancellation_event("John Doe", "Paris"))
+    stream.advance(10)
+    stream.emit(booking_event("Jane Roe", "Berlin", "Rome"))
+    stream.advance(10)  # too late for the 5-unit apology window:
+    stream.emit(delayed_flight_event("AZ99", "Jane Roe", minutes=30))
+
+    for mailbox in ("sales", "customer-care", "dashboard"):
+        print(f"\n{mailbox}:")
+        for message in deployment.runtime.messages(mailbox):
+            attrs = {name.local: value
+                     for name, value in message.content.attributes.items()}
+            print(f"   {message.content.name.local} {attrs}")
+
+    vouchers = [event for event in stream
+                if event.payload.name.local == "voucher"]
+    print(f"\nvouchers raised back onto the stream: {len(vouchers)}")
+    print("engine statistics:", engine.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — an ECA engine for heterogeneous component languages.
+
+Reproduction of Behrends, Fritzen, May, Schubert: *"An ECA Engine for
+Deploying Heterogeneous Component Languages in the Semantic Web"*
+(EDBT 2006 Workshops, REWERSE project).
+
+Subpackages
+-----------
+``xmlmodel``    XML node model, parser, serializer
+``xpath``       XPath 1.0 subset
+``xq``          XQ-lite functional query language (FLWOR subset)
+``rdf``         RDF triple store, Turtle subset, SPARQL-BGP subset
+``datalog``     bottom-up Datalog with stratified negation
+``bindings``    variable-binding tuples / relations, log: answer markup
+``events``      event model, atomic matching, SNOOP algebra, XChange-style
+``conditions``  the test (condition) language
+``actions``     atomic actions and a CCS-lite process algebra
+``core``        rule model, ECA-ML markup, the ECA engine
+``grh``         the Generic Request Handler
+``services``    component-language services and transports
+``domain``      the travel / car-rental application domain
+``baseline``    monolithic single-language engine (benchmark baseline)
+"""
+
+__version__ = "1.0.0"
+
+from .bindings import Binding, Relation, Uri
+from .core import (ECAEngine, ECARule, RuleInstance, RuleRepository,
+                   RuleValidationError, parse_rule, rule_to_xml,
+                   validate_rule)
+from .grh import (ComponentSpec, GenericRequestHandler, LanguageDescriptor,
+                  LanguageRegistry)
+from .services import Deployment, standard_deployment
+
+__all__ = [
+    "__version__",
+    "ECAEngine", "ECARule", "RuleInstance", "RuleRepository",
+    "parse_rule", "rule_to_xml", "validate_rule", "RuleValidationError",
+    "GenericRequestHandler", "LanguageRegistry", "LanguageDescriptor",
+    "ComponentSpec",
+    "Binding", "Relation", "Uri",
+    "Deployment", "standard_deployment",
+]

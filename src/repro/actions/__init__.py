@@ -1,0 +1,22 @@
+"""Actions: atomic actions, CCS-lite combinators, runtime, markup.
+
+The action-component substrate (Sec. 4.5 / Fig. 2): process-algebra
+combinators applied to domain atomic actions, executed once per tuple of
+variable bindings.
+"""
+
+from .markup import (ACTION_NS, ActionMarkupError, DEFAULT_MAILBOX,
+                     parse_action_component)
+from .process import (Action, AssertTriple, Delete, If, Insert, Parallel,
+                      Raise, RetractTriple, Send, Sequence)
+from .runtime import ActionError, ActionRuntime, Message
+from .templates import TemplateError, instantiate, template_variables
+
+__all__ = [
+    "Action", "Send", "Insert", "Delete", "AssertTriple", "RetractTriple",
+    "Raise", "Sequence", "Parallel", "If",
+    "ActionRuntime", "Message", "ActionError",
+    "instantiate", "template_variables", "TemplateError",
+    "parse_action_component", "ACTION_NS", "DEFAULT_MAILBOX",
+    "ActionMarkupError",
+]

@@ -1,0 +1,114 @@
+"""XML markup ⇄ action-language expressions.
+
+Action components carry their language as the namespace of their content
+(the same dispatch convention as event components)::
+
+    <eca:action>
+      <act:sequence xmlns:act="...">
+        <act:send to="customer-notifications">
+          <offer person="{Person}" car="{Avail}"/>
+        </act:send>
+        <act:assert graph="fleet" s="urn:fleet#{Avail}"
+                    p="urn:fleet#offeredTo" o="{Person}"/>
+      </act:sequence>
+    </eca:action>
+
+An element *outside* the action namespace is shorthand for sending it to
+the default mailbox (``act:send`` of the running example, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from ..conditions import TestExpression, TestSyntaxError
+from ..xmlmodel import Element, QName
+from .process import (Action, AssertTriple, Delete, If, Insert, Parallel,
+                      Raise, RetractTriple, Send, Sequence)
+
+__all__ = ["ACTION_NS", "DEFAULT_MAILBOX", "parse_action_component",
+           "ActionMarkupError"]
+
+ACTION_NS = "http://www.semwebtech.org/languages/2006/actions"
+
+#: Where bare (non-act:) action content is delivered.
+DEFAULT_MAILBOX = "default"
+
+
+class ActionMarkupError(ValueError):
+    """Raised on malformed action markup."""
+
+
+def parse_action_component(content: Element) -> Action:
+    """Parse one action element into an executable :class:`Action`."""
+    if content.name.uri != ACTION_NS:
+        # bare domain markup: send it to the default mailbox
+        return Send(DEFAULT_MAILBOX, content.copy())
+    kind = content.name.local
+    if kind == "send":
+        recipient = content.get("to") or DEFAULT_MAILBOX
+        template = _single_child(content, "act:send")
+        return Send(recipient, template.copy())
+    if kind == "raise":
+        return Raise(_single_child(content, "act:raise").copy())
+    if kind == "insert":
+        document = _required(content, "document")
+        at = _required(content, "at")
+        return Insert(document, at, _single_child(content,
+                                                  "act:insert").copy())
+    if kind == "delete":
+        return Delete(_required(content, "document"),
+                      _required(content, "path"))
+    if kind == "assert":
+        return AssertTriple(_required(content, "graph"),
+                            _required(content, "s"),
+                            _required(content, "p"),
+                            _required(content, "o"))
+    if kind == "retract":
+        return RetractTriple(_required(content, "graph"),
+                             _required(content, "s"),
+                             _required(content, "p"),
+                             _required(content, "o"))
+    if kind in ("sequence", "parallel"):
+        children = [parse_action_component(child)
+                    for child in content.elements()]
+        if not children:
+            raise ActionMarkupError(f"act:{kind} needs at least one child")
+        return (Sequence if kind == "sequence" else Parallel)(tuple(children))
+    if kind == "if":
+        source = _required(content, "test")
+        try:
+            test = TestExpression(source)
+        except TestSyntaxError as exc:
+            raise ActionMarkupError(f"bad test in act:if: {exc}") from exc
+        then_actions: list[Action] = []
+        otherwise: Action | None = None
+        for child in content.elements():
+            if child.name == QName(ACTION_NS, "else"):
+                branches = [parse_action_component(grandchild)
+                            for grandchild in child.elements()]
+                if not branches:
+                    raise ActionMarkupError("act:else needs children")
+                otherwise = branches[0] if len(branches) == 1 \
+                    else Sequence(tuple(branches))
+            else:
+                then_actions.append(parse_action_component(child))
+        if not then_actions:
+            raise ActionMarkupError("act:if needs a then-branch")
+        then = then_actions[0] if len(then_actions) == 1 \
+            else Sequence(tuple(then_actions))
+        return If(test, then, otherwise)
+    raise ActionMarkupError(f"unknown action operator {kind!r}")
+
+
+def _required(element: Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise ActionMarkupError(
+            f"act:{element.name.local} requires attribute {attribute!r}")
+    return value
+
+
+def _single_child(element: Element, what: str) -> Element:
+    children = list(element.elements())
+    if len(children) != 1:
+        raise ActionMarkupError(f"{what} must contain exactly one element")
+    return children[0]

@@ -1,0 +1,77 @@
+"""Instantiating XML templates with variable bindings.
+
+The action component "is executed for each tuple of variable bindings"
+(Sec. 4.5) — concretely, action markup contains ``{Var}`` placeholders in
+attribute values and text content which are replaced by the tuple's
+values before the action is carried out (the dual of atomic event
+patterns).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..bindings import Binding, value_to_text
+from ..xmlmodel import Element, Text
+
+__all__ = ["instantiate", "template_variables", "TemplateError"]
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+class TemplateError(ValueError):
+    """Raised when a template references an unbound variable."""
+
+
+def template_variables(template: Element) -> set[str]:
+    """All ``{Var}`` placeholders occurring in the template."""
+    names: set[str] = set()
+    for element in template.iter():
+        for value in element.attributes.values():
+            names.update(_PLACEHOLDER_RE.findall(value))
+        for child in element.children:
+            if isinstance(child, Text):
+                names.update(_PLACEHOLDER_RE.findall(child.value))
+    return names
+
+
+def _substitute(text: str, binding: Binding, allow_fragment: bool):
+    """Replace placeholders; a lone ``{Var}`` bound to XML yields the
+    fragment itself when ``allow_fragment`` is true."""
+    lone = _PLACEHOLDER_RE.fullmatch(text.strip())
+    if lone and allow_fragment:
+        name = lone.group(1)
+        if name not in binding:
+            raise TemplateError(f"unbound template variable {name!r}")
+        value = binding[name]
+        if isinstance(value, Element):
+            return value.copy()
+        return text.replace(lone.group(0), value_to_text(value))
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in binding:
+            raise TemplateError(f"unbound template variable {name!r}")
+        return value_to_text(binding[name])
+
+    return _PLACEHOLDER_RE.sub(replace, text)
+
+
+def instantiate(template: Element, binding: Binding) -> Element:
+    """A deep copy of ``template`` with all placeholders substituted."""
+    out = Element(template.name, nsdecls=dict(template.nsdecls))
+    for name, value in template.attributes.items():
+        substituted = _substitute(value, binding, allow_fragment=False)
+        out.attributes[name] = substituted
+    for child in template.children:
+        if isinstance(child, Element):
+            out.append(instantiate(child, binding))
+        elif isinstance(child, Text):
+            substituted = _substitute(child.value, binding,
+                                      allow_fragment=True)
+            if isinstance(substituted, Element):
+                out.append(substituted)
+            else:
+                out.append(Text(substituted))
+        # comments / PIs in templates are dropped
+    return out

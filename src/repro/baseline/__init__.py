@@ -1,0 +1,5 @@
+"""Baseline: a monolithic, hard-wired ECA engine (benchmark comparator)."""
+
+from .monolithic import MonolithicEngine, MonolithicRule, QueryFunction
+
+__all__ = ["MonolithicEngine", "MonolithicRule", "QueryFunction"]

@@ -1,0 +1,82 @@
+"""A monolithic ECA engine: the ablation baseline for the modular design.
+
+This engine hard-wires everything the paper's architecture factors out:
+one fixed event language (atomic patterns), one fixed query interface
+(Python callables over in-memory data), a fixed test language and direct
+action execution.  No Generic Request Handler, no language registry, no
+XML messages on any boundary — components are plain Python objects called
+directly.
+
+It exists to *measure* what the modular architecture costs (BENCH-T4 in
+DESIGN.md): the same rules run on both engines, and the throughput gap is
+the price of namespace dispatch + message serialization + service
+autonomy.  It is intentionally *not* extensible: adding a new component
+language means editing this engine — which is exactly the paper's
+argument for the modular design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..bindings import Binding, Relation
+from ..events import AtomicPattern, Event, EventStream
+
+__all__ = ["MonolithicRule", "MonolithicEngine", "QueryFunction"]
+
+#: A hard-wired query: bindings-tuple in, contribution relation out.
+QueryFunction = Callable[[Binding], Iterable[dict]]
+
+
+@dataclass(frozen=True)
+class MonolithicRule:
+    """A rule whose components are Python callables, not languages."""
+
+    rule_id: str
+    pattern: AtomicPattern
+    queries: tuple[QueryFunction, ...] = ()
+    test: Callable[[Binding], bool] | None = None
+    action: Callable[[Binding], None] = lambda binding: None
+
+
+@dataclass
+class MonolithicEngine:
+    """Evaluates hard-wired rules directly over an event stream."""
+
+    rules: dict[str, MonolithicRule] = field(default_factory=dict)
+    stats: dict = field(default_factory=lambda: {
+        "detections": 0, "completed": 0, "dead": 0, "actions": 0})
+
+    def register_rule(self, rule: MonolithicRule) -> str:
+        if rule.rule_id in self.rules:
+            raise ValueError(f"rule {rule.rule_id!r} already registered")
+        self.rules[rule.rule_id] = rule
+        return rule.rule_id
+
+    def attach(self, stream: EventStream) -> None:
+        stream.subscribe(self.feed)
+
+    def feed(self, event: Event) -> None:
+        for rule in self.rules.values():
+            occurrence = rule.pattern.match(event)
+            if occurrence is None:
+                continue
+            self.stats["detections"] += 1
+            self._evaluate(rule, occurrence.bindings)
+
+    def _evaluate(self, rule: MonolithicRule, relation: Relation) -> None:
+        for query in rule.queries:
+            relation = relation.extend_many(query)
+            if not relation:
+                self.stats["dead"] += 1
+                return
+        if rule.test is not None:
+            relation = relation.select(rule.test)
+            if not relation:
+                self.stats["dead"] += 1
+                return
+        for binding in relation:
+            rule.action(binding)
+            self.stats["actions"] += 1
+        self.stats["completed"] += 1

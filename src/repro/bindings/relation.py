@@ -1,0 +1,263 @@
+"""Tuples of variable bindings and relational operations on sets of them.
+
+The global semantics of an ECA rule (Sec. 3) is: each component maps a set
+of tuples of variable bindings to a new set — the event component produces
+the initial tuples, query components *extend* them (and restrict them via
+join conditions), the test component *filters* them, and the action
+component is executed once per remaining tuple.  The workhorse operation
+is the **natural join** (Fig. 11: available cars ⋈ owned-car classes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .values import Value, value_sort_key, values_equal, _join_key
+
+__all__ = ["Binding", "Relation", "BindingError"]
+
+
+class BindingError(ValueError):
+    """Raised on conflicting or malformed bindings."""
+
+
+class Binding(Mapping[str, Value]):
+    """One immutable tuple of variable bindings (variable name → value)."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[str, Value] | Iterable[tuple[str, Value]]
+                 = ()) -> None:
+        mapping = dict(data)
+        for name in mapping:
+            if not name or not isinstance(name, str):
+                raise BindingError(f"invalid variable name: {name!r}")
+        self._data = mapping
+        self._hash: int | None = None
+
+    # -- Mapping interface ----------------------------------------------------
+
+    def __getitem__(self, name: str) -> Value:
+        return self._data[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def compatible(self, other: "Binding") -> bool:
+        """True when the two tuples agree on all shared variables."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return all(name not in large or values_equal(value, large[name])
+                   for name, value in small.items())
+
+    def merged(self, other: "Binding") -> "Binding":
+        """The union of two compatible tuples."""
+        if not self.compatible(other):
+            raise BindingError(f"incompatible bindings: {self} vs {other}")
+        merged = dict(self._data)
+        merged.update(other._data)
+        return Binding(merged)
+
+    def extended(self, name: str, value: Value) -> "Binding":
+        """This tuple with one more variable bound (must be fresh or equal)."""
+        if name in self._data and not values_equal(self._data[name], value):
+            raise BindingError(
+                f"variable {name!r} already bound to a different value")
+        data = dict(self._data)
+        data[name] = value
+        return Binding(data)
+
+    def projected(self, names: Iterable[str]) -> "Binding":
+        keep = set(names)
+        return Binding({name: value for name, value in self._data.items()
+                        if name in keep})
+
+    # -- comparison --------------------------------------------------------------
+
+    def _key(self) -> frozenset:
+        return frozenset((name, _join_key(value))
+                         for name, value in self._data.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Binding):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}"
+                          for name, value in sorted(self._data.items()))
+        return f"{{{inner}}}"
+
+
+class Relation:
+    """An ordered, duplicate-free set of binding tuples.
+
+    Order is insertion order (deterministic for tests and benchmarks);
+    duplicates — under value equality — are dropped on construction, as the
+    paper's semantics is set-based.
+    """
+
+    __slots__ = ("_tuples",)
+
+    def __init__(self, tuples: Iterable[Binding | Mapping[str, Value]] = ())\
+            -> None:
+        unique: dict[Binding, None] = {}
+        for item in tuples:
+            binding = item if isinstance(item, Binding) else Binding(item)
+            unique.setdefault(binding, None)
+        self._tuples: tuple[Binding, ...] = tuple(unique)
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The join identity: one empty tuple."""
+        return cls([Binding()])
+
+    @classmethod
+    def empty(cls) -> "Relation":
+        """The join absorber: no tuples."""
+        return cls()
+
+    # -- basic accessors -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return frozenset(self._tuples) == frozenset(other._tuples)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._tuples))
+
+    def variables(self) -> set[str]:
+        """All variable names bound in at least one tuple."""
+        names: set[str] = set()
+        for binding in self._tuples:
+            names.update(binding)
+        return names
+
+    def common_variables(self) -> set[str]:
+        """Variable names bound in *every* tuple (the reliable schema)."""
+        if not self._tuples:
+            return set()
+        names = set(self._tuples[0])
+        for binding in self._tuples[1:]:
+            names &= set(binding)
+        return names
+
+    # -- relational algebra ---------------------------------------------------------
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join (Fig. 11): hash join over the shared variables."""
+        if not self._tuples or not other._tuples:
+            return Relation.empty()
+        left, right = self, other
+        shared = sorted(left.common_variables() & right.common_variables())
+        if not shared:
+            # No guaranteed-shared variables: fall back to pairwise
+            # compatibility (handles heterogeneous tuples and products).
+            return Relation(a.merged(b) for a in left for b in right
+                            if a.compatible(b))
+        if len(left) > len(right):
+            left, right = right, left
+        index: dict[tuple, list[Binding]] = {}
+        for binding in left:
+            key = tuple(_join_key(binding[name]) for name in shared)
+            index.setdefault(key, []).append(binding)
+        out: list[Binding] = []
+        for probe in right:
+            key = tuple(_join_key(probe[name]) for name in shared)
+            for match in index.get(key, ()):
+                if match.compatible(probe):
+                    out.append(match.merged(probe))
+        return Relation(out)
+
+    def select(self, predicate: Callable[[Binding], bool]) -> "Relation":
+        return Relation(b for b in self._tuples if predicate(b))
+
+    def project(self, names: Iterable[str]) -> "Relation":
+        keep = list(names)
+        return Relation(b.projected(keep) for b in self._tuples)
+
+    def union(self, other: "Relation") -> "Relation":
+        return Relation((*self._tuples, *other._tuples))
+
+    def extend_each(self, name: str,
+                    producer: Callable[[Binding], Iterable[Value]]) \
+            -> "Relation":
+        """Bind ``name`` in each tuple to every value ``producer`` yields.
+
+        This is the ``<eca:variable>`` semantics (Sec. 3 / Fig. 8): a
+        functional component is evaluated once per input tuple and *each*
+        of its results yields a separate output tuple; tuples whose
+        producer yields nothing are dropped.
+        """
+        out: list[Binding] = []
+        for binding in self._tuples:
+            for value in producer(binding):
+                out.append(binding.extended(name, value))
+        return Relation(out)
+
+    def extend_many(self, producer: Callable[[Binding],
+                                             Iterable["Binding | Mapping"]]) \
+            -> "Relation":
+        """Extend each tuple with every compatible binding the producer
+        yields for it (a per-tuple join against computed results)."""
+        out: list[Binding] = []
+        for binding in self._tuples:
+            for extra in producer(binding):
+                other = extra if isinstance(extra, Binding) else Binding(extra)
+                if binding.compatible(other):
+                    out.append(binding.merged(other))
+        return Relation(out)
+
+    # -- presentation ------------------------------------------------------------------
+
+    def sorted(self) -> "Relation":
+        """Deterministically ordered copy (for table printing)."""
+        def key(binding: Binding):
+            return tuple((name, value_sort_key(value))
+                         for name, value in sorted(binding.items()))
+        return Relation(sorted(self._tuples, key=key))
+
+    def to_table(self) -> str:
+        """Render as an ASCII table like the binding tables in Figs. 6–11."""
+        columns = sorted(self.variables())
+        if not columns:
+            return f"({len(self)} tuple{'s' if len(self) != 1 else ''})"
+        from .markup import value_to_text
+        rows = [[value_to_text(binding.get(column, "")) if column in binding
+                 else "—" for column in columns]
+                for binding in self.sorted()]
+        widths = [max(len(column), *(len(row[i]) for row in rows))
+                  if rows else len(column)
+                  for i, column in enumerate(columns)]
+        def line(cells):
+            return "| " + " | ".join(cell.ljust(width)
+                                     for cell, width in zip(cells, widths)) + " |"
+        sep = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+        out = [sep, line(columns), sep]
+        out.extend(line(row) for row in rows)
+        out.append(sep)
+        return "\n".join(out)
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self._tuples)!r})"

@@ -1,0 +1,72 @@
+"""The value model for variable bindings.
+
+Section 3 of the paper: *"Variables can be bound to values/literals,
+references (URIs), XML or RDF fragments, or events (marked up as XML...)"*.
+We therefore admit:
+
+* strings, numbers (int/float) and booleans — literals,
+* :class:`Uri` — references,
+* :class:`~repro.xmlmodel.Element` — XML fragments (events are XML
+  fragments carrying their own markup; RDF fragments are serialized RDF/XML
+  descriptions).
+
+Equality between values (used by the join, Fig. 11) is type-aware:
+numbers compare numerically, XML fragments structurally, and strings never
+equal numbers — ``"2"`` and ``2`` are different values.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import Element
+
+__all__ = ["Uri", "Value", "values_equal", "value_sort_key"]
+
+
+class Uri(str):
+    """A URI reference value (distinct from a plain string in joins)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"Uri({str.__repr__(self)})"
+
+
+Value = str | int | float | bool | Uri | Element
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Type-aware equality used as the join predicate."""
+    left_num = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_num = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_num and right_num:
+        return float(left) == float(right)
+    if left_num != right_num:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) \
+            and left == right
+    if isinstance(left, Element) or isinstance(right, Element):
+        return isinstance(left, Element) and isinstance(right, Element) \
+            and left == right
+    if isinstance(left, Uri) != isinstance(right, Uri):
+        return False
+    return str(left) == str(right)
+
+
+def _join_key(value: Value):
+    """A hashable key consistent with :func:`values_equal`."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", float(value))
+    if isinstance(value, Element):
+        return ("xml", hash(value))
+    if isinstance(value, Uri):
+        return ("uri", str(value))
+    return ("str", str(value))
+
+
+def value_sort_key(value: Value):
+    """A total order over values, for deterministic relation printing."""
+    key = _join_key(value)
+    return (key[0], str(key[1]))

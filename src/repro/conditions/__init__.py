@@ -1,0 +1,7 @@
+"""The test/condition component language (Sec. 4.5 of the paper)."""
+
+from .language import (TEST_NS, TestEvaluationError, TestExpression,
+                       TestSyntaxError)
+
+__all__ = ["TestExpression", "TestSyntaxError", "TestEvaluationError",
+           "TEST_NS"]

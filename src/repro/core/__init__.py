@@ -1,0 +1,18 @@
+"""The paper's primary contribution: rule model, ECA-ML, the ECA engine."""
+
+from .engine import ECAEngine, EngineError, RuleInstance
+from .markup import (COMPOSITE_EVENT_LANGUAGES, RuleMarkupError, parse_rule,
+                     rule_to_xml)
+from .model import ECARule, RuleError
+from .repository import RepositoryError, RuleRepository
+from .validation import (RuleValidationError, component_variables,
+                         validate_rule)
+
+__all__ = [
+    "ECAEngine", "RuleInstance", "EngineError",
+    "ECARule", "RuleError",
+    "RuleRepository", "RepositoryError",
+    "parse_rule", "rule_to_xml", "RuleMarkupError",
+    "COMPOSITE_EVENT_LANGUAGES",
+    "validate_rule", "RuleValidationError", "component_variables",
+]

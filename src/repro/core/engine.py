@@ -1,0 +1,314 @@
+"""The ECA engine (Sec. 4 of the paper).
+
+The engine "controls the evaluation of a rule, i.e., when to evaluate
+which rule component, and keeps the state information during the
+evaluation":
+
+1. On registration, a rule's event component is handed to the GRH, which
+   routes it to the appropriate event-detection service (Fig. 5).
+2. A ``log:detection`` arriving from an event service starts the rule
+   evaluation: the engine creates a rule *instance* whose state is the
+   relation of variable-binding tuples from the detection (Fig. 6).
+3. Query components are evaluated in order via the GRH; their
+   contribution is joined with the instance's relation (``eca:variable``
+   components arrive pre-extended, LP-style components are joined here —
+   Figs. 7–11).  An instance whose relation becomes empty dies.
+4. The test component filters the relation (locally by default,
+   Sec. 4.5).
+5. Each action component is executed once per surviving tuple, via the
+   GRH.
+
+Every instance keeps a trace of its relation after each step — the
+tables of Figs. 6(2), 8(3), 9(4) and 11 fall out of this trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..bindings import Relation
+from ..conditions import TEST_NS, TestExpression
+from ..grh import Detection, GenericRequestHandler, GRHError
+from ..xmlmodel import Element
+from .markup import parse_rule
+from .model import ECARule
+from .validation import RuleValidationError, validate_rule
+
+__all__ = ["ECAEngine", "RuleInstance", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Raised for unknown rules and registration problems."""
+
+
+@dataclass
+class RuleInstance:
+    """One evaluation of one rule, triggered by one detection."""
+
+    instance_id: int
+    rule_id: str
+    relation: Relation
+    status: str = "running"      # running | completed | dead | failed
+    error: str | None = None
+    actions_executed: int = 0
+    trace: list[tuple[str, Relation]] = field(default_factory=list)
+    #: payloads of the event sequence that triggered this instance
+    triggering_events: tuple = ()
+
+    def record(self, stage: str, relation: Relation) -> None:
+        self.trace.append((stage, relation))
+        self.relation = relation
+
+    def trace_table(self) -> str:
+        """The instance's evaluation trace as Fig. 6-11-style tables."""
+        blocks = []
+        for stage, relation in self.trace:
+            blocks.append(f"-- after {stage} --\n{relation.sorted().to_table()}")
+        return "\n".join(blocks)
+
+    def to_xml(self) -> Element:
+        """An audit report of this instance as XML.
+
+        Contains the outcome, the triggering event sequence and the
+        relation after every evaluation stage — a machine-readable
+        counterpart of :meth:`trace_table`, suitable for monitoring UIs
+        or archiving next to the rule in a repository.
+        """
+        from ..bindings import relation_to_answers
+        from ..xmlmodel import LOG_NS, QName, Text
+        report = Element(QName(LOG_NS, "instance"),
+                         {QName(None, "id"): str(self.instance_id),
+                          QName(None, "rule"): self.rule_id,
+                          QName(None, "status"): self.status,
+                          QName(None, "actions"):
+                          str(self.actions_executed)},
+                         nsdecls={"log": LOG_NS})
+        if self.error:
+            error_element = Element(QName(LOG_NS, "error"))
+            error_element.append(Text(self.error))
+            report.append(error_element)
+        if self.triggering_events:
+            events_element = Element(QName(LOG_NS, "events"))
+            for payload in self.triggering_events:
+                events_element.append(payload.copy())
+            report.append(events_element)
+        for stage, relation in self.trace:
+            stage_element = Element(QName(LOG_NS, "stage"),
+                                    {QName(None, "name"): stage})
+            stage_element.append(relation_to_answers(relation.sorted()))
+            report.append(stage_element)
+        return report
+
+
+@dataclass
+class _RegisteredRule:
+    rule: ECARule
+    event_component_id: str
+
+
+class ECAEngine:
+    """Evaluates registered ECA rules over detections from the GRH."""
+
+    def __init__(self, grh: GenericRequestHandler, validate: bool = True,
+                 evaluate_tests_locally: bool = True,
+                 keep_instances: bool = True,
+                 max_kept_instances: int | None = None) -> None:
+        self.grh = grh
+        self.validate = validate
+        self.evaluate_tests_locally = evaluate_tests_locally
+        self.keep_instances = keep_instances
+        #: retention cap for finished instances (None = unbounded); the
+        #: oldest are dropped first so a long-running engine stays flat
+        self.max_kept_instances = max_kept_instances
+        self.rules: dict[str, _RegisteredRule] = {}
+        self.instances: list[RuleInstance] = []
+        self._by_component: dict[str, str] = {}
+        self._instance_counter = itertools.count(1)
+        self._pending: deque[Detection] = deque()
+        self._draining = False
+        self.stats = {"detections": 0, "instances": 0, "completed": 0,
+                      "dead": 0, "failed": 0, "actions": 0}
+        grh.on_detection(self._on_detection)
+
+    # -- rule lifecycle ------------------------------------------------------
+
+    def register_rule(self, rule: ECARule | Element | str) -> str:
+        """Register a rule; its event component is routed to its service.
+
+        Accepts a parsed :class:`ECARule`, an ECA-ML element, or markup
+        text.  Returns the rule id.
+        """
+        if not isinstance(rule, ECARule):
+            rule = parse_rule(rule)
+        if rule.rule_id in self.rules:
+            raise EngineError(f"rule {rule.rule_id!r} is already registered")
+        if self.validate:
+            validate_rule(rule)
+        component_id = f"{rule.rule_id}::event"
+        self.grh.register_event_component(component_id, rule.event)
+        self.rules[rule.rule_id] = _RegisteredRule(rule, component_id)
+        self._by_component[component_id] = rule.rule_id
+        return rule.rule_id
+
+    def deregister_rule(self, rule_id: str) -> None:
+        if rule_id not in self.rules:
+            raise EngineError(f"unknown rule {rule_id!r}")
+        registered = self.rules.pop(rule_id)
+        self._by_component.pop(registered.event_component_id, None)
+        self.grh.unregister_event_component(registered.event_component_id,
+                                            registered.rule.event)
+
+    # -- detection handling (Fig. 6) --------------------------------------------
+
+    def _on_detection(self, detection: Detection) -> None:
+        """Queue a detection; drain synchronously unless already draining.
+
+        The queue makes rule chaining safe: an action that raises an event
+        triggers detections *during* action execution; they are processed
+        after the current instance finishes instead of recursing.  Among
+        queued detections, higher-priority rules go first (FIFO within a
+        priority level).
+        """
+        self._pending.append(detection)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._pending:
+                self._handle(self._pop_highest_priority())
+        finally:
+            self._draining = False
+
+    def batch(self):
+        """Context manager deferring detection processing until exit.
+
+        Inside the block, detections are only queued; at exit they are
+        evaluated highest-priority-first.  Without batching, detections
+        are processed synchronously as they arrive, so rule priorities
+        only order detections that queue up *during* an evaluation
+        (e.g. via rule chaining)::
+
+            with engine.batch():
+                stream.emit(event)      # triggers several rules
+            # here, all triggered rules have run, by priority
+        """
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _batch():
+            if self._draining:
+                # already inside an evaluation: plain nesting, no-op
+                yield
+                return
+            self._draining = True
+            try:
+                yield
+            finally:
+                self._draining = False
+                while self._pending:
+                    self._draining = True
+                    try:
+                        self._handle(self._pop_highest_priority())
+                    finally:
+                        self._draining = False
+
+        return _batch()
+
+    def _pop_highest_priority(self) -> Detection:
+        best_index = 0
+        best_priority = self._priority_of(self._pending[0])
+        for index in range(1, len(self._pending)):
+            priority = self._priority_of(self._pending[index])
+            if priority > best_priority:
+                best_index = index
+                best_priority = priority
+        self._pending.rotate(-best_index)
+        detection = self._pending.popleft()
+        self._pending.rotate(best_index)
+        return detection
+
+    def _priority_of(self, detection: Detection) -> int:
+        rule_id = self._by_component.get(detection.component_id)
+        if rule_id is None or rule_id not in self.rules:
+            return 0
+        return self.rules[rule_id].rule.priority
+
+    def _handle(self, detection: Detection) -> None:
+        rule_id = self._by_component.get(detection.component_id)
+        if rule_id is None:
+            return  # a rule deregistered while detections were in flight
+        self.stats["detections"] += 1
+        rule = self.rules[rule_id].rule
+        # "The ECA engine creates one or more instances of the rule with
+        # appropriate variable bindings according to the number of answer
+        # elements in the message" — one instance per detection message,
+        # holding all its answer tuples.
+        instance = RuleInstance(next(self._instance_counter), rule_id,
+                                detection.bindings,
+                                triggering_events=detection.events)
+        instance.record("event", detection.bindings)
+        self.stats["instances"] += 1
+        if self.keep_instances:
+            self.instances.append(instance)
+            if self.max_kept_instances is not None and \
+                    len(self.instances) > self.max_kept_instances:
+                del self.instances[:len(self.instances)
+                                   - self.max_kept_instances]
+        self._evaluate(rule, instance)
+
+    # -- instance evaluation (Figs. 7-11) ----------------------------------------------
+
+    def _evaluate(self, rule: ECARule, instance: RuleInstance) -> None:
+        relation = instance.relation
+        try:
+            for index, query in enumerate(rule.queries):
+                component_id = f"{rule.rule_id}::query-{index}"
+                contribution = self.grh.evaluate_query(component_id, query,
+                                                       relation)
+                if query.bind_to is not None:
+                    # functional components arrive pre-extended by the GRH
+                    relation = contribution
+                else:
+                    relation = relation.join(contribution)
+                label = (f"query {index + 1}"
+                         + (f" (→ ${query.bind_to})" if query.bind_to else ""))
+                instance.record(label, relation)
+                if not relation:
+                    instance.status = "dead"
+                    self.stats["dead"] += 1
+                    return
+            if rule.test is not None:
+                relation = self._run_test(rule, relation)
+                instance.record("test", relation)
+                if not relation:
+                    instance.status = "dead"
+                    self.stats["dead"] += 1
+                    return
+            for index, action in enumerate(rule.actions):
+                component_id = f"{rule.rule_id}::action-{index}"
+                executed = self.grh.execute_action(component_id, action,
+                                                   relation)
+                instance.actions_executed += executed
+                self.stats["actions"] += executed
+            instance.record("action", relation)
+            instance.status = "completed"
+            self.stats["completed"] += 1
+        except GRHError as exc:
+            instance.status = "failed"
+            instance.error = str(exc)
+            self.stats["failed"] += 1
+
+    def _run_test(self, rule: ECARule, relation: Relation) -> Relation:
+        test = rule.test
+        if (self.evaluate_tests_locally and test.opaque is not None
+                and test.language == TEST_NS):
+            return TestExpression(test.opaque).filter(relation)
+        return self.grh.evaluate_test(f"{rule.rule_id}::test", test, relation)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def instances_of(self, rule_id: str) -> list[RuleInstance]:
+        return [instance for instance in self.instances
+                if instance.rule_id == rule_id]

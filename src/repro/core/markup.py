@@ -1,0 +1,220 @@
+"""The ECA-ML rule markup (Figs. 3/4 and [MAA05a]).
+
+A rule document::
+
+    <eca:rule xmlns:eca="..." id="car-rental">
+      <eca:event> <travel:booking person="{Person}" to="{To}"/> </eca:event>
+      <eca:variable name="OwnCar">
+        <eca:query> <xq:xquery>for $c in ...</xq:xquery> </eca:query>
+      </eca:variable>
+      <eca:query>
+        <eca:opaque language="exist-like">for $c in ... {Class} ...</eca:opaque>
+      </eca:query>
+      <eca:test>$Class = $AvailClass</eca:test>
+      <eca:action> <act:send to="...">...</act:send> </eca:action>
+    </eca:rule>
+
+Component languages are recognized by the namespace of the component's
+content element; opaque fragments name their language with a ``language``
+attribute (Sec. 4.3).  Event content in a namespace that is not a known
+*composite* event language is an atomic pattern of the application domain
+(handled by the Atomic Event Matcher, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from ..actions import ACTION_NS
+from ..conditions import TEST_NS
+from ..events import ATOMIC_NS, SNOOP_NS, XCHANGE_NS
+from ..grh.component import ComponentSpec
+from ..xmlmodel import ECA_NS, Element, QName, parse
+from .model import ECARule, RuleError
+
+__all__ = ["parse_rule", "rule_to_xml", "RuleMarkupError",
+           "COMPOSITE_EVENT_LANGUAGES"]
+
+#: Namespaces the rule parser recognizes as composite event languages.
+COMPOSITE_EVENT_LANGUAGES = frozenset({SNOOP_NS, XCHANGE_NS})
+
+_RULE = QName(ECA_NS, "rule")
+_EVENT = QName(ECA_NS, "event")
+_QUERY = QName(ECA_NS, "query")
+_TEST = QName(ECA_NS, "test")
+_ACTION = QName(ECA_NS, "action")
+_VARIABLE = QName(ECA_NS, "variable")
+_OPAQUE = QName(ECA_NS, "opaque")
+
+
+class RuleMarkupError(ValueError):
+    """Raised on malformed ECA-ML documents."""
+
+
+def parse_rule(document: Element | str, rule_id: str | None = None) -> ECARule:
+    """Parse an ECA-ML rule document into an :class:`ECARule`."""
+    root = parse(document) if isinstance(document, str) else document
+    if root.name != _RULE:
+        raise RuleMarkupError(f"expected eca:rule, got {root.name.clark}")
+    rule_id = rule_id or root.get("id") or ECARule.fresh_id()
+
+    event: ComponentSpec | None = None
+    queries: list[ComponentSpec] = []
+    test: ComponentSpec | None = None
+    actions: list[ComponentSpec] = []
+
+    for child in root.elements():
+        if child.name == _EVENT:
+            if event is not None:
+                raise RuleMarkupError("a rule has exactly one event component")
+            if queries or test or actions:
+                raise RuleMarkupError("the event component must come first")
+            event = _parse_event(child)
+        elif child.name == _VARIABLE:
+            if event is None or test is not None or actions:
+                raise RuleMarkupError(
+                    "eca:variable queries belong between event and test")
+            queries.append(_parse_variable(child))
+        elif child.name == _QUERY:
+            if event is None or test is not None or actions:
+                raise RuleMarkupError(
+                    "query components belong between event and test")
+            queries.append(_parse_query(child, bind_to=None))
+        elif child.name == _TEST:
+            if event is None or actions:
+                raise RuleMarkupError(
+                    "the test component belongs between queries and actions")
+            if test is not None:
+                raise RuleMarkupError("a rule has at most one test component")
+            test = _parse_test(child)
+        elif child.name == _ACTION:
+            if event is None:
+                raise RuleMarkupError("action components come last")
+            actions.append(_parse_action(child))
+        else:
+            raise RuleMarkupError(
+                f"unexpected element {child.name.clark} in eca:rule")
+    if event is None:
+        raise RuleMarkupError("a rule needs an event component")
+    if not actions:
+        raise RuleMarkupError("a rule needs at least one action component")
+    priority_raw = root.get("priority", "0")
+    try:
+        priority = int(priority_raw)
+    except ValueError:
+        raise RuleMarkupError(
+            f"invalid priority {priority_raw!r}") from None
+    try:
+        return ECARule(rule_id, event, tuple(queries), test, tuple(actions),
+                       source=root, priority=priority)
+    except RuleError as exc:
+        raise RuleMarkupError(str(exc)) from exc
+
+
+def _single_child(component: Element) -> Element:
+    children = list(component.elements())
+    if len(children) != 1:
+        raise RuleMarkupError(
+            f"{component.name.clark} must contain exactly one element")
+    return children[0]
+
+
+def _parse_event(component: Element) -> ComponentSpec:
+    content = _single_child(component)
+    if content.name == _OPAQUE:
+        raise RuleMarkupError("event components cannot be opaque")
+    uri = content.name.uri
+    language = uri if uri in COMPOSITE_EVENT_LANGUAGES else ATOMIC_NS
+    return ComponentSpec("event", language, content=content.copy())
+
+
+def _parse_opaque(content: Element) -> tuple[str, str]:
+    language = content.get("language") or content.get("uri")
+    if not language:
+        raise RuleMarkupError("eca:opaque needs a language (or uri) attribute")
+    return language, content.text()
+
+
+def _parse_query(component: Element, bind_to: str | None) -> ComponentSpec:
+    content = _single_child(component)
+    if content.name == _OPAQUE:
+        language, text = _parse_opaque(content)
+        return ComponentSpec("query", language, opaque=text, bind_to=bind_to)
+    if content.name.uri is None:
+        raise RuleMarkupError(
+            "query content must declare its language via a namespace "
+            "(or use eca:opaque)")
+    return ComponentSpec("query", content.name.uri, content=content.copy(),
+                         bind_to=bind_to)
+
+
+def _parse_variable(component: Element) -> ComponentSpec:
+    name = component.get("name")
+    if not name:
+        raise RuleMarkupError("eca:variable needs a name attribute")
+    inner = _single_child(component)
+    if inner.name != _QUERY:
+        raise RuleMarkupError("eca:variable must wrap an eca:query")
+    return _parse_query(inner, bind_to=name)
+
+
+def _parse_test(component: Element) -> ComponentSpec:
+    children = list(component.elements())
+    if not children:
+        text = component.text().strip()
+        if not text:
+            raise RuleMarkupError("empty test component")
+        return ComponentSpec("test", TEST_NS, opaque=text)
+    content = children[0]
+    if content.name == _OPAQUE:
+        language, text = _parse_opaque(content)
+        return ComponentSpec("test", language, opaque=text)
+    return ComponentSpec("test", content.name.uri or TEST_NS,
+                         content=content.copy())
+
+
+def _parse_action(component: Element) -> ComponentSpec:
+    content = _single_child(component)
+    if content.name == _OPAQUE:
+        language, text = _parse_opaque(content)
+        return ComponentSpec("action", language, opaque=text)
+    # bare domain markup and act:* markup are both served by the action
+    # language service
+    return ComponentSpec("action", ACTION_NS, content=content.copy())
+
+
+def rule_to_xml(rule: ECARule) -> Element:
+    """Serialize a rule back to ECA-ML (round-trips :func:`parse_rule`)."""
+    from ..xmlmodel import Text
+    attributes = {QName(None, "id"): rule.rule_id}
+    if rule.priority:
+        attributes[QName(None, "priority")] = str(rule.priority)
+    root = Element(_RULE, attributes, nsdecls={"eca": ECA_NS})
+
+    def component_element(tag: QName, spec: ComponentSpec) -> Element:
+        element = Element(tag)
+        if spec.content is not None:
+            element.append(spec.content.copy())
+        else:
+            if tag == _TEST and spec.language == TEST_NS:
+                element.append(Text(spec.opaque or ""))
+            else:
+                opaque = Element(_OPAQUE,
+                                 {QName(None, "language"): spec.language})
+                opaque.append(Text(spec.opaque or ""))
+                element.append(opaque)
+        return element
+
+    root.append(component_element(_EVENT, rule.event))
+    for query in rule.queries:
+        query_element = component_element(_QUERY, query)
+        if query.bind_to:
+            wrapper = Element(_VARIABLE,
+                              {QName(None, "name"): query.bind_to})
+            wrapper.append(query_element)
+            root.append(wrapper)
+        else:
+            root.append(query_element)
+    if rule.test is not None:
+        root.append(component_element(_TEST, rule.test))
+    for action in rule.actions:
+        root.append(component_element(_ACTION, action))
+    return root

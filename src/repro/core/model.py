@@ -1,0 +1,108 @@
+"""The rule model: ECA rules as objects (Fig. 1 of the paper).
+
+A rule is composed of one event component, any number of query
+components (some wrapped in ``eca:variable``), an optional test component
+and one or more action components; every component *uses* a language.
+Rules are Semantic-Web objects — :meth:`ECARule.to_rdf` exports a rule
+and its component/language structure as RDF, following the UML model of
+Fig. 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..grh.component import ComponentSpec
+from ..grh.registry import ECA_ONTOLOGY
+from ..rdf import BNode, Graph, Literal, RDF, URIRef
+from ..xmlmodel import Element
+
+__all__ = ["ECARule", "RuleError"]
+
+_rule_counter = itertools.count(1)
+
+
+class RuleError(ValueError):
+    """Raised for structurally invalid rules."""
+
+
+@dataclass(frozen=True)
+class ECARule:
+    """One ECA rule: E, Q*, T?, A+ (the paper's normal form, Fig. 1)."""
+
+    rule_id: str
+    event: ComponentSpec
+    queries: tuple[ComponentSpec, ...]
+    test: ComponentSpec | None
+    actions: tuple[ComponentSpec, ...]
+    source: Element | None = field(default=None, compare=False, repr=False)
+    #: Higher-priority rules are evaluated first when one event triggers
+    #: several rules (an extension beyond the paper; default 0).
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.rule_id:
+            raise RuleError("rule needs a non-empty id")
+        if self.event.family != "event":
+            raise RuleError("first component must be an event component")
+        for query in self.queries:
+            if query.family != "query":
+                raise RuleError(f"not a query component: {query!r}")
+        if self.test is not None and self.test.family != "test":
+            raise RuleError("test slot holds a non-test component")
+        if not self.actions:
+            raise RuleError("a rule needs at least one action component")
+        for action in self.actions:
+            if action.family != "action":
+                raise RuleError(f"not an action component: {action!r}")
+
+    @staticmethod
+    def fresh_id() -> str:
+        return f"rule-{next(_rule_counter)}"
+
+    def components(self) -> list[ComponentSpec]:
+        """All components in evaluation order."""
+        out: list[ComponentSpec] = [self.event, *self.queries]
+        if self.test is not None:
+            out.append(self.test)
+        out.extend(self.actions)
+        return out
+
+    def languages(self) -> set[str]:
+        """The languages (URIs/names) this rule combines."""
+        return {component.language for component in self.components()}
+
+    # -- ontology export (Fig. 1) ------------------------------------------------
+
+    def to_rdf(self) -> Graph:
+        """Describe this rule as an RDF graph per the Fig. 1 model."""
+        graph = Graph()
+        graph.bind("eca", str(ECA_ONTOLOGY))
+        rule_node = URIRef(f"urn:eca:rule:{self.rule_id}")
+        graph.add(rule_node, RDF.type, ECA_ONTOLOGY.ECARule)
+        graph.add(rule_node, ECA_ONTOLOGY.ruleId, Literal(self.rule_id))
+        kind_class = {
+            "event": ECA_ONTOLOGY.EventComponent,
+            "query": ECA_ONTOLOGY.QueryComponent,
+            "test": ECA_ONTOLOGY.TestComponent,
+            "action": ECA_ONTOLOGY.ActionComponent,
+        }
+        kind_property = {
+            "event": ECA_ONTOLOGY.hasEventComponent,
+            "query": ECA_ONTOLOGY.hasQueryComponent,
+            "test": ECA_ONTOLOGY.hasTestComponent,
+            "action": ECA_ONTOLOGY.hasActionComponent,
+        }
+        for index, component in enumerate(self.components()):
+            node = BNode(f"{self.rule_id}_c{index}")
+            graph.add(rule_node, kind_property[component.family], node)
+            graph.add(node, RDF.type, kind_class[component.family])
+            graph.add(node, ECA_ONTOLOGY.usesLanguage,
+                      URIRef(component.language))
+            graph.add(node, ECA_ONTOLOGY.position,
+                      Literal.from_python(index))
+            if component.bind_to:
+                graph.add(node, ECA_ONTOLOGY.bindsVariable,
+                          Literal(component.bind_to))
+        return graph

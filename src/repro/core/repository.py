@@ -1,0 +1,125 @@
+"""A rule repository: ECA rules stored as Semantic-Web objects.
+
+Section 2 of the paper: *"Rules and their components are objects of the
+Semantic Web, i.e., subject to a generic rule ontology."*  The repository
+makes that operational: rules are persisted into an RDF graph — their
+Fig. 1 component/language structure as triples, their ECA-ML source as a
+literal — and can be queried *semantically* (e.g. "all rules using the
+SNOOP event language") and re-materialized into a running engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rdf import Graph, Literal, RDF, URIRef
+from ..grh.registry import ECA_ONTOLOGY
+from ..xmlmodel import parse, serialize
+from .markup import parse_rule, rule_to_xml
+from .model import ECARule
+
+__all__ = ["RuleRepository", "RepositoryError"]
+
+
+class RepositoryError(ValueError):
+    """Raised for unknown rules or malformed repository state."""
+
+
+def _rule_node(rule_id: str) -> URIRef:
+    return URIRef(f"urn:eca:rule:{rule_id}")
+
+
+class RuleRepository:
+    """Stores and retrieves ECA rules in an RDF graph."""
+
+    def __init__(self, graph: Graph | None = None) -> None:
+        self.graph = graph if graph is not None else Graph()
+        self.graph.bind("eca", str(ECA_ONTOLOGY))
+
+    # -- storing ---------------------------------------------------------------
+
+    def store(self, rule: ECARule | str) -> URIRef:
+        """Persist a rule (ontology triples + ECA-ML source)."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        node = _rule_node(rule.rule_id)
+        if (node, RDF.type, ECA_ONTOLOGY.ECARule) in self.graph:
+            raise RepositoryError(
+                f"rule {rule.rule_id!r} is already stored")
+        for triple in rule.to_rdf():
+            self.graph.add(*triple)
+        source = rule.source if rule.source is not None else rule_to_xml(rule)
+        self.graph.add(node, ECA_ONTOLOGY.sourceMarkup,
+                       Literal(serialize(source)))
+        return node
+
+    def remove(self, rule_id: str) -> bool:
+        """Remove a rule and its component descriptions; False if absent."""
+        node = _rule_node(rule_id)
+        if (node, RDF.type, ECA_ONTOLOGY.ECARule) not in self.graph:
+            return False
+        component_nodes = [obj for _, pred, obj in
+                           self.graph.triples(node, None, None)
+                           if str(pred).startswith(str(ECA_ONTOLOGY))
+                           and not isinstance(obj, Literal)]
+        for triple in list(self.graph.triples(node, None, None)):
+            self.graph.remove(*triple)
+        for component in component_nodes:
+            for triple in list(self.graph.triples(component, None, None)):
+                self.graph.remove(*triple)
+        return True
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def rule_ids(self) -> list[str]:
+        ids = []
+        for node in self.graph.instances_of(ECA_ONTOLOGY.ECARule):
+            value = self.graph.value(node, ECA_ONTOLOGY.ruleId)
+            if isinstance(value, Literal):
+                ids.append(value.lexical)
+        return sorted(ids)
+
+    def load(self, rule_id: str) -> ECARule:
+        """Re-materialize a stored rule from its ECA-ML source."""
+        node = _rule_node(rule_id)
+        source = self.graph.value(node, ECA_ONTOLOGY.sourceMarkup)
+        if not isinstance(source, Literal):
+            raise RepositoryError(f"no stored rule {rule_id!r}")
+        return parse_rule(parse(source.lexical))
+
+    def rules_using_language(self, language_uri: str) -> list[str]:
+        """Semantic query: ids of rules with a component in ``language``.
+
+        This is exactly the kind of introspection the paper's ontology
+        enables: languages are resources, so "which rules depend on
+        service X" is a graph query.
+        """
+        language = URIRef(language_uri)
+        out = set()
+        for component in self.graph.subjects(ECA_ONTOLOGY.usesLanguage,
+                                             language):
+            for rule_node in self._owners_of(component):
+                value = self.graph.value(rule_node, ECA_ONTOLOGY.ruleId)
+                if isinstance(value, Literal):
+                    out.add(value.lexical)
+        return sorted(out)
+
+    def _owners_of(self, component) -> Iterator[URIRef]:
+        for predicate in (ECA_ONTOLOGY.hasEventComponent,
+                          ECA_ONTOLOGY.hasQueryComponent,
+                          ECA_ONTOLOGY.hasTestComponent,
+                          ECA_ONTOLOGY.hasActionComponent):
+            yield from self.graph.subjects(predicate, component)
+
+    # -- engine integration -----------------------------------------------------------
+
+    def register_all(self, engine) -> list[str]:
+        """Load every stored rule into an engine; returns the rule ids."""
+        registered = []
+        for rule_id in self.rule_ids():
+            engine.register_rule(self.load(rule_id))
+            registered.append(rule_id)
+        return registered
+
+    def __len__(self) -> int:
+        return len(self.rule_ids())

@@ -1,0 +1,143 @@
+"""Static validation of the binding-order constraint (Sec. 3).
+
+*"A variable must be bound in the rule, in an earlier
+(Event < Query < Test < Action) or at least the same component as where
+it is used."*  This module checks that constraint at registration time,
+to the extent it is statically determinable:
+
+* the event component's produced variables come from its pattern,
+* opaque components consume exactly their ``{Var}`` placeholders,
+* ``eca:variable`` queries produce their bound variable,
+* test components consume the variables of their expression,
+* action components consume their template placeholders.
+
+LP-style query components (SPARQL/Datalog markup) both produce and
+consume; their variable sets are reported by per-language analyzers.
+When a component's produced set cannot be determined, downstream
+"unbound variable" findings are demoted to non-errors (the component
+might produce anything) — but violations that are provable are rejected
+with :class:`RuleValidationError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..actions import (ActionMarkupError, parse_action_component)
+from ..conditions import TEST_NS, TestExpression, TestSyntaxError
+from ..events import EventMarkupError, parse_event_component
+from ..grh.component import ComponentSpec, opaque_placeholders
+from .model import ECARule
+
+__all__ = ["RuleValidationError", "validate_rule", "component_variables"]
+
+_SPARQL_VAR_RE = re.compile(r"[?$]([A-Za-z_][A-Za-z0-9_]*)")
+_DATALOG_VAR_RE = re.compile(r"\b([A-Z][A-Za-z0-9_]*)\b")
+
+
+class RuleValidationError(ValueError):
+    """The rule provably violates the binding-order constraint."""
+
+
+def component_variables(spec: ComponentSpec) \
+        -> tuple[set[str] | None, set[str]]:
+    """``(produces, consumes)`` for one component; ``None`` = unknown."""
+    if spec.family == "event":
+        try:
+            detector = parse_event_component(spec.content)
+        except EventMarkupError as exc:
+            raise RuleValidationError(
+                f"malformed event component: {exc}") from exc
+        return set(detector.variables()), set()
+
+    if spec.family == "test":
+        if spec.opaque is not None and spec.language == TEST_NS:
+            try:
+                expression = TestExpression(spec.opaque)
+            except TestSyntaxError as exc:
+                raise RuleValidationError(
+                    f"malformed test component: {exc}") from exc
+            return set(), set(expression.variables())
+        if spec.opaque is not None:
+            return set(), opaque_placeholders(spec.opaque)
+        return set(), set()
+
+    if spec.family == "action":
+        if spec.opaque is not None:
+            return set(), opaque_placeholders(spec.opaque)
+        try:
+            action = parse_action_component(spec.content)
+        except ActionMarkupError as exc:
+            raise RuleValidationError(
+                f"malformed action component: {exc}") from exc
+        return set(), action.variables()
+
+    # query components
+    produces: set[str] | None
+    consumes: set[str]
+    if spec.opaque is not None:
+        consumes = opaque_placeholders(spec.opaque)
+        produces = {spec.bind_to} if spec.bind_to else None
+    else:
+        text = spec.content.text()
+        shape = _query_shape(spec)
+        if shape == "sparql":
+            produces = set(_SPARQL_VAR_RE.findall(text))
+            consumes = set()
+        elif shape == "datalog":
+            produces = {name for name in _DATALOG_VAR_RE.findall(text)
+                        if not name.startswith("_")}
+            consumes = set()
+        else:
+            consumes = set()
+            produces = {spec.bind_to} if spec.bind_to else None
+        if spec.bind_to and produces is not None:
+            produces.add(spec.bind_to)
+    return produces, consumes
+
+
+def _query_shape(spec: ComponentSpec) -> str:
+    language = spec.language.lower()
+    if "sparql" in language:
+        return "sparql"
+    if "datalog" in language:
+        return "datalog"
+    return "functional"
+
+
+def validate_rule(rule: ECARule) -> None:
+    """Check the binding-order constraint; raise on provable violations."""
+    produced, _ = component_variables(rule.event)
+    bound: set[str] = set(produced or ())
+    anything_unknown = produced is None
+
+    def check(consumes: set[str], where: str) -> None:
+        missing = consumes - bound
+        if missing and not anything_unknown:
+            raise RuleValidationError(
+                f"variables {sorted(missing)} are used in the {where} "
+                "component but not bound in an earlier component "
+                "(Event < Query < Test < Action, Sec. 3)")
+
+    for index, query in enumerate(rule.queries):
+        produces, consumes = component_variables(query)
+        check(consumes, f"{_ordinal(index + 1)} query")
+        if query.bind_to in bound:
+            raise RuleValidationError(
+                f"eca:variable {query.bind_to!r} is already bound by an "
+                "earlier component")
+        if produces is None:
+            anything_unknown = True
+        else:
+            bound |= produces
+    if rule.test is not None:
+        _, consumes = component_variables(rule.test)
+        check(consumes, "test")
+    for index, action in enumerate(rule.actions):
+        _, consumes = component_variables(action)
+        check(consumes, f"{_ordinal(index + 1)} action")
+
+
+def _ordinal(n: int) -> str:
+    suffix = {1: "st", 2: "nd", 3: "rd"}.get(n if n < 20 else n % 10, "th")
+    return f"{n}{suffix}"

@@ -1,0 +1,21 @@
+"""Datalog: bottom-up deductive rules with stratified negation.
+
+The Logic-Programming query-language family of the paper's Section 3
+("languages match free variables, e.g. Datalog, F-Logic, XPathLog,
+Xcerpt"); its bottom-up bindings-set semantics is the model for the
+global ECA rule semantics.
+"""
+
+from .ast import (Atom, BodyLiteral, Comparison, Const, DatalogError, Program,
+                  Rule, Term, Var)
+from .engine import (DatalogEngine, SafetyError, StratificationError,
+                     evaluate, query)
+from .parser import DatalogSyntaxError, parse_atom, parse_program
+
+__all__ = [
+    "Var", "Const", "Term", "Atom", "BodyLiteral", "Comparison", "Rule",
+    "Program", "DatalogError",
+    "parse_program", "parse_atom", "DatalogSyntaxError",
+    "DatalogEngine", "evaluate", "query", "StratificationError",
+    "SafetyError",
+]

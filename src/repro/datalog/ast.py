@@ -1,0 +1,136 @@
+"""Datalog abstract syntax: terms, atoms, literals, rules, programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Var", "Const", "Term", "Atom", "BodyLiteral", "Comparison",
+           "Rule", "Program", "DatalogError"]
+
+
+class DatalogError(ValueError):
+    """Base class for Datalog parsing/validation/evaluation errors."""
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    value: str | int | float
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"' if not self.value.isidentifier() \
+                else self.value
+        return str(self.value)
+
+
+Term = Var | Const
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    predicate: str
+    arguments: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    @property
+    def signature(self) -> tuple[str, int]:
+        return (self.predicate, self.arity)
+
+    def variables(self) -> set[str]:
+        return {t.name for t in self.arguments if isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(argument) for argument in self.arguments)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class BodyLiteral:
+    """A possibly negated atom in a rule body."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variables(self) -> set[str]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return f"not {self.atom!r}" if self.negated else repr(self.atom)
+
+
+_COMPARATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A builtin comparison between two terms, e.g. ``X < 3``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise DatalogError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> set[str]:
+        return {t.name for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    head: Atom
+    body: tuple[BodyLiteral | Comparison, ...]
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        body = ", ".join(repr(item) for item in self.body)
+        return f"{self.head!r} :- {body}."
+
+
+class Program:
+    """An ordered collection of rules and facts."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self.rules: list[Rule] = list(rules)
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def idb_signatures(self) -> set[tuple[str, int]]:
+        """Signatures defined by at least one rule with a body."""
+        return {rule.head.signature for rule in self.rules if not rule.is_fact}
+
+    def all_signatures(self) -> set[tuple[str, int]]:
+        signatures = {rule.head.signature for rule in self.rules}
+        for rule in self.rules:
+            for item in rule.body:
+                if isinstance(item, BodyLiteral):
+                    signatures.add(item.atom.signature)
+        return signatures
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(rule) for rule in self.rules)

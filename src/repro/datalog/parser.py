@@ -1,0 +1,199 @@
+"""Parser for Datalog programs and queries.
+
+Syntax::
+
+    % facts
+    owns("John Doe", golf).
+    class(golf, "B").
+
+    % rules (body: atoms, negated atoms, comparisons)
+    offer(P, C) :- books(P, Dest), owns(P, Car), class(Car, K),
+                   available(C, Dest), class(C, K), not blacklisted(P).
+
+Variables start with an uppercase letter or ``_``; constants are
+lowercase identifiers, quoted strings or numbers.  ``%`` starts a
+line comment.
+"""
+
+from __future__ import annotations
+
+from .ast import (Atom, BodyLiteral, Comparison, Const, DatalogError, Program,
+                  Rule, Term, Var)
+
+__all__ = ["DatalogSyntaxError", "parse_program", "parse_atom"]
+
+_COMPARATORS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+class DatalogSyntaxError(DatalogError):
+    """Raised on malformed Datalog input."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> DatalogSyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return DatalogSyntaxError(message, line)
+
+    def _skip(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch == "%":
+                end = text.find("\n", self.pos)
+                self.pos = len(text) if end < 0 else end + 1
+            else:
+                return
+
+    @property
+    def eof(self) -> bool:
+        self._skip()
+        return self.pos >= len(self.text)
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expect(self, literal: str) -> None:
+        self._skip()
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _match(self, literal: str) -> bool:
+        self._skip()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def _identifier(self) -> str:
+        self._skip()
+        start = self.pos
+        text = self.text
+        if self.pos < len(text) and (text[self.pos].isalpha()
+                                     or text[self.pos] == "_"):
+            self.pos += 1
+            while self.pos < len(text) and (text[self.pos].isalnum()
+                                            or text[self.pos] == "_"):
+                self.pos += 1
+        if start == self.pos:
+            raise self.error("expected an identifier")
+        return text[start:self.pos]
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self.eof:
+            program.add(self._rule())
+        return program
+
+    def _rule(self) -> Rule:
+        head = self._atom()
+        body: list[BodyLiteral | Comparison] = []
+        if self._match(":-"):
+            body.append(self._body_item())
+            while self._match(","):
+                body.append(self._body_item())
+        self._expect(".")
+        return Rule(head, tuple(body))
+
+    def _body_item(self) -> BodyLiteral | Comparison:
+        self._skip()
+        if self.text.startswith("not", self.pos) and not (
+                self.pos + 3 < len(self.text)
+                and (self.text[self.pos + 3].isalnum()
+                     or self.text[self.pos + 3] == "_")):
+            self.pos += 3
+            return BodyLiteral(self._atom(), negated=True)
+        # lookahead: a term followed by a comparator is a comparison
+        saved = self.pos
+        left = self._term()
+        self._skip()
+        for op in _COMPARATORS:
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                right = self._term()
+                return Comparison(op, left, right)
+        self.pos = saved
+        return BodyLiteral(self._atom())
+
+    def _atom(self) -> Atom:
+        predicate = self._identifier()
+        if predicate[0].isupper():
+            raise self.error(
+                f"predicate names must be lowercase: {predicate!r}")
+        arguments: list[Term] = []
+        self._expect("(")
+        if self._peek() != ")":
+            arguments.append(self._term())
+            while self._match(","):
+                arguments.append(self._term())
+        self._expect(")")
+        return Atom(predicate, tuple(arguments))
+
+    def _term(self) -> Term:
+        ch = self._peek()
+        if ch == '"' or ch == "'":
+            return Const(self._string(ch))
+        if ch.isdigit() or ch == "-":
+            return self._number()
+        name = self._identifier()
+        if name[0].isupper() or name[0] == "_":
+            return Var(name)
+        return Const(name)
+
+    def _string(self, quote: str) -> str:
+        self._expect(quote)
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error("unterminated string")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return value
+
+    def _number(self) -> Const:
+        self._skip()
+        start = self.pos
+        if self.text[self.pos] == "-":
+            self.pos += 1
+        seen_dot = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot and self.pos + 1 < len(self.text) \
+                    and self.text[self.pos + 1].isdigit():
+                seen_dot = True
+                self.pos += 1
+            else:
+                break
+        lexical = self.text[start:self.pos]
+        if lexical in ("", "-"):
+            raise self.error("expected a number")
+        return Const(float(lexical) if seen_dot else int(lexical))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a Datalog program (facts and rules)."""
+    return _Parser(text).parse_program()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. a query goal ``owns("John Doe", Car)``."""
+    parser = _Parser(text)
+    atom = parser._atom()
+    parser._match(".")
+    if not parser.eof:
+        raise parser.error("trailing input after atom")
+    return atom

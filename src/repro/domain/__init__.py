@@ -1,0 +1,18 @@
+"""Application domains (Fig. 2's bottom layer): travel / car-rental."""
+
+from .travel import (CAR_RENTAL_RULE, FLEET_NS, TRAVEL_NS, booking_event,
+                     cancellation_event, classes_document,
+                     delayed_flight_event, fleet_document, fleet_graph,
+                     persons_document)
+from .workload import (CLASS_NAMES, WorkloadConfig, booking_payloads,
+                       full_pipeline_rule_markup, simple_rule_markup,
+                       synthetic_classes, synthetic_fleet, synthetic_persons)
+
+__all__ = [
+    "TRAVEL_NS", "FLEET_NS", "CAR_RENTAL_RULE",
+    "booking_event", "delayed_flight_event", "cancellation_event",
+    "persons_document", "classes_document", "fleet_document", "fleet_graph",
+    "WorkloadConfig", "synthetic_persons", "synthetic_classes",
+    "synthetic_fleet", "booking_payloads", "simple_rule_markup",
+    "full_pipeline_rule_markup", "CLASS_NAMES",
+]

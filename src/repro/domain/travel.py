@@ -1,0 +1,176 @@
+"""The travel / car-rental application domain of the running example.
+
+Provides the exact world of Figs. 4–11: John Doe owns a Golf (class B)
+and a Passat (class C) at home; the rental fleet at the destination
+Paris offers cars of classes B and D; when he books a flight to Paris he
+must be offered exactly the class-B car.
+
+The data lives in three places — mirroring the paper's architecture,
+where each query component contacts a *different* autonomous node:
+
+* ``persons.xml``   — persons and the cars they own (queried via the
+  framework-aware XQ-lite node, Fig. 8),
+* ``classes.xml``   — the model → class mapping (queried via the
+  framework-UNaware eXist-like node, Fig. 9),
+* ``fleet.xml``     — rental cars and their locations (queried with a
+  log:answers-generating query, Fig. 10),
+* ``fleet`` (RDF)   — the same fleet as triples, for the SPARQL variant.
+"""
+
+from __future__ import annotations
+
+from ..rdf import Graph, parse_turtle
+from ..xmlmodel import Element, QName, parse
+
+__all__ = ["TRAVEL_NS", "FLEET_NS", "booking_event", "persons_document",
+           "classes_document", "fleet_document", "fleet_graph",
+           "CAR_RENTAL_RULE", "delayed_flight_event", "cancellation_event"]
+
+TRAVEL_NS = "http://www.semwebtech.org/domains/2006/travel"
+FLEET_NS = "http://example.org/fleet#"
+
+
+def booking_event(person: str = "John Doe", origin: str = "Munich",
+                  destination: str = "Paris") -> Element:
+    """``<travel:booking person="John Doe" from="Munich" to="Paris"/>``
+    — the triggering event of Fig. 6."""
+    return Element(QName(TRAVEL_NS, "booking"),
+                   {QName(None, "person"): person,
+                    QName(None, "from"): origin,
+                    QName(None, "to"): destination},
+                   nsdecls={"travel": TRAVEL_NS})
+
+
+def delayed_flight_event(flight: str, person: str,
+                         minutes: int = 60) -> Element:
+    """A delayed-flight event (the domain-ontology example of Sec. 2)."""
+    return Element(QName(TRAVEL_NS, "delayed"),
+                   {QName(None, "flight"): flight,
+                    QName(None, "person"): person,
+                    QName(None, "minutes"): str(minutes)},
+                   nsdecls={"travel": TRAVEL_NS})
+
+
+def cancellation_event(person: str, destination: str) -> Element:
+    return Element(QName(TRAVEL_NS, "cancellation"),
+                   {QName(None, "person"): person,
+                    QName(None, "to"): destination},
+                   nsdecls={"travel": TRAVEL_NS})
+
+
+def persons_document() -> Element:
+    """Persons and their own cars (the Fig. 7/8 data source)."""
+    return parse("""
+<persons>
+  <person name="John Doe" home="Munich">
+    <car><model>Golf</model></car>
+    <car><model>Passat</model></car>
+  </person>
+  <person name="Jane Roe" home="Berlin">
+    <car><model>Clio</model></car>
+  </person>
+  <person name="Max Power" home="Hamburg"/>
+</persons>
+""")
+
+
+def classes_document() -> Element:
+    """Car model → class mapping (the Fig. 9 eXist database)."""
+    return parse("""
+<classes>
+  <entry model="Clio" class="A"/>
+  <entry model="Golf" class="B"/>
+  <entry model="Polo" class="B"/>
+  <entry model="Passat" class="C"/>
+  <entry model="Laguna" class="C"/>
+  <entry model="Espace" class="D"/>
+</classes>
+""")
+
+
+def fleet_document() -> Element:
+    """Rental cars and their current locations (the Fig. 10 source)."""
+    return parse("""
+<fleet>
+  <car id="f1" model="Polo" class="B" location="Paris"/>
+  <car id="f2" model="Espace" class="D" location="Paris"/>
+  <car id="f3" model="Golf" class="B" location="Rome"/>
+  <car id="f4" model="Laguna" class="C" location="Rome"/>
+</fleet>
+""")
+
+
+def fleet_graph() -> Graph:
+    """The rental fleet as RDF (for the SPARQL query variant)."""
+    return parse_turtle(f"""
+@prefix fleet: <{FLEET_NS}> .
+
+fleet:f1 a fleet:RentalCar ; fleet:model "Polo" ;
+    fleet:carClass "B" ; fleet:location "Paris" .
+fleet:f2 a fleet:RentalCar ; fleet:model "Espace" ;
+    fleet:carClass "D" ; fleet:location "Paris" .
+fleet:f3 a fleet:RentalCar ; fleet:model "Golf" ;
+    fleet:carClass "B" ; fleet:location "Rome" .
+fleet:f4 a fleet:RentalCar ; fleet:model "Laguna" ;
+    fleet:carClass "C" ; fleet:location "Rome" .
+""")
+
+
+#: The sample rule of Fig. 4, in ECA-ML.  When a customer books a flight,
+#: cars similar in size to their own cars are offered at the destination.
+CAR_RENTAL_RULE = f"""
+<eca:rule xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"
+          id="car-rental-offer">
+  <!-- detect a booking by a person (Fig. 5/6) -->
+  <eca:event>
+    <travel:booking xmlns:travel="{TRAVEL_NS}"
+                    person="{{Person}}" from="{{From}}" to="{{To}}"/>
+  </eca:event>
+
+  <!-- query the person's own cars: framework-aware XQ-lite node (Fig. 8) -->
+  <eca:variable name="OwnCar">
+    <eca:query>
+      <xq:xquery xmlns:xq="http://www.semwebtech.org/languages/2006/xquery-lite">
+        for $c in doc('persons.xml')//person[@name = $Person]/car
+        return $c/model/text()
+      </xq:xquery>
+    </eca:query>
+  </eca:variable>
+
+  <!-- map the cars to their classes: framework-UNaware node (Fig. 9) -->
+  <eca:variable name="Class">
+    <eca:query>
+      <eca:opaque language="exist-like">
+        doc('classes.xml')//entry[@model = '{{OwnCar}}']/@class
+      </eca:opaque>
+    </eca:query>
+  </eca:variable>
+
+  <!-- cars available at the destination: a query that generates the
+       log:answers structure itself, faking a framework-aware service
+       (Fig. 10) -->
+  <eca:query>
+    <eca:opaque language="exist-like">
+      &lt;log:answers xmlns:log="http://www.semwebtech.org/languages/2006/log"&gt; {{
+        for $c in doc('fleet.xml')//car[@location = '{{To}}']
+        return &lt;log:answer&gt;
+          &lt;log:variable name="Avail"&gt;{{ $c/@model }}&lt;/log:variable&gt;
+          &lt;log:variable name="Class"&gt;{{ $c/@class }}&lt;/log:variable&gt;
+        &lt;/log:answer&gt; }}
+      &lt;/log:answers&gt;
+    </eca:opaque>
+  </eca:query>
+
+  <!-- the test component is empty in the example (Sec. 4.5) -->
+
+  <!-- inform the customer about suitable cars, once per tuple -->
+  <eca:action>
+    <act:send xmlns:act="http://www.semwebtech.org/languages/2006/actions"
+              to="customer-notifications">
+      <travel:offer xmlns:travel="{TRAVEL_NS}"
+                    person="{{Person}}" destination="{{To}}"
+                    car="{{Avail}}" class="{{Class}}"/>
+    </act:send>
+  </eca:action>
+</eca:rule>
+"""

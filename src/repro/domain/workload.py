@@ -1,0 +1,160 @@
+"""Synthetic workload generation for the benchmark harness.
+
+The paper evaluates nothing quantitatively, so the benchmarks in
+``benchmarks/`` characterize the engine on synthetic workloads scaled
+from the running example: many persons, many cars, many rules, long
+event streams.  All generators take an explicit ``seed`` so benchmark
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..actions import ACTION_NS
+from ..xmlmodel import E, ECA_NS, Element, QName
+from .travel import TRAVEL_NS
+
+__all__ = ["WorkloadConfig", "synthetic_persons", "synthetic_classes",
+           "synthetic_fleet", "booking_payloads", "simple_rule_markup",
+           "full_pipeline_rule_markup", "CLASS_NAMES"]
+
+CLASS_NAMES = ["A", "B", "C", "D", "E", "F"]
+
+_FIRST = ["John", "Jane", "Max", "Mia", "Ada", "Alan", "Grace", "Edsger"]
+_LAST = ["Doe", "Roe", "Power", "Wall", "Byron", "Turing", "Hopper",
+         "Dijkstra"]
+_MODELS = ["Golf", "Passat", "Polo", "Clio", "Laguna", "Espace", "Corsa",
+           "Astra", "Focus", "Fiesta", "Panda", "Punto"]
+_CITIES = ["Paris", "Rome", "Munich", "Berlin", "Lisbon", "Vienna", "Oslo",
+           "Madrid"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of a synthetic travel-domain workload."""
+
+    persons: int = 100
+    cars_per_person: int = 2
+    fleet_size: int = 50
+    cities: int = 4
+    seed: int = 2006
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def _person_name(index: int) -> str:
+    return (f"{_FIRST[index % len(_FIRST)]} "
+            f"{_LAST[(index // len(_FIRST)) % len(_LAST)]} {index}")
+
+
+def synthetic_persons(config: WorkloadConfig) -> Element:
+    """A ``persons.xml`` with ``config.persons`` owners."""
+    rng = config.rng()
+    root = E("persons")
+    for index in range(config.persons):
+        person = E("person", {"name": _person_name(index),
+                              "home": rng.choice(_CITIES[:config.cities])})
+        for _ in range(config.cars_per_person):
+            car = E("car")
+            car.append(E("model", None, rng.choice(_MODELS)))
+            person.append(car)
+        root.append(person)
+    return root
+
+
+def synthetic_classes() -> Element:
+    """The model → class mapping for all synthetic models."""
+    root = E("classes")
+    for index, model in enumerate(_MODELS):
+        root.append(E("entry", {"model": model,
+                                "class": CLASS_NAMES[index % len(CLASS_NAMES)]}))
+    return root
+
+
+def synthetic_fleet(config: WorkloadConfig) -> Element:
+    """A rental fleet spread over the configured cities."""
+    rng = config.rng()
+    root = E("fleet")
+    for index in range(config.fleet_size):
+        model = rng.choice(_MODELS)
+        root.append(E("car", {
+            "id": f"f{index}",
+            "model": model,
+            "class": CLASS_NAMES[_MODELS.index(model) % len(CLASS_NAMES)],
+            "location": rng.choice(_CITIES[:config.cities]),
+        }))
+    return root
+
+
+def booking_payloads(config: WorkloadConfig, count: int) -> list[Element]:
+    """``count`` booking events by random persons to random cities."""
+    rng = config.rng()
+    out = []
+    for _ in range(count):
+        person = _person_name(rng.randrange(config.persons))
+        out.append(Element(
+            QName(TRAVEL_NS, "booking"),
+            {QName(None, "person"): person,
+             QName(None, "from"): rng.choice(_CITIES[:config.cities]),
+             QName(None, "to"): rng.choice(_CITIES[:config.cities])},
+            nsdecls={"travel": TRAVEL_NS}))
+    return out
+
+
+def simple_rule_markup(rule_id: str, event_name: str = "booking") -> str:
+    """A minimal E→A rule (atomic event, one send action)."""
+    return f"""
+    <eca:rule xmlns:eca="{ECA_NS}" id="{rule_id}">
+      <eca:event>
+        <travel:{event_name} xmlns:travel="{TRAVEL_NS}"
+                             person="{{Person}}" to="{{To}}"/>
+      </eca:event>
+      <eca:action>
+        <act:send xmlns:act="{ACTION_NS}" to="sink">
+          <seen person="{{Person}}"/>
+        </act:send>
+      </eca:action>
+    </eca:rule>
+    """
+
+
+def full_pipeline_rule_markup(rule_id: str) -> str:
+    """The complete Fig. 4 pipeline against the synthetic documents."""
+    return f"""
+    <eca:rule xmlns:eca="{ECA_NS}" id="{rule_id}">
+      <eca:event>
+        <travel:booking xmlns:travel="{TRAVEL_NS}"
+                        person="{{Person}}" to="{{To}}"/>
+      </eca:event>
+      <eca:variable name="OwnCar">
+        <eca:query>
+          <xq:xquery xmlns:xq="http://www.semwebtech.org/languages/2006/xquery-lite">
+            for $c in doc('persons.xml')//person[@name = $Person]/car
+            return $c/model/text()
+          </xq:xquery>
+        </eca:query>
+      </eca:variable>
+      <eca:variable name="Class">
+        <eca:query>
+          <eca:opaque language="exist-like">
+            doc('classes.xml')//entry[@model = '{{OwnCar}}']/@class
+          </eca:opaque>
+        </eca:query>
+      </eca:variable>
+      <eca:variable name="Avail">
+        <eca:query>
+          <eca:opaque language="exist-like">
+            doc('fleet.xml')//car[@location = '{{To}}'][@class = '{{Class}}']/@model
+          </eca:opaque>
+        </eca:query>
+      </eca:variable>
+      <eca:action>
+        <act:send xmlns:act="{ACTION_NS}" to="offers">
+          <offer person="{{Person}}" car="{{Avail}}"/>
+        </act:send>
+      </eca:action>
+    </eca:rule>
+    """

@@ -1,0 +1,27 @@
+"""Events: model, atomic matching, SNOOP algebra, XChange-style queries.
+
+The event-component substrate of the framework: heterogeneous event
+languages producing occurrences that carry relations of variable bindings
+(Sec. 3/4.2 of the paper).
+"""
+
+from .atomic import AtomicPattern, PatternError
+from .base import Event, EventStream, Occurrence
+from .markup import (ATOMIC_NS, EventMarkupError, SNOOP_NS, XCHANGE_NS,
+                     parse_atomic, parse_event_component, parse_snoop,
+                     parse_xchange)
+from .snoop import (And, Any, Aperiodic, AperiodicCumulative, Atomic,
+                    CONTEXTS, Detector, Not, Or, Periodic, Seq, SnoopError)
+from .xchange import (AndQuery, EventQuery, OrQuery, PatternQuery, SeqQuery,
+                      WithoutQuery, XChangeError)
+
+__all__ = [
+    "Event", "EventStream", "Occurrence",
+    "AtomicPattern", "PatternError",
+    "Detector", "Atomic", "Or", "And", "Seq", "Any", "Not", "Aperiodic",
+    "AperiodicCumulative", "Periodic", "CONTEXTS", "SnoopError",
+    "EventQuery", "PatternQuery", "AndQuery", "OrQuery", "SeqQuery",
+    "WithoutQuery", "XChangeError",
+    "parse_event_component", "parse_snoop", "parse_xchange", "parse_atomic",
+    "SNOOP_NS", "XCHANGE_NS", "ATOMIC_NS", "EventMarkupError",
+]

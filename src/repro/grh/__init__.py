@@ -1,0 +1,22 @@
+"""The Generic Request Handler layer (Sec. 4.4): registry, messages,
+component specs and the mediator itself."""
+
+from .component import ComponentSpec, opaque_placeholders
+from .handler import GenericRequestHandler, GRHError
+from .messages import (Detection, MessageError, REQUEST_KINDS, Request,
+                       detection_to_xml, error_message, error_text, is_error,
+                       ok_message, request_to_xml, xml_to_detection,
+                       xml_to_request)
+from .registry import (ECA_ONTOLOGY, FAMILIES, LanguageDescriptor,
+                       LanguageRegistry, RegistryError)
+
+__all__ = [
+    "GenericRequestHandler", "GRHError",
+    "ComponentSpec", "opaque_placeholders",
+    "LanguageDescriptor", "LanguageRegistry", "RegistryError", "FAMILIES",
+    "ECA_ONTOLOGY",
+    "Request", "Detection", "MessageError", "REQUEST_KINDS",
+    "request_to_xml", "xml_to_request", "detection_to_xml",
+    "xml_to_detection", "ok_message", "error_message", "is_error",
+    "error_text",
+]

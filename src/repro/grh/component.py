@@ -1,0 +1,51 @@
+"""Component specifications — the unit of work the GRH dispatches on.
+
+A rule component, as the GRH sees it: its family, the URI of its
+language, and either language markup (``content``) or an opaque string
+(``opaque``, Sec. 4.3).  ``bind_to`` is set when the component was
+wrapped in ``<eca:variable name=...>`` — the functional-result binding of
+Sec. 3/Fig. 8.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..xmlmodel import Element
+
+__all__ = ["ComponentSpec", "opaque_placeholders"]
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def opaque_placeholders(text: str) -> set[str]:
+    """The ``{Var}`` input variables of an opaque component (Fig. 9:
+    "Variables in the query string are replaced by their values")."""
+    return set(_PLACEHOLDER_RE.findall(text))
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One rule component, ready for dispatch."""
+
+    family: str                  # 'event' | 'query' | 'test' | 'action'
+    language: str                # language URI (resolved for opaque too)
+    content: Element | None = None
+    opaque: str | None = None
+    bind_to: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.content is None) == (self.opaque is None):
+            raise ValueError(
+                "a component carries either markup content or opaque text")
+
+    @property
+    def is_opaque(self) -> bool:
+        return self.opaque is not None
+
+    def consumed_variables(self) -> set[str] | None:
+        """Input variables, when statically determinable (opaque only)."""
+        if self.opaque is not None:
+            return opaque_placeholders(self.opaque)
+        return None

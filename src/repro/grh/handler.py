@@ -1,0 +1,328 @@
+"""The Generic Request Handler (Sec. 4.4 of the paper).
+
+The GRH "acts as a mediator for dealing with remote services.  It
+inspects the namespace declaration of the components (or the language
+attribute in case of opaque fragments) for determining an appropriate
+language processor and forwards the request to it in an appropriate
+form."  Concretely:
+
+* **framework-aware** services receive the component together with the
+  input variable bindings as one ``log:request`` and answer with
+  ``log:answers`` (Fig. 8);
+* **framework-unaware** services receive one plain query string *per
+  input tuple*, with ``{Var}`` placeholders substituted by the tuple's
+  values; the GRH binds each raw result to the surrounding
+  ``eca:variable`` (Fig. 9);
+* a framework-unaware service whose query happens to *generate*
+  ``log:answers`` markup ("faking" a framework-aware service, Fig. 10)
+  is recognized by the shape of its response and treated accordingly.
+
+The GRH also relays event detections from event services back to the ECA
+engine (Fig. 6 (1)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..bindings import (Binding, BindingError, Relation, answer_to_binding,
+                        answers_to_relation, results_from_answer,
+                        value_to_text)
+from ..xmlmodel import Element, LOG_NS, QName, XMLSyntaxError, parse
+from .component import ComponentSpec
+from .messages import (Detection, MessageError, Request, detection_to_xml,
+                       error_text, is_error, request_to_xml, xml_to_detection)
+from .registry import LanguageDescriptor, LanguageRegistry, RegistryError
+
+__all__ = ["GenericRequestHandler", "GRHError"]
+
+_ANSWERS = QName(LOG_NS, "answers")
+_ANSWER = QName(LOG_NS, "answer")
+
+
+class GRHError(RuntimeError):
+    """Raised when mediation fails (unknown language, service error...)."""
+
+
+class GenericRequestHandler:
+    """Mediator between the ECA engine and component-language services."""
+
+    def __init__(self, registry: LanguageRegistry, transport,
+                 cache_opaque_requests: bool = False) -> None:
+        self.registry = registry
+        self.transport = transport
+        self._detection_callbacks: list[Callable[[Detection], None]] = []
+        self._endpoints: dict[str, str] = {}
+        self.request_count = 0
+        #: Memoize identical substituted queries to unaware services.
+        #: Off by default: it assumes the remote data does not change
+        #: within a rule evaluation (safe for the per-instance lifetime,
+        #: but the cache lives for the GRH's lifetime — enable only for
+        #: effectively read-only sources).
+        self.cache_opaque_requests = cache_opaque_requests
+        self._opaque_cache: dict[tuple[str, str], str] = {}
+        self.cache_hits = 0
+
+    def clear_opaque_cache(self) -> None:
+        self._opaque_cache.clear()
+
+    # -- service-side wiring -------------------------------------------------
+
+    def add_service(self, descriptor: LanguageDescriptor, service) -> None:
+        """Register a language and bind its service to the transport.
+
+        ``service`` exposes ``handle(request_element) -> response_element``
+        for framework-aware languages, or ``execute(query_text) -> str``
+        for framework-unaware ones.
+        """
+        self.registry.register(descriptor)
+        address = descriptor.endpoint or f"svc:{descriptor.name}"
+        if descriptor.framework_aware:
+            self.transport.bind(address, service.handle)
+        else:
+            self.transport.bind_opaque(address, service.execute)
+        self._endpoints[descriptor.uri] = address
+
+    def add_remote_language(self, descriptor: LanguageDescriptor,
+                            address: str | None = None) -> None:
+        """Register a language whose service is already reachable at an
+        address (e.g. an HTTP URL) without binding anything locally."""
+        self.registry.register(descriptor)
+        endpoint = address or descriptor.endpoint
+        if endpoint is None:
+            raise GRHError(f"no endpoint known for {descriptor.name!r}")
+        self._endpoints[descriptor.uri] = endpoint
+
+    def _address_of(self, descriptor: LanguageDescriptor) -> str:
+        address = self._endpoints.get(descriptor.uri) or descriptor.endpoint
+        if address is None:
+            raise GRHError(
+                f"language {descriptor.name!r} has no service endpoint")
+        return address
+
+    def notify(self, detection_xml: Element) -> None:
+        """Entry point for event services signalling a detection."""
+        detection = xml_to_detection(detection_xml)
+        for callback in self._detection_callbacks:
+            callback(detection)
+
+    def on_detection(self, callback: Callable[[Detection], None]) -> None:
+        """The ECA engine subscribes to detections here."""
+        self._detection_callbacks.append(callback)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _descriptor_for(self, spec: ComponentSpec) -> LanguageDescriptor:
+        # namespace URI for markup components; opaque components may name
+        # their language with a plain ``language="name"`` attribute
+        try:
+            return self.registry.lookup(spec.language)
+        except RegistryError:
+            pass
+        try:
+            return self.registry.lookup_by_name(spec.language)
+        except RegistryError as exc:
+            raise GRHError(str(exc)) from exc
+
+    def _send(self, descriptor: LanguageDescriptor,
+              request: Request) -> Element:
+        self.request_count += 1
+        try:
+            response = self.transport.send(self._address_of(descriptor),
+                                           request_to_xml(request))
+        except GRHError:
+            raise
+        except Exception as exc:
+            # a crash on the other side of the transport is a service
+            # failure, reported like any other mediation error
+            raise GRHError(f"service {descriptor.name!r} unreachable or "
+                           f"crashed: {exc}") from exc
+        if is_error(response):
+            raise GRHError(f"service {descriptor.name!r} reported: "
+                           f"{error_text(response)}")
+        return response
+
+    # -- event components (Figs. 5/6) ---------------------------------------------------
+
+    def register_event_component(self, component_id: str,
+                                 spec: ComponentSpec) -> None:
+        if spec.family != "event":
+            raise GRHError("not an event component")
+        if spec.content is None:
+            raise GRHError("event components cannot be opaque")
+        descriptor = self._descriptor_for(spec)
+        self._send(descriptor, Request("register-event", component_id,
+                                       spec.content, Relation.unit()))
+
+    def unregister_event_component(self, component_id: str,
+                                   spec: ComponentSpec) -> None:
+        descriptor = self._descriptor_for(spec)
+        self._send(descriptor, Request("unregister-event", component_id,
+                                       spec.content, Relation.unit()))
+
+    # -- query components (Figs. 7-10) ----------------------------------------------------
+
+    def evaluate_query(self, component_id: str, spec: ComponentSpec,
+                       bindings: Relation) -> Relation:
+        """Evaluate one query component against its language service.
+
+        Returns the *contribution* relation; the engine joins it with the
+        rule instance's current bindings.
+        """
+        descriptor = self._descriptor_for(spec)
+        if not descriptor.framework_aware:
+            return self._evaluate_unaware(descriptor, spec, bindings)
+        content = spec.content if spec.content is not None \
+            else _opaque_element(spec)
+        response = self._send(descriptor, Request("query", component_id,
+                                                  content, bindings))
+        return self._relation_from_answers(response, spec)
+
+    def _relation_from_answers(self, response: Element,
+                               spec: ComponentSpec) -> Relation:
+        if response.name != _ANSWERS:
+            raise GRHError(
+                f"query service answered {response.name.clark}, expected "
+                "log:answers")
+        if spec.bind_to is None:
+            try:
+                return answers_to_relation(response)
+            except Exception as exc:
+                raise GRHError(f"malformed answers: {exc}") from exc
+        tuples: list[Binding] = []
+        for answer in response.findall(_ANSWER):
+            try:
+                base = answer_to_binding(answer)
+                results = results_from_answer(answer)
+            except Exception as exc:
+                raise GRHError(f"malformed answer: {exc}") from exc
+            for result in results:
+                try:
+                    tuples.append(base.extended(spec.bind_to, result))
+                except BindingError:
+                    continue  # inconsistent with an existing binding: drop
+        return Relation(tuples)
+
+    def _evaluate_unaware(self, descriptor: LanguageDescriptor,
+                          spec: ComponentSpec,
+                          bindings: Relation) -> Relation:
+        """Fig. 9: one plain request per input tuple, values substituted."""
+        if spec.opaque is None:
+            raise GRHError(
+                f"language {descriptor.name!r} is framework-unaware; its "
+                "components must be opaque")
+        out: list[Binding] = []
+        address = self._address_of(descriptor)
+        for binding in bindings:
+            query = _substitute(spec.opaque, binding)
+            if self.cache_opaque_requests:
+                key = (address, query)
+                if key in self._opaque_cache:
+                    self.cache_hits += 1
+                    raw = self._opaque_cache[key]
+                else:
+                    self.request_count += 1
+                    raw = self._fetch(descriptor, address, query)
+                    self._opaque_cache[key] = raw
+            else:
+                self.request_count += 1
+                raw = self._fetch(descriptor, address, query)
+            out.extend(self._bind_raw_results(raw, binding, spec))
+        return Relation(out)
+
+    def _fetch(self, descriptor: LanguageDescriptor, address: str,
+               query: str) -> str:
+        try:
+            return self.transport.fetch(address, query)
+        except Exception as exc:
+            raise GRHError(f"service {descriptor.name!r} unreachable or "
+                           f"crashed: {exc}") from exc
+
+    def _bind_raw_results(self, raw: str, binding: Binding,
+                          spec: ComponentSpec) -> list[Binding]:
+        raw = raw.strip()
+        parsed: Element | None = None
+        if raw.startswith("<"):
+            try:
+                parsed = parse(f"<log:results xmlns:log='{LOG_NS}'>"
+                               f"{raw}</log:results>")
+            except XMLSyntaxError as exc:
+                raise GRHError(f"unparseable service response: {exc}") from exc
+        if parsed is not None:
+            children = list(parsed.elements())
+            # Fig. 10: the query generated a log:answers structure itself
+            if len(children) == 1 and children[0].name == _ANSWERS:
+                faked = self._relation_from_answers(children[0], spec)
+                return [binding.merged(other) for other in faked
+                        if binding.compatible(other)]
+            if spec.bind_to is None:
+                raise GRHError(
+                    "framework-unaware results need an eca:variable wrapper "
+                    "(or a log:answers-shaped response)")
+            values = [child.copy() for child in children]
+            if not children and parsed.text().strip():
+                values = [parsed.text().strip()]
+        else:
+            if spec.bind_to is None:
+                raise GRHError(
+                    "framework-unaware results need an eca:variable wrapper")
+            values = [line for line in (raw.splitlines() or [])
+                      if line.strip()]
+        out = []
+        for value in values:
+            try:
+                out.append(binding.extended(spec.bind_to, value))
+            except BindingError:
+                continue
+        return out
+
+    # -- test components ---------------------------------------------------------------------
+
+    def evaluate_test(self, component_id: str, spec: ComponentSpec,
+                      bindings: Relation) -> Relation:
+        """Delegate a test component to its service; returns survivors."""
+        descriptor = self._descriptor_for(spec)
+        content = spec.content if spec.content is not None \
+            else _opaque_element(spec)
+        response = self._send(descriptor, Request("test", component_id,
+                                                  content, bindings))
+        if response.name != _ANSWERS:
+            raise GRHError("test service must answer log:answers")
+        return answers_to_relation(response)
+
+    # -- action components (Sec. 4.5) ------------------------------------------------------------
+
+    def execute_action(self, component_id: str, spec: ComponentSpec,
+                       bindings: Relation) -> int:
+        """Execute the action once per tuple; returns the execution count."""
+        descriptor = self._descriptor_for(spec)
+        content = spec.content if spec.content is not None \
+            else _opaque_element(spec)
+        count = 0
+        for binding in bindings:
+            self._send(descriptor, Request("action", component_id, content,
+                                           Relation([binding])))
+            count += 1
+        return count
+
+
+def _opaque_element(spec: ComponentSpec) -> Element:
+    """Wrap opaque text for transmission to a framework-aware service."""
+    from ..xmlmodel import ECA_NS, Text
+    element = Element(QName(ECA_NS, "opaque"),
+                      {QName(None, "language"): spec.language})
+    element.append(Text(spec.opaque or ""))
+    return element
+
+
+def _substitute(text: str, binding: Binding) -> str:
+    from .component import _PLACEHOLDER_RE
+
+    def replace(match):
+        name = match.group(1)
+        if name not in binding:
+            raise GRHError(f"opaque component uses unbound variable "
+                           f"{name!r}")
+        return value_to_text(binding[name])
+
+    return _PLACEHOLDER_RE.sub(replace, text)

@@ -1,0 +1,174 @@
+"""The request/answer message vocabulary of the framework.
+
+All communication between the ECA engine, the Generic Request Handler and
+the component-language services is XML (Figs. 5–9).  Four message kinds:
+
+* ``log:request`` — engine → service: register/unregister an event
+  component, evaluate a query, execute an action.  Carries the component
+  content and the relevant input variable bindings.
+* ``log:answers`` — service → engine: tuples of variable bindings
+  (defined in :mod:`repro.bindings.markup`).
+* ``log:detection`` — event service → engine: an event component matched;
+  carries the component id, the occurrence interval and the bindings.
+* ``log:ok`` / ``log:error`` — acknowledgements.
+
+Messages are plain elements; transports serialize them (the in-process
+broker can optionally skip serialization, the HTTP transport cannot —
+DESIGN.md §5 requires identical bytes either way, which the tests check
+via canonicalization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bindings import (MarkupError, Relation, answers_to_relation,
+                        relation_to_answers)
+from ..xmlmodel import Element, LOG_NS, QName, Text
+
+__all__ = ["Request", "Detection", "request_to_xml", "xml_to_request",
+           "detection_to_xml", "xml_to_detection", "ok_message",
+           "error_message", "is_error", "error_text", "MessageError",
+           "REQUEST_KINDS"]
+
+REQUEST_KINDS = ("register-event", "unregister-event", "query", "action",
+                 "test")
+
+_REQUEST = QName(LOG_NS, "request")
+_COMPONENT = QName(LOG_NS, "component")
+_ANSWERS = QName(LOG_NS, "answers")
+_DETECTION = QName(LOG_NS, "detection")
+_EVENTS = QName(LOG_NS, "events")
+_OK = QName(LOG_NS, "ok")
+_ERROR = QName(LOG_NS, "error")
+
+
+class MessageError(ValueError):
+    """Raised on malformed protocol messages."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request from the engine/GRH to a component service."""
+
+    kind: str
+    component_id: str
+    content: Element | None
+    bindings: Relation
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise MessageError(f"unknown request kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Detection:
+    """An event-component detection signalled back to the engine.
+
+    Besides the bindings, the message carries "the event sequence that
+    matched the pattern" (Fig. 6 (1)) as the constituent payloads.
+    """
+
+    component_id: str
+    start: float
+    end: float
+    bindings: Relation
+    events: tuple[Element, ...] = ()
+
+
+def request_to_xml(request: Request) -> Element:
+    element = Element(_REQUEST, {QName(None, "kind"): request.kind,
+                                 QName(None, "id"): request.component_id},
+                      nsdecls={"log": LOG_NS})
+    if request.content is not None:
+        wrapper = Element(_COMPONENT)
+        wrapper.append(request.content.copy())
+        element.append(wrapper)
+    element.append(relation_to_answers(request.bindings))
+    return element
+
+
+def xml_to_request(element: Element) -> Request:
+    if element.name != _REQUEST:
+        raise MessageError(f"expected log:request, got {element.name.clark}")
+    kind = element.get("kind")
+    component_id = element.get("id")
+    if not kind or not component_id:
+        raise MessageError("log:request needs kind and id attributes")
+    wrapper = element.find(_COMPONENT)
+    content = None
+    if wrapper is not None:
+        inner = list(wrapper.elements())
+        if len(inner) != 1:
+            raise MessageError("log:component must hold exactly one element")
+        content = inner[0].copy()
+    answers = element.find(_ANSWERS)
+    try:
+        bindings = (answers_to_relation(answers) if answers is not None
+                    else Relation.unit())
+        return Request(kind, component_id, content, bindings)
+    except MarkupError as exc:
+        raise MessageError(str(exc)) from exc
+
+
+def detection_to_xml(detection: Detection) -> Element:
+    element = Element(_DETECTION,
+                      {QName(None, "id"): detection.component_id,
+                       QName(None, "start"): _number(detection.start),
+                       QName(None, "end"): _number(detection.end)},
+                      nsdecls={"log": LOG_NS})
+    element.append(relation_to_answers(detection.bindings))
+    if detection.events:
+        wrapper = Element(_EVENTS)
+        for payload in detection.events:
+            wrapper.append(payload.copy())
+        element.append(wrapper)
+    return element
+
+
+def xml_to_detection(element: Element) -> Detection:
+    if element.name != _DETECTION:
+        raise MessageError(
+            f"expected log:detection, got {element.name.clark}")
+    component_id = element.get("id")
+    if not component_id:
+        raise MessageError("log:detection needs an id attribute")
+    answers = element.find(_ANSWERS)
+    if answers is None:
+        raise MessageError("log:detection needs log:answers content")
+    try:
+        bindings = answers_to_relation(answers)
+    except MarkupError as exc:
+        raise MessageError(str(exc)) from exc
+    try:
+        start = float(element.get("start", "0"))
+        end = float(element.get("end", "0"))
+    except ValueError as exc:
+        raise MessageError("invalid detection interval") from exc
+    events_wrapper = element.find(_EVENTS)
+    events: tuple[Element, ...] = ()
+    if events_wrapper is not None:
+        events = tuple(child.copy() for child in events_wrapper.elements())
+    return Detection(component_id, start, end, bindings, events)
+
+
+def _number(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def ok_message() -> Element:
+    return Element(_OK, nsdecls={"log": LOG_NS})
+
+
+def error_message(text: str) -> Element:
+    element = Element(_ERROR, nsdecls={"log": LOG_NS})
+    element.append(Text(text))
+    return element
+
+
+def is_error(element: Element) -> bool:
+    return element.name == _ERROR
+
+
+def error_text(element: Element) -> str:
+    return element.text()

@@ -1,0 +1,152 @@
+"""An indexed RDF triple store.
+
+Three hash indexes (SPO, POS, OSP) give constant-time-per-result pattern
+matching for any combination of bound positions — the workhorse behind
+the SPARQL-subset evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .terms import BNode, Literal, RDF, Term, URIRef
+
+__all__ = ["Graph", "Triple"]
+
+Triple = tuple[Term, Term, Term]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[Term, set[Term]]] = {}
+        self._pos: dict[Term, dict[Term, set[Term]]] = {}
+        self._osp: dict[Term, dict[Term, set[Term]]] = {}
+        self.namespaces: dict[str, str] = {}
+        for triple in triples:
+            self.add(*triple)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, subject: Term, predicate: Term, obj: Term) -> None:
+        """Add one triple (idempotent)."""
+        self._validate(subject, predicate, obj)
+        triple = (subject, predicate, obj)
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(obj)
+        self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
+        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+
+    def remove(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Remove one triple; returns whether it was present."""
+        triple = (subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._spo[subject][predicate].discard(obj)
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+        return True
+
+    def bind(self, prefix: str, uri: str) -> None:
+        """Declare a prefix for parsing/serialization convenience."""
+        self.namespaces[prefix] = uri
+
+    @staticmethod
+    def _validate(subject: Term, predicate: Term, obj: Term) -> None:
+        if isinstance(subject, Literal):
+            raise ValueError("literal cannot be a subject")
+        if not isinstance(predicate, URIRef):
+            raise ValueError("predicate must be a URIRef")
+        if not isinstance(obj, (URIRef, BNode, Literal)):
+            raise ValueError(f"invalid object term: {obj!r}")
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def triples(self, subject: Term | None = None,
+                predicate: Term | None = None,
+                obj: Term | None = None) -> Iterator[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard."""
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if by_predicate is None:
+                return
+            if predicate is not None:
+                for candidate in by_predicate.get(predicate, ()):
+                    if obj is None or candidate == obj:
+                        yield (subject, predicate, candidate)
+                return
+            for pred, objects in by_predicate.items():
+                for candidate in objects:
+                    if obj is None or candidate == obj:
+                        yield (subject, pred, candidate)
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if by_object is None:
+                return
+            if obj is not None:
+                for subj in by_object.get(obj, ()):
+                    yield (subj, predicate, obj)
+                return
+            for candidate, subjects in by_object.items():
+                for subj in subjects:
+                    yield (subj, predicate, candidate)
+            return
+        if obj is not None:
+            by_subject = self._osp.get(obj)
+            if by_subject is None:
+                return
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield (subj, pred, obj)
+            return
+        yield from self._triples
+
+    def count(self, subject: Term | None = None,
+              predicate: Term | None = None,
+              obj: Term | None = None) -> int:
+        """Cardinality estimate for a pattern (used for join ordering)."""
+        if subject is None and predicate is None and obj is None:
+            return len(self._triples)
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # -- convenience ---------------------------------------------------------------
+
+    def subjects(self, predicate: Term | None = None,
+                 obj: Term | None = None) -> Iterator[Term]:
+        seen = set()
+        for subj, _, _ in self.triples(None, predicate, obj):
+            if subj not in seen:
+                seen.add(subj)
+                yield subj
+
+    def objects(self, subject: Term | None = None,
+                predicate: Term | None = None) -> Iterator[Term]:
+        seen = set()
+        for _, _, obj in self.triples(subject, predicate, None):
+            if obj not in seen:
+                seen.add(obj)
+                yield obj
+
+    def value(self, subject: Term, predicate: Term) -> Term | None:
+        """The unique object for (subject, predicate), if any."""
+        for _, _, obj in self.triples(subject, predicate, None):
+            return obj
+        return None
+
+    def instances_of(self, cls: URIRef) -> Iterator[Term]:
+        yield from self.subjects(RDF.type, cls)

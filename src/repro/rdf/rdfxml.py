@@ -1,0 +1,124 @@
+"""An RDF/XML subset: embedding RDF graphs in XML messages.
+
+Section 3 of the paper allows variables to be bound to "XML or RDF
+fragments".  XML fragments travel natively in ``log:`` markup; RDF
+fragments are serialized in this RDF/XML subset (the normalized
+``rdf:Description`` form) so that a graph — or a slice of one — can be a
+binding value, cross a service boundary, and be reassembled.
+
+Supported constructs: ``rdf:RDF`` with ``rdf:Description`` children,
+``rdf:about`` / ``rdf:nodeID`` subjects, property elements with
+``rdf:resource`` / ``rdf:nodeID`` object attributes or literal content
+with optional ``rdf:datatype`` / ``xml:lang``.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import Element, QName, Text, XML_NS
+from .graph import Graph
+from .terms import BNode, Literal, RDF, Term, URIRef
+
+__all__ = ["RDF_SYNTAX_NS", "graph_to_rdfxml", "rdfxml_to_graph",
+           "describe_subject", "RdfXmlError"]
+
+RDF_SYNTAX_NS = str(RDF)
+
+_RDF_ROOT = QName(RDF_SYNTAX_NS, "RDF")
+_DESCRIPTION = QName(RDF_SYNTAX_NS, "Description")
+_ABOUT = QName(RDF_SYNTAX_NS, "about")
+_NODE_ID = QName(RDF_SYNTAX_NS, "nodeID")
+_RESOURCE = QName(RDF_SYNTAX_NS, "resource")
+_DATATYPE = QName(RDF_SYNTAX_NS, "datatype")
+_LANG = QName(XML_NS, "lang")
+
+
+class RdfXmlError(ValueError):
+    """Raised on unsupported or malformed RDF/XML input."""
+
+
+def _split_predicate(predicate: URIRef) -> QName:
+    text = str(predicate)
+    for separator in ("#", "/", ":"):
+        index = text.rfind(separator)
+        if 0 <= index < len(text) - 1:
+            local = text[index + 1:]
+            if local and (local[0].isalpha() or local[0] == "_"):
+                return QName(text[:index + 1], local)
+    raise RdfXmlError(f"cannot derive a QName from predicate {predicate!r}")
+
+
+def graph_to_rdfxml(graph: Graph, subjects: list[Term] | None = None) \
+        -> Element:
+    """Serialize a graph (or the descriptions of ``subjects``) to RDF/XML."""
+    root = Element(_RDF_ROOT, nsdecls={"rdf": RDF_SYNTAX_NS})
+    chosen = subjects if subjects is not None else sorted(
+        {s for s, _, _ in graph}, key=str)
+    for subject in chosen:
+        description = Element(_DESCRIPTION)
+        if isinstance(subject, BNode):
+            description.set(_NODE_ID, str(subject))
+        else:
+            description.set(_ABOUT, str(subject))
+        triples = sorted(graph.triples(subject, None, None),
+                         key=lambda t: (str(t[1]), str(t[2])))
+        for _, predicate, obj in triples:
+            property_element = Element(_split_predicate(predicate))
+            if isinstance(obj, URIRef):
+                property_element.set(_RESOURCE, str(obj))
+            elif isinstance(obj, BNode):
+                property_element.set(_NODE_ID, str(obj))
+            else:
+                assert isinstance(obj, Literal)
+                if obj.datatype:
+                    property_element.set(_DATATYPE, str(obj.datatype))
+                if obj.language:
+                    property_element.set(_LANG, obj.language)
+                property_element.append(Text(obj.lexical))
+            description.append(property_element)
+        root.append(description)
+    return root
+
+
+def describe_subject(graph: Graph, subject: Term) -> Element:
+    """The RDF/XML description of one subject (an embeddable fragment)."""
+    return graph_to_rdfxml(graph, subjects=[subject])
+
+
+def rdfxml_to_graph(element: Element, graph: Graph | None = None) -> Graph:
+    """Parse an RDF/XML (subset) element back into a graph."""
+    if element.name != _RDF_ROOT:
+        raise RdfXmlError(f"expected rdf:RDF, got {element.name.clark}")
+    graph = graph if graph is not None else Graph()
+    for description in element.elements():
+        if description.name != _DESCRIPTION:
+            raise RdfXmlError(
+                f"only rdf:Description children are supported, got "
+                f"{description.name.clark}")
+        about = description.get(_ABOUT)
+        node_id = description.get(_NODE_ID)
+        if about is not None:
+            subject: Term = URIRef(about)
+        elif node_id is not None:
+            subject = BNode(node_id)
+        else:
+            subject = BNode()
+        for property_element in description.elements():
+            name = property_element.name
+            if name.uri is None:
+                raise RdfXmlError(
+                    f"property element {name.local!r} has no namespace")
+            predicate = URIRef(name.uri + name.local)
+            resource = property_element.get(_RESOURCE)
+            object_node = property_element.get(_NODE_ID)
+            if resource is not None:
+                obj: Term = URIRef(resource)
+            elif object_node is not None:
+                obj = BNode(object_node)
+            else:
+                datatype = property_element.get(_DATATYPE)
+                language = property_element.get(_LANG)
+                obj = Literal(property_element.text(),
+                              datatype=URIRef(datatype) if datatype else None,
+                              language=language)
+            graph.add(subject, predicate, obj)
+    return graph

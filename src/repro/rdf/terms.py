@@ -1,0 +1,107 @@
+"""RDF term model: URI references, literals, blank nodes.
+
+The Semantic-Web data substrate of the framework (rules, components and
+languages are "objects of the Semantic Web", Sec. 2).  Implemented from
+scratch because no RDF library is available offline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["URIRef", "BNode", "Literal", "Term", "Namespace",
+           "XSD", "RDF", "RDFS"]
+
+
+class URIRef(str):
+    """A URI reference used as an RDF term."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"<{str.__str__(self)}>"
+
+
+class Namespace(str):
+    """URI prefix factory: ``TRAVEL = Namespace("urn:t#"); TRAVEL.booking``."""
+
+    __slots__ = ()
+
+    def term(self, local: str) -> URIRef:
+        return URIRef(str.__str__(self) + local)
+
+    def __getattr__(self, local: str) -> URIRef:
+        if local.startswith("__"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local) -> URIRef:  # type: ignore[override]
+        if isinstance(local, str):
+            return self.term(local)
+        return str.__getitem__(self, local)
+
+
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+
+_bnode_counter = itertools.count()
+
+
+class BNode(str):
+    """A blank node with a stable local identifier."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: str | None = None) -> "BNode":
+        if value is None:
+            value = f"b{next(_bnode_counter)}"
+        return super().__new__(cls, value)
+
+    def __repr__(self) -> str:
+        return f"_:{str.__str__(self)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with optional datatype or language tag."""
+
+    lexical: str
+    datatype: URIRef | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise ValueError("a literal cannot have both datatype and language")
+
+    @classmethod
+    def from_python(cls, value) -> "Literal":
+        """Build a typed literal from a Python value."""
+        if isinstance(value, bool):
+            return cls("true" if value else "false", datatype=XSD.boolean)
+        if isinstance(value, int):
+            return cls(str(value), datatype=XSD.integer)
+        if isinstance(value, float):
+            return cls(repr(value), datatype=XSD.double)
+        return cls(str(value))
+
+    def to_python(self):
+        """The Python value of this literal (falls back to the lexical form)."""
+        if self.datatype == XSD.boolean:
+            return self.lexical == "true"
+        if self.datatype in (XSD.integer, XSD.int, XSD.long):
+            return int(self.lexical)
+        if self.datatype in (XSD.double, XSD.float, XSD.decimal):
+            return float(self.lexical)
+        return self.lexical
+
+    def __repr__(self) -> str:
+        if self.datatype:
+            return f'"{self.lexical}"^^<{self.datatype}>'
+        if self.language:
+            return f'"{self.lexical}"@{self.language}'
+        return f'"{self.lexical}"'
+
+
+Term = URIRef | BNode | Literal

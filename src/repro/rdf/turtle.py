@@ -1,0 +1,323 @@
+"""A Turtle-subset parser and N-Triples writer.
+
+Supported Turtle features: ``@prefix`` / ``@base``, prefixed names,
+``<uri>`` references, plain/typed/language literals, numeric and boolean
+shorthand, ``a``, predicate lists (``;``), object lists (``,``), blank
+node labels (``_:x``) and anonymous blank nodes (``[ ... ]``).
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .terms import BNode, Literal, Term, URIRef, XSD
+
+__all__ = ["TurtleSyntaxError", "parse_turtle", "to_ntriples"]
+
+_ESCAPES = {"t": "\t", "n": "\n", "r": "\r", '"': '"', "\\": "\\", "'": "'"}
+
+
+class TurtleSyntaxError(ValueError):
+    """Raised on malformed Turtle input."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+class _TurtleParser:
+    def __init__(self, text: str, graph: Graph) -> None:
+        self.text = text
+        self.pos = 0
+        self.graph = graph
+        self.prefixes: dict[str, str] = dict(graph.namespaces)
+        self.base = ""
+        self.labelled_bnodes: dict[str, BNode] = {}
+
+    def error(self, message: str) -> TurtleSyntaxError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return TurtleSyntaxError(message, line)
+
+    # -- scanning ------------------------------------------------------------
+
+    def _skip(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch == "#":
+                end = text.find("\n", self.pos)
+                self.pos = len(text) if end < 0 else end + 1
+            else:
+                return
+
+    @property
+    def _eof(self) -> bool:
+        self._skip()
+        return self.pos >= len(self.text)
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expect(self, literal: str) -> None:
+        self._skip()
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _match_word(self, word: str) -> bool:
+        self._skip()
+        end = self.pos + len(word)
+        if self.text.startswith(word, self.pos) and (
+                end >= len(self.text) or not self.text[end].isalnum()):
+            self.pos = end
+            return True
+        return False
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> None:
+        while not self._eof:
+            if self._match_word("@prefix") or self._match_word("PREFIX"):
+                self._directive_prefix()
+            elif self._match_word("@base") or self._match_word("BASE"):
+                self.base = self._iriref()
+                if self._peek() == ".":
+                    self.pos += 1
+            else:
+                self._triples_block()
+
+    def _directive_prefix(self) -> None:
+        self._skip()
+        prefix = self._pname_prefix()
+        self._expect(":")
+        uri = self._iriref()
+        self.prefixes[prefix] = uri
+        self.graph.bind(prefix, uri)
+        if self._peek() == ".":
+            self.pos += 1
+
+    def _pname_prefix(self) -> str:
+        self._skip()
+        start = self.pos
+        while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_-."):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    # -- triples ---------------------------------------------------------------
+
+    def _triples_block(self) -> None:
+        subject = self._subject()
+        self._predicate_object_list(subject)
+        self._expect(".")
+
+    def _predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._predicate()
+            while True:
+                obj = self._object()
+                self.graph.add(subject, predicate, obj)
+                if self._peek() == ",":
+                    self.pos += 1
+                else:
+                    break
+            if self._peek() == ";":
+                self.pos += 1
+                # tolerate trailing ';' before '.' or ']'
+                if self._peek() in (".", "]", ""):
+                    return
+            else:
+                return
+
+    def _subject(self) -> Term:
+        ch = self._peek()
+        if ch == "<":
+            return URIRef(self._iriref())
+        if ch == "[":
+            return self._anon_bnode()
+        if self.text.startswith("_:", self.pos):
+            return self._bnode_label()
+        return self._prefixed_name()
+
+    def _predicate(self) -> URIRef:
+        if self._match_word("a"):
+            from .terms import RDF
+            return RDF.type
+        ch = self._peek()
+        if ch == "<":
+            return URIRef(self._iriref())
+        name = self._prefixed_name()
+        if not isinstance(name, URIRef):
+            raise self.error("predicate must be an IRI")
+        return name
+
+    def _object(self) -> Term:
+        ch = self._peek()
+        if ch == "<":
+            return URIRef(self._iriref())
+        if ch == "[":
+            return self._anon_bnode()
+        if ch in "\"'":
+            return self._literal(ch)
+        if ch.isdigit() or ch in "+-":
+            return self._number()
+        if self.text.startswith("_:", self.pos):
+            return self._bnode_label()
+        if self._match_word("true"):
+            return Literal("true", datatype=XSD.boolean)
+        if self._match_word("false"):
+            return Literal("false", datatype=XSD.boolean)
+        return self._prefixed_name()
+
+    # -- terms ---------------------------------------------------------------------
+
+    def _iriref(self) -> str:
+        self._expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        iri = self.text[self.pos:end]
+        self.pos = end + 1
+        if self.base and not _is_absolute(iri):
+            return self.base + iri
+        return iri
+
+    def _prefixed_name(self) -> URIRef:
+        self._skip()
+        prefix = self._pname_prefix()
+        if self._peek() != ":":
+            raise self.error(f"expected a term, found {self._peek()!r}")
+        self.pos += 1
+        start = self.pos
+        while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_-."):
+            self.pos += 1
+        local = self.text[start:self.pos]
+        if local.endswith("."):
+            # a trailing '.' terminates the statement, not the name
+            local = local[:-1]
+            self.pos -= 1
+        if prefix not in self.prefixes:
+            raise self.error(f"undeclared prefix {prefix!r}")
+        return URIRef(self.prefixes[prefix] + local)
+
+    def _bnode_label(self) -> BNode:
+        self._skip()
+        self._expect("_:")
+        start = self.pos
+        while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "_"):
+            self.pos += 1
+        label = self.text[start:self.pos]
+        if not label:
+            raise self.error("empty blank node label")
+        if label not in self.labelled_bnodes:
+            self.labelled_bnodes[label] = BNode(label)
+        return self.labelled_bnodes[label]
+
+    def _anon_bnode(self) -> BNode:
+        self._expect("[")
+        node = BNode()
+        if self._peek() != "]":
+            self._predicate_object_list(node)
+        self._expect("]")
+        return node
+
+    def _literal(self, quote: str) -> Literal:
+        self._expect(quote)
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated literal")
+            ch = self.text[self.pos]
+            if ch == "\\":
+                escape = self.text[self.pos + 1:self.pos + 2]
+                if escape in _ESCAPES:
+                    out.append(_ESCAPES[escape])
+                    self.pos += 2
+                    continue
+                if escape == "u":
+                    out.append(chr(int(self.text[self.pos + 2:self.pos + 6],
+                                       16)))
+                    self.pos += 6
+                    continue
+                raise self.error(f"unknown escape \\{escape}")
+            if ch == quote:
+                self.pos += 1
+                break
+            out.append(ch)
+            self.pos += 1
+        lexical = "".join(out)
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self._predicate() if self._peek() != "<" else URIRef(
+                self._iriref())
+            return Literal(lexical, datatype=datatype)
+        if self.text.startswith("@", self.pos):
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                    self.text[self.pos].isalnum() or self.text[self.pos] == "-"):
+                self.pos += 1
+            return Literal(lexical, language=self.text[start:self.pos])
+        return Literal(lexical)
+
+    def _number(self) -> Literal:
+        self._skip()
+        start = self.pos
+        if self.text[self.pos] in "+-":
+            self.pos += 1
+        seen_dot = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot and self.pos + 1 < len(self.text) \
+                    and self.text[self.pos + 1].isdigit():
+                seen_dot = True
+                self.pos += 1
+            else:
+                break
+        lexical = self.text[start:self.pos]
+        datatype = XSD.decimal if seen_dot else XSD.integer
+        if seen_dot:
+            return Literal(lexical, datatype=XSD.double)
+        return Literal(lexical, datatype=datatype)
+
+
+def _is_absolute(iri: str) -> bool:
+    scheme, sep, _ = iri.partition(":")
+    return bool(sep) and scheme.isalnum()
+
+
+def parse_turtle(text: str, graph: Graph | None = None) -> Graph:
+    """Parse Turtle text into a (possibly fresh) graph."""
+    graph = graph if graph is not None else Graph()
+    _TurtleParser(text, graph).parse()
+    return graph
+
+
+def _nt_term(term: Term) -> str:
+    if isinstance(term, URIRef):
+        return f"<{term}>"
+    if isinstance(term, BNode):
+        return f"_:{term}"
+    assert isinstance(term, Literal)
+    escaped = (term.lexical.replace("\\", "\\\\").replace('"', '\\"')
+               .replace("\n", "\\n"))
+    if term.datatype:
+        return f'"{escaped}"^^<{term.datatype}>'
+    if term.language:
+        return f'"{escaped}"@{term.language}'
+    return f'"{escaped}"'
+
+
+def to_ntriples(graph: Graph) -> str:
+    """Serialize a graph as sorted N-Triples (deterministic output)."""
+    lines = sorted(f"{_nt_term(s)} {_nt_term(p)} {_nt_term(o)} ."
+                   for s, p, o in graph)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,84 @@
+"""Base class for framework-aware component-language services.
+
+A framework-aware service speaks the ``log:`` protocol natively
+(Sec. 4.4: "for framework-aware services, the incoming requests can just
+be forwarded").  Subclasses override the hooks for the request kinds
+their language family supports; anything else is answered with
+``log:error`` — errors travel as messages, never as exceptions across
+the service boundary.
+"""
+
+from __future__ import annotations
+
+from ..bindings import Relation, relation_to_answers
+from ..grh.messages import (MessageError, Request, error_message, ok_message,
+                            xml_to_request)
+from ..xmlmodel import Element
+
+__all__ = ["LanguageService", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Raised by service hooks to report a clean protocol error."""
+
+
+class LanguageService:
+    """Dispatches ``log:request`` messages to per-kind hooks."""
+
+    #: human-readable name used in error messages
+    service_name = "service"
+
+    def handle(self, message: Element) -> Element:
+        try:
+            request = xml_to_request(message)
+        except MessageError as exc:
+            return error_message(f"{self.service_name}: {exc}")
+        try:
+            if request.kind == "register-event":
+                self.register_event(request)
+                return ok_message()
+            if request.kind == "unregister-event":
+                self.unregister_event(request)
+                return ok_message()
+            if request.kind == "query":
+                result = self.query(request)
+                # functional services build the log:answers element
+                # themselves (log:result per answer, Fig. 8); LP-style
+                # services return a plain relation
+                if isinstance(result, Element):
+                    return result
+                return relation_to_answers(result)
+            if request.kind == "test":
+                return relation_to_answers(self.test(request))
+            if request.kind == "action":
+                self.action(request)
+                return ok_message()
+            return error_message(
+                f"{self.service_name}: unsupported request kind "
+                f"{request.kind!r}")
+        except Exception as exc:
+            return error_message(f"{self.service_name}: {exc}")
+
+    # -- hooks (override per language family) --------------------------------
+
+    def register_event(self, request: Request) -> None:
+        raise ServiceError("this service does not detect events")
+
+    def unregister_event(self, request: Request) -> None:
+        raise ServiceError("this service does not detect events")
+
+    def query(self, request: Request) -> "Relation | Element":
+        raise ServiceError("this service does not answer queries")
+
+    def test(self, request: Request) -> Relation:
+        raise ServiceError("this service does not evaluate tests")
+
+    def action(self, request: Request) -> None:
+        raise ServiceError("this service does not execute actions")
+
+    @staticmethod
+    def component_text(request: Request) -> str:
+        """The textual body of the component (markup text or opaque)."""
+        if request.content is None:
+            raise ServiceError("request carries no component")
+        return request.content.text()

@@ -1,0 +1,110 @@
+"""Event-detection services (Figs. 5/6).
+
+One service per event language: the Atomic Event Matcher, a SNOOP
+detection service ([Spa06]-style) and an XChange-style service.  All
+three share the same machinery: they keep one detector per registered
+component id, subscribe to an event stream, and signal each detection to
+the GRH as a ``log:detection`` message carrying the component id, the
+occurrence interval and the variable bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..events import (Detector, Event, EventStream, parse_atomic,
+                      parse_snoop, parse_xchange)
+from ..events.snoop import Atomic
+from ..grh.messages import Request, detection_to_xml, Detection
+from ..xmlmodel import Element
+from .base import LanguageService, ServiceError
+
+__all__ = ["EventDetectionService", "AtomicEventService", "SnoopService",
+           "XChangeService"]
+
+
+class EventDetectionService(LanguageService):
+    """Shared base of the three event-language services."""
+
+    service_name = "event-detection"
+
+    def __init__(self, notify: Callable[[Element], None]) -> None:
+        self._notify = notify
+        self._detectors: dict[str, Detector] = {}
+
+    # -- language-specific parsing -------------------------------------------
+
+    def build_detector(self, content: Element) -> Detector:
+        raise NotImplementedError
+
+    # -- protocol hooks ----------------------------------------------------------
+
+    def register_event(self, request: Request) -> None:
+        if request.content is None:
+            raise ServiceError("event registration carries no pattern")
+        if request.component_id in self._detectors:
+            raise ServiceError(
+                f"component {request.component_id!r} already registered")
+        self._detectors[request.component_id] = self.build_detector(
+            request.content)
+
+    def unregister_event(self, request: Request) -> None:
+        self._detectors.pop(request.component_id, None)
+
+    # -- stream side ----------------------------------------------------------------
+
+    def attach(self, stream: EventStream) -> None:
+        stream.subscribe(self.feed)
+
+    def feed(self, event: Event) -> None:
+        """Process one event; signal every detection to the GRH.
+
+        The detection message carries the matched event sequence along
+        with the bindings (Fig. 6 (1) of the paper).
+        """
+        for component_id, detector in list(self._detectors.items()):
+            for occurrence in detector.feed(event):
+                self._notify(detection_to_xml(Detection(
+                    component_id, occurrence.start, occurrence.end,
+                    occurrence.bindings,
+                    tuple(constituent.payload
+                          for constituent in occurrence.constituents))))
+
+    def poll(self, now: float) -> None:
+        """Drive time-based operators (snoop:periodic)."""
+        for component_id, detector in list(self._detectors.items()):
+            for occurrence in detector.poll(now):
+                self._notify(detection_to_xml(Detection(
+                    component_id, occurrence.start, occurrence.end,
+                    occurrence.bindings)))
+
+    @property
+    def registered_ids(self) -> list[str]:
+        return list(self._detectors)
+
+
+class AtomicEventService(EventDetectionService):
+    """The Atomic Event Matcher of Fig. 5: bare domain patterns."""
+
+    service_name = "atomic-event-matcher"
+
+    def build_detector(self, content: Element) -> Detector:
+        return Atomic(parse_atomic(content))
+
+
+class SnoopService(EventDetectionService):
+    """Composite event detection following SNOOP [CKAK94]/[Spa06]."""
+
+    service_name = "snoop-detector"
+
+    def build_detector(self, content: Element) -> Detector:
+        return parse_snoop(content)
+
+
+class XChangeService(EventDetectionService):
+    """Composite event detection in the style of XChange [BP05]."""
+
+    service_name = "xchange-detector"
+
+    def build_detector(self, content: Element) -> Detector:
+        return parse_xchange(content)

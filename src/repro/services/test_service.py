@@ -1,0 +1,36 @@
+"""The test-language service (Sec. 4.5).
+
+The paper notes tests are "in general evaluated locally" — the engine
+does exactly that by default — but the test language is still a language
+of the framework, so a service implementation exists for deployments
+that outsource test evaluation (and for the architecture tests that
+exercise all four component families over the wire).
+"""
+
+from __future__ import annotations
+
+from ..bindings import Relation
+from ..conditions import (TEST_NS, TestEvaluationError, TestExpression,
+                          TestSyntaxError)
+from ..grh.messages import Request
+from .base import LanguageService, ServiceError
+
+__all__ = ["TestLanguageService", "TEST_NS"]
+
+
+class TestLanguageService(LanguageService):
+    """Filters the input bindings by the component's boolean expression."""
+
+    __test__ = False  # not a pytest class, despite the name
+    service_name = "test"
+
+    def test(self, request: Request) -> Relation:
+        source = self.component_text(request)
+        try:
+            expression = TestExpression(source)
+        except TestSyntaxError as exc:
+            raise ServiceError(str(exc)) from exc
+        try:
+            return expression.filter(request.bindings)
+        except TestEvaluationError as exc:
+            raise ServiceError(str(exc)) from exc

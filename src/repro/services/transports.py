@@ -1,0 +1,209 @@
+"""Transports: how the GRH reaches component-language services.
+
+Two interchangeable implementations of the same contract (Fig. 3's arrows
+between the GRH and the services):
+
+* :class:`InProcessTransport` — services run in the same process; by
+  default every message is still serialized to markup and re-parsed, so
+  the bytes a service sees are identical to the HTTP case (the paper's
+  services are autonomous remote processors; we keep that property
+  observable).
+* :class:`HttpTransport` — services run behind real HTTP endpoints on
+  localhost (stdlib ``http.server``), POSTing ``log:`` messages; plain
+  GET with a ``query`` parameter reaches framework-UNaware services the
+  way the paper's eXist node is reached (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from ..xmlmodel import Element, parse, serialize
+
+__all__ = ["TransportError", "InProcessTransport", "HttpServiceServer",
+           "HttpTransport", "HybridTransport", "AwareHandler",
+           "OpaqueHandler"]
+
+#: A framework-aware service endpoint: XML message in, XML message out.
+AwareHandler = Callable[[Element], Element]
+
+#: A framework-unaware service endpoint: query string in, raw text out.
+OpaqueHandler = Callable[[str], str]
+
+
+class TransportError(RuntimeError):
+    """Raised when an endpoint is unknown or unreachable."""
+
+
+class InProcessTransport:
+    """Directly invokes handlers registered under string addresses."""
+
+    def __init__(self, serialize_messages: bool = True) -> None:
+        self.serialize_messages = serialize_messages
+        self._aware: dict[str, AwareHandler] = {}
+        self._opaque: dict[str, OpaqueHandler] = {}
+
+    def bind(self, address: str, handler: AwareHandler) -> str:
+        self._aware[address] = handler
+        return address
+
+    def bind_opaque(self, address: str, handler: OpaqueHandler) -> str:
+        self._opaque[address] = handler
+        return address
+
+    def send(self, address: str, message: Element) -> Element:
+        if address not in self._aware:
+            raise TransportError(f"no service bound at {address!r}")
+        handler = self._aware[address]
+        if not self.serialize_messages:
+            return handler(message)
+        wire_out = serialize(message)
+        response = handler(parse(wire_out))
+        return parse(serialize(response))
+
+    def fetch(self, address: str, query: str) -> str:
+        if address not in self._opaque:
+            raise TransportError(f"no opaque service bound at {address!r}")
+        return self._opaque[address](query)
+
+
+class _ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Serves one service: POST = aware protocol, GET ?query= = opaque."""
+
+    aware_handler: AwareHandler | None = None
+    opaque_handler: OpaqueHandler | None = None
+
+    def log_message(self, format: str, *args) -> None:  # silence stderr
+        pass
+
+    def do_POST(self) -> None:
+        if self.aware_handler is None:
+            self.send_error(405, "service is not framework-aware")
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8")
+        try:
+            response = self.aware_handler(parse(body))
+            payload = serialize(response).encode("utf-8")
+        except Exception as exc:  # service errors become HTTP 500
+            self.send_error(500, str(exc))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/xml; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:
+        if self.opaque_handler is None:
+            self.send_error(405, "service has no opaque interface")
+            return
+        parsed = urllib.parse.urlparse(self.path)
+        params = urllib.parse.parse_qs(parsed.query)
+        query = params.get("query", [""])[0]
+        try:
+            payload = self.opaque_handler(query).encode("utf-8")
+        except Exception as exc:
+            self.send_error(500, str(exc))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/xml; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class HttpServiceServer:
+    """Hosts one service on a localhost HTTP port (own thread)."""
+
+    def __init__(self, aware_handler: AwareHandler | None = None,
+                 opaque_handler: OpaqueHandler | None = None) -> None:
+        handler_class = type("BoundHandler", (_ServiceHTTPHandler,),
+                             {"aware_handler": staticmethod(aware_handler)
+                              if aware_handler else None,
+                              "opaque_handler": staticmethod(opaque_handler)
+                              if opaque_handler else None})
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), handler_class)
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        daemon=True)
+
+    def start(self) -> str:
+        self._thread.start()
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/"
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class HybridTransport:
+    """Routes by address: ``http(s)://`` endpoints over HTTP, everything
+    else through an in-process broker.
+
+    This matches real deployments of the framework: some language
+    processors run remotely (the paper's autonomous Web Services), others
+    are co-located with the engine.
+    """
+
+    def __init__(self, serialize_messages: bool = True,
+                 timeout: float = 10.0) -> None:
+        self.local = InProcessTransport(serialize_messages)
+        self.http = HttpTransport(timeout)
+
+    @staticmethod
+    def _is_http(address: str) -> bool:
+        return address.startswith("http://") or address.startswith("https://")
+
+    def bind(self, address: str, handler: AwareHandler) -> str:
+        return self.local.bind(address, handler)
+
+    def bind_opaque(self, address: str, handler: OpaqueHandler) -> str:
+        return self.local.bind_opaque(address, handler)
+
+    def send(self, address: str, message: Element) -> Element:
+        if self._is_http(address):
+            return self.http.send(address, message)
+        return self.local.send(address, message)
+
+    def fetch(self, address: str, query: str) -> str:
+        if self._is_http(address):
+            return self.http.fetch(address, query)
+        return self.local.fetch(address, query)
+
+
+class HttpTransport:
+    """Reaches services over HTTP (POST for aware, GET for opaque)."""
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self.timeout = timeout
+
+    def send(self, address: str, message: Element) -> Element:
+        body = serialize(message).encode("utf-8")
+        request = urllib.request.Request(
+            address, data=body,
+            headers={"Content-Type": "application/xml; charset=utf-8"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return parse(response.read().decode("utf-8"))
+        except OSError as exc:
+            raise TransportError(f"cannot reach {address!r}: {exc}") from exc
+
+    def fetch(self, address: str, query: str) -> str:
+        url = f"{address}?{urllib.parse.urlencode({'query': query})}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except OSError as exc:
+            raise TransportError(f"cannot reach {address!r}: {exc}") from exc

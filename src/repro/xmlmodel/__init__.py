@@ -1,0 +1,24 @@
+"""Namespace-aware XML infrastructure (node model, parser, serializer).
+
+This is the data substrate of the whole framework: rule documents, request
+and answer messages, events and queried documents are all trees of
+:class:`~repro.xmlmodel.nodes.Element`.
+"""
+
+from .builder import E, ElementMaker
+from .names import (ECA_NS, LOG_NS, OPAQUE_LANG, XML_NS, XMLNS_NS,
+                    NamespaceError, QName)
+from .nodes import (Child, Comment, Document, Element, Node,
+                    ProcessingInstruction, Text)
+from .parser import XMLSyntaxError, parse, parse_document, parse_fragment
+from .serializer import canonicalize, serialize
+
+__all__ = [
+    "QName", "NamespaceError", "XML_NS", "XMLNS_NS", "ECA_NS", "LOG_NS",
+    "OPAQUE_LANG",
+    "Node", "Element", "Text", "Comment", "ProcessingInstruction", "Document",
+    "Child",
+    "parse", "parse_document", "parse_fragment", "XMLSyntaxError",
+    "serialize", "canonicalize",
+    "E", "ElementMaker",
+]

@@ -1,0 +1,76 @@
+"""Concise programmatic construction of XML trees.
+
+``E`` builds elements the way the running example's services do::
+
+    E("{http://example.org/travel}booking",
+      {"person": "John Doe", "from": "Munich", "to": "Paris"})
+
+A namespace-bound factory avoids repeating the URI::
+
+    travel = ElementMaker("http://example.org/travel")
+    travel.booking({"person": "John Doe"})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .names import QName
+from .nodes import Child, Element, Text
+
+__all__ = ["E", "ElementMaker"]
+
+
+def _coerce_attributes(attributes: Mapping[Any, Any] | None,
+                       default_uri: str | None = None) -> dict[QName, str]:
+    coerced: dict[QName, str] = {}
+    for key, value in (attributes or {}).items():
+        if isinstance(key, QName):
+            name = key
+        else:
+            name = QName.parse(str(key))
+        coerced[name] = str(value)
+    return coerced
+
+
+def E(name: QName | str, attributes: Mapping[Any, Any] | None = None,
+      *children: Child | str | int | float) -> Element:
+    """Build an element; children may be nodes, strings or numbers."""
+    element = Element(name, _coerce_attributes(attributes))
+    for child in children:
+        if isinstance(child, (int, float)):
+            element.append(Text(_format_number(child)))
+        else:
+            element.append(child)
+    return element
+
+
+def _format_number(value: int | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class ElementMaker:
+    """Factory for elements in a fixed namespace: ``maker.booking(...)``."""
+
+    def __init__(self, uri: str | None = None,
+                 nsdecls: Mapping[str, str] | None = None) -> None:
+        self._uri = uri
+        self._nsdecls = dict(nsdecls or {})
+
+    def __call__(self, local: str, attributes: Mapping[Any, Any] | None = None,
+                 *children: Child | str | int | float) -> Element:
+        element = E(QName(self._uri, local), attributes, *children)
+        element.nsdecls.update(self._nsdecls)
+        return element
+
+    def __getattr__(self, local: str):
+        if local.startswith("_"):
+            raise AttributeError(local)
+
+        def make(attributes: Mapping[Any, Any] | None = None,
+                 *children: Child | str | int | float) -> Element:
+            return self(local, attributes, *children)
+
+        return make

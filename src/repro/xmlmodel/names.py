@@ -1,0 +1,89 @@
+"""Qualified names and namespace handling for the XML node model.
+
+The whole framework of the paper is namespace-driven: the Generic Request
+Handler dispatches rule components to language services *by the namespace
+URI* of the component's root element.  This module provides the ``QName``
+value type used for element and attribute names throughout the repository,
+plus the handful of well-known namespaces of the ECA framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "QName",
+    "NamespaceError",
+    "XML_NS",
+    "XMLNS_NS",
+    "ECA_NS",
+    "LOG_NS",
+    "OPAQUE_LANG",
+]
+
+#: Namespace bound to the reserved ``xml`` prefix.
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+#: Namespace bound to the reserved ``xmlns`` prefix.
+XMLNS_NS = "http://www.w3.org/2000/xmlns/"
+
+#: Namespace of the ECA rule markup language (Sec. 4.1 of the paper).
+ECA_NS = "http://www.semwebtech.org/languages/2006/eca-ml"
+
+#: Namespace of the answer/variable-binding markup (``log:answers``).
+LOG_NS = "http://www.semwebtech.org/languages/2006/log"
+
+#: Pseudo language URI assigned to opaque components that name their
+#: language with a plain ``language=`` attribute instead of a namespace.
+OPAQUE_LANG = "http://www.semwebtech.org/languages/2006/opaque"
+
+
+class NamespaceError(ValueError):
+    """Raised for undeclared prefixes or invalid namespace declarations."""
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An expanded XML name: a namespace URI (or ``None``) plus local part.
+
+    Equality and hashing ignore the prefix a name was written with, as
+    required by XML Namespaces: ``a:booking`` and ``b:booking`` are the same
+    name when ``a`` and ``b`` are bound to the same URI.
+    """
+
+    uri: str | None
+    local: str
+
+    def __post_init__(self) -> None:
+        if not self.local:
+            raise ValueError("QName local part must be non-empty")
+
+    @classmethod
+    def parse(cls, text: str, namespaces: dict[str, str] | None = None,
+              default: str | None = None) -> "QName":
+        """Parse ``prefix:local`` or ``local`` or ``{uri}local`` notation.
+
+        ``namespaces`` maps prefixes to URIs; ``default`` is the default
+        namespace applied to unprefixed names (attributes pass ``None``).
+        """
+        if text.startswith("{"):
+            uri, _, local = text[1:].partition("}")
+            return cls(uri or None, local)
+        prefix, sep, local = text.partition(":")
+        if not sep:
+            return cls(default, text)
+        if prefix == "xml":
+            return cls(XML_NS, local)
+        if prefix == "xmlns":
+            return cls(XMLNS_NS, local)
+        if namespaces is None or prefix not in namespaces:
+            raise NamespaceError(f"undeclared namespace prefix: {prefix!r}")
+        return cls(namespaces[prefix], local)
+
+    @property
+    def clark(self) -> str:
+        """Clark notation ``{uri}local`` (or just ``local``)."""
+        return f"{{{self.uri}}}{self.local}" if self.uri else self.local
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.clark

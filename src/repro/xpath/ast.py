@@ -1,0 +1,128 @@
+"""Abstract syntax of the XPath subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr", "Or", "And", "Comparison", "Arithmetic", "Negate", "Union",
+    "Literal", "NumberLiteral", "VariableRef", "FunctionCall", "Path",
+    "Step", "NodeTest", "NameTest", "KindTest", "Root", "ContextItem",
+    "Filter",
+]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Expr):
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Arithmetic(Expr):
+    op: str  # '+', '-', '*', 'div', 'mod'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Negate(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Expr):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class NumberLiteral(Expr):
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class VariableRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expr):
+    name: str
+    arguments: tuple[Expr, ...]
+
+
+class NodeTest:
+    """Base class of node tests within a step."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NameTest(NodeTest):
+    """``name``, ``prefix:name``, ``*`` or ``prefix:*``."""
+
+    prefix: str | None
+    local: str  # '*' means any
+
+
+@dataclass(frozen=True, slots=True)
+class KindTest(NodeTest):
+    kind: str  # 'node', 'text', 'comment', 'processing-instruction'
+
+
+@dataclass(frozen=True, slots=True)
+class Step(Expr):
+    axis: str
+    test: NodeTest
+    predicates: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Root(Expr):
+    """``/`` — the document root of the context node."""
+
+
+@dataclass(frozen=True, slots=True)
+class ContextItem(Expr):
+    """``.`` — the context node."""
+
+
+@dataclass(frozen=True, slots=True)
+class Path(Expr):
+    """A start expression followed by location steps."""
+
+    start: Expr | None  # None means relative to the context node
+    steps: tuple[Step, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(Expr):
+    """A primary expression filtered by predicates: ``$x[2]``."""
+
+    base: Expr
+    predicates: tuple[Expr, ...] = field(default_factory=tuple)

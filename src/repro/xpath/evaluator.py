@@ -1,0 +1,493 @@
+"""Evaluation of XPath expressions against the XML node model.
+
+Implements the XPath 1.0 data model: four value types (node-set, string,
+number, boolean), existential comparison semantics, and the core function
+library.  The :class:`Context` carries the context node, position/size,
+variable bindings and in-scope namespace prefixes — variables are how the
+ECA framework pushes rule bindings into component queries (Sec. 3 of the
+paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from ..xmlmodel import Comment, Document, Element, ProcessingInstruction, Text
+from .ast import (And, Arithmetic, Comparison, ContextItem, Expr, Filter,
+                  FunctionCall, KindTest, Literal, NameTest, Negate,
+                  NumberLiteral, Or, Path, Root, Step, Union, VariableRef)
+from .nodeops import (AttributeNode, XPathNode, axis_nodes,
+                      sort_document_order, string_value)
+from .parser import parse_xpath
+
+__all__ = ["Context", "XPathEvaluationError", "evaluate", "evaluate_expr",
+           "as_string", "as_number", "as_boolean", "as_nodeset"]
+
+XPathValue = Any  # list[XPathNode] | str | float | bool
+
+
+class XPathEvaluationError(ValueError):
+    """Raised for type errors, unknown functions or unbound variables."""
+
+
+@dataclass(frozen=True)
+class Context:
+    """Evaluation context for one expression."""
+
+    node: XPathNode
+    position: int = 1
+    size: int = 1
+    variables: dict[str, XPathValue] = field(default_factory=dict)
+    namespaces: dict[str, str] = field(default_factory=dict)
+    default_element_namespace: str | None = None
+    functions: dict[str, Callable] = field(default_factory=dict)
+
+    def with_node(self, node: XPathNode, position: int, size: int) -> "Context":
+        return replace(self, node=node, position=position, size=size)
+
+
+# -- type coercions (XPath 1.0 §3.2/§4) ---------------------------------------
+
+
+def as_string(value: XPathValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return _format_number(float(value))
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return string_value(value[0]) if value else ""
+    raise XPathEvaluationError(f"cannot convert {type(value).__name__} to string")
+
+
+def _format_number(number: float) -> str:
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+def as_number(value: XPathValue) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return math.nan
+    if isinstance(value, list):
+        return as_number(as_string(value))
+    raise XPathEvaluationError(f"cannot convert {type(value).__name__} to number")
+
+
+def as_boolean(value: XPathValue) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value) and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, list):
+        return bool(value)
+    raise XPathEvaluationError(f"cannot convert {type(value).__name__} to boolean")
+
+
+def as_nodeset(value: XPathValue) -> list[XPathNode]:
+    if isinstance(value, list):
+        return value
+    if isinstance(value, (Element, Document, Text, Comment,
+                          ProcessingInstruction, AttributeNode)):
+        return [value]
+    raise XPathEvaluationError("expression did not yield a node-set")
+
+
+# -- comparison semantics ------------------------------------------------------
+
+
+def _normalize_operand(value: XPathValue) -> XPathValue:
+    """A bare node (e.g. a variable bound to one element) acts as a
+    singleton node-set in comparisons."""
+    if isinstance(value, (Element, Document, Text, Comment,
+                          ProcessingInstruction, AttributeNode)):
+        return [value]
+    return value
+
+
+def _compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    left = _normalize_operand(left)
+    right = _normalize_operand(right)
+    left_is_ns = isinstance(left, list)
+    right_is_ns = isinstance(right, list)
+    if left_is_ns and right_is_ns:
+        return any(_compare_atoms(op, string_value(a), string_value(b))
+                   for a in left for b in right)
+    if left_is_ns:
+        return any(_compare_atoms(op, string_value(node), right)
+                   for node in left)
+    if right_is_ns:
+        return any(_compare_atoms(op, left, string_value(node))
+                   for node in right)
+    return _compare_atoms(op, left, right)
+
+
+def _compare_atoms(op: str, left: XPathValue, right: XPathValue) -> bool:
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = as_boolean(left) == as_boolean(right)
+        elif isinstance(left, (int, float)) or isinstance(right, (int, float)):
+            result = as_number(left) == as_number(right)
+        else:
+            result = as_string(left) == as_string(right)
+        return result if op == "=" else not result
+    left_num, right_num = as_number(left), as_number(right)
+    if op == "<":
+        return left_num < right_num
+    if op == "<=":
+        return left_num <= right_num
+    if op == ">":
+        return left_num > right_num
+    return left_num >= right_num
+
+
+# -- the core function library -------------------------------------------------
+
+
+def _fn_last(context: Context, args: list) -> float:
+    return float(context.size)
+
+
+def _fn_position(context: Context, args: list) -> float:
+    return float(context.position)
+
+
+def _fn_count(context: Context, args: list) -> float:
+    return float(len(as_nodeset(args[0])))
+
+
+def _fn_string(context: Context, args: list) -> str:
+    if not args:
+        return string_value(context.node)
+    return as_string(args[0])
+
+
+def _fn_name(context: Context, args: list) -> str:
+    nodes = as_nodeset(args[0]) if args else [context.node]
+    if not nodes:
+        return ""
+    node = nodes[0]
+    if isinstance(node, (Element, AttributeNode)):
+        return node.name.local
+    if isinstance(node, ProcessingInstruction):
+        return node.target
+    return ""
+
+
+def _fn_namespace_uri(context: Context, args: list) -> str:
+    nodes = as_nodeset(args[0]) if args else [context.node]
+    if nodes and isinstance(nodes[0], (Element, AttributeNode)):
+        return nodes[0].name.uri or ""
+    return ""
+
+
+def _fn_concat(context: Context, args: list) -> str:
+    if len(args) < 2:
+        raise XPathEvaluationError("concat() requires at least two arguments")
+    return "".join(as_string(arg) for arg in args)
+
+
+def _fn_substring(context: Context, args: list) -> str:
+    text = as_string(args[0])
+    start = round(as_number(args[1]))
+    if len(args) > 2:
+        length = round(as_number(args[2]))
+        if math.isnan(length):
+            return ""
+        end = start + length
+    else:
+        end = len(text) + 1
+    begin = max(1, start)
+    if math.isnan(start) or begin >= end:
+        return ""
+    return text[begin - 1:end - 1]
+
+
+def _fn_substring_before(context: Context, args: list) -> str:
+    text, sep = as_string(args[0]), as_string(args[1])
+    index = text.find(sep)
+    return text[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(context: Context, args: list) -> str:
+    text, sep = as_string(args[0]), as_string(args[1])
+    index = text.find(sep)
+    return text[index + len(sep):] if index >= 0 else ""
+
+
+def _fn_translate(context: Context, args: list) -> str:
+    text, source, target = (as_string(arg) for arg in args[:3])
+    table: dict[int, int | None] = {}
+    for index, ch in enumerate(source):
+        if ord(ch) not in table:
+            table[ord(ch)] = ord(target[index]) if index < len(target) else None
+    return text.translate(table)
+
+
+def _fn_sum(context: Context, args: list) -> float:
+    return float(sum(as_number(string_value(node))
+                     for node in as_nodeset(args[0])))
+
+
+_FUNCTIONS: dict[str, Callable[[Context, list], XPathValue]] = {
+    "last": _fn_last,
+    "position": _fn_position,
+    "count": _fn_count,
+    "string": _fn_string,
+    "name": _fn_name,
+    "local-name": _fn_name,
+    "namespace-uri": _fn_namespace_uri,
+    "concat": _fn_concat,
+    "starts-with": lambda c, a: as_string(a[0]).startswith(as_string(a[1])),
+    "ends-with": lambda c, a: as_string(a[0]).endswith(as_string(a[1])),
+    "contains": lambda c, a: as_string(a[1]) in as_string(a[0]),
+    "substring": _fn_substring,
+    "substring-before": _fn_substring_before,
+    "substring-after": _fn_substring_after,
+    "string-length": lambda c, a: float(
+        len(as_string(a[0]) if a else string_value(c.node))),
+    "normalize-space": lambda c, a: " ".join(
+        (as_string(a[0]) if a else string_value(c.node)).split()),
+    "translate": _fn_translate,
+    "boolean": lambda c, a: as_boolean(a[0]),
+    "not": lambda c, a: not as_boolean(a[0]),
+    "true": lambda c, a: True,
+    "false": lambda c, a: False,
+    "number": lambda c, a: as_number(a[0] if a else [c.node]),
+    "sum": _fn_sum,
+    "floor": lambda c, a: math.floor(as_number(a[0])),
+    "ceiling": lambda c, a: math.ceil(as_number(a[0])),
+    "round": lambda c, a: float(math.floor(as_number(a[0]) + 0.5)),
+    "abs": lambda c, a: abs(as_number(a[0])),
+    # XQuery 1.0 additions usable from XQ-lite and tests
+    "exists": lambda c, a: bool(as_nodeset(a[0])) if isinstance(a[0], list)
+    else True,
+    "empty": lambda c, a: not a[0] if isinstance(a[0], list) else False,
+    "distinct-values": lambda c, a: _fn_distinct_values(c, a),
+    "string-join": lambda c, a: _fn_string_join(c, a),
+    "min": lambda c, a: _fn_aggregate(a[0], min),
+    "max": lambda c, a: _fn_aggregate(a[0], max),
+    "avg": lambda c, a: _fn_avg(a[0]),
+}
+
+
+def _atomized_strings(value: XPathValue) -> list[str]:
+    if isinstance(value, list):
+        return [string_value(item) if not isinstance(item, (str, int, float,
+                                                            bool))
+                else as_string(item) for item in value]
+    return [as_string(value)]
+
+
+def _fn_distinct_values(context: Context, args: list) -> list:
+    seen: list[str] = []
+    for text in _atomized_strings(args[0]):
+        if text not in seen:
+            seen.append(text)
+    return seen  # a sequence of atomic values (XQ-lite semantics)
+
+
+def _fn_string_join(context: Context, args: list) -> str:
+    separator = as_string(args[1]) if len(args) > 1 else ""
+    return separator.join(_atomized_strings(args[0]))
+
+
+def _fn_aggregate(value: XPathValue, chooser) -> float:
+    numbers = [as_number(text) for text in _atomized_strings(value)]
+    if not numbers:
+        return math.nan
+    return chooser(numbers)
+
+
+def _fn_avg(value: XPathValue) -> float:
+    numbers = [as_number(text) for text in _atomized_strings(value)]
+    if not numbers:
+        return math.nan
+    return sum(numbers) / len(numbers)
+
+
+# -- the evaluator ---------------------------------------------------------------
+
+
+def evaluate_expr(expr: Expr, context: Context) -> XPathValue:
+    """Evaluate a parsed expression in the given context."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, NumberLiteral):
+        return expr.value
+    if isinstance(expr, VariableRef):
+        if expr.name not in context.variables:
+            raise XPathEvaluationError(f"unbound variable ${expr.name}")
+        return context.variables[expr.name]
+    if isinstance(expr, Or):
+        return (as_boolean(evaluate_expr(expr.left, context))
+                or as_boolean(evaluate_expr(expr.right, context)))
+    if isinstance(expr, And):
+        return (as_boolean(evaluate_expr(expr.left, context))
+                and as_boolean(evaluate_expr(expr.right, context)))
+    if isinstance(expr, Comparison):
+        return _compare(expr.op, evaluate_expr(expr.left, context),
+                        evaluate_expr(expr.right, context))
+    if isinstance(expr, Arithmetic):
+        left = as_number(evaluate_expr(expr.left, context))
+        right = as_number(evaluate_expr(expr.right, context))
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "div":
+            if right == 0:
+                return math.nan if left == 0 else math.copysign(
+                    math.inf, left)
+            return left / right
+        return math.nan if right == 0 else math.fmod(left, right)
+    if isinstance(expr, Negate):
+        return -as_number(evaluate_expr(expr.operand, context))
+    if isinstance(expr, Union):
+        left = as_nodeset(evaluate_expr(expr.left, context))
+        right = as_nodeset(evaluate_expr(expr.right, context))
+        return sort_document_order(left + right)
+    if isinstance(expr, FunctionCall):
+        return _call_function(expr, context)
+    if isinstance(expr, Root):
+        return [_root_of(context.node)]
+    if isinstance(expr, ContextItem):
+        return [context.node]
+    if isinstance(expr, Path):
+        return _evaluate_path(expr, context)
+    if isinstance(expr, Step):
+        return _evaluate_steps([context.node], [expr], context)
+    if isinstance(expr, Filter):
+        nodes = as_nodeset(evaluate_expr(expr.base, context))
+        return _apply_predicates(nodes, expr.predicates, context)
+    raise XPathEvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _call_function(expr: FunctionCall, context: Context) -> XPathValue:
+    handler = context.functions.get(expr.name) or _FUNCTIONS.get(
+        expr.name.partition(":")[2] or expr.name) or _FUNCTIONS.get(expr.name)
+    if handler is None:
+        raise XPathEvaluationError(f"unknown function {expr.name}()")
+    arguments = [evaluate_expr(arg, context) for arg in expr.arguments]
+    return handler(context, arguments)
+
+
+def _root_of(node: XPathNode) -> XPathNode:
+    if isinstance(node, AttributeNode):
+        node = node.owner
+    return node.root()
+
+
+def _evaluate_path(path: Path, context: Context) -> XPathValue:
+    if path.start is None:
+        start_nodes: list[XPathNode] = [context.node]
+    else:
+        start_nodes = as_nodeset(evaluate_expr(path.start, context))
+    return _evaluate_steps(start_nodes, list(path.steps), context)
+
+
+def _evaluate_steps(nodes: list[XPathNode], steps: list[Step],
+                    context: Context) -> list[XPathNode]:
+    current = nodes
+    for step in steps:
+        gathered: list[XPathNode] = []
+        for node in current:
+            along_axis = [candidate
+                          for candidate in axis_nodes(node, step.axis)
+                          if _matches_test(candidate, step, context)]
+            # axis_nodes yields in axis order (reverse axes: nearest first),
+            # which is exactly the order position() counts in.
+            along_axis = _apply_predicates(along_axis, step.predicates,
+                                           context)
+            gathered.extend(along_axis)
+        current = sort_document_order(gathered)
+    return current
+
+
+def _apply_predicates(nodes: list[XPathNode], predicates,
+                      context: Context) -> list[XPathNode]:
+    current = nodes
+    for predicate in predicates:
+        size = len(current)
+        kept = []
+        for index, node in enumerate(current):
+            position = index + 1
+            inner = context.with_node(node, position, size)
+            value = evaluate_expr(predicate, inner)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if float(value) == float(position):
+                    kept.append(node)
+            elif as_boolean(value):
+                kept.append(node)
+        current = kept
+    return current
+
+
+def _matches_test(node: XPathNode, step: Step, context: Context) -> bool:
+    test = step.test
+    if isinstance(test, KindTest):
+        if test.kind == "node":
+            return True
+        if test.kind == "text":
+            return isinstance(node, Text)
+        if test.kind == "comment":
+            return isinstance(node, Comment)
+        return isinstance(node, ProcessingInstruction)
+    assert isinstance(test, NameTest)
+    if step.axis == "attribute":
+        if not isinstance(node, AttributeNode):
+            return False
+        name = node.name
+        expected_uri = None
+    else:
+        if not isinstance(node, Element):
+            return False
+        name = node.name
+        expected_uri = context.default_element_namespace
+    if test.prefix is not None:
+        if test.prefix not in context.namespaces:
+            raise XPathEvaluationError(
+                f"undeclared prefix {test.prefix!r} in name test")
+        expected_uri = context.namespaces[test.prefix]
+    if test.local != "*" and name.local != test.local:
+        return False
+    if test.local == "*" and test.prefix is None:
+        return True
+    return name.uri == expected_uri or (expected_uri is None
+                                        and name.uri is None)
+
+
+def evaluate(xpath: str, node: XPathNode,
+             variables: dict[str, XPathValue] | None = None,
+             namespaces: dict[str, str] | None = None,
+             default_element_namespace: str | None = None) -> XPathValue:
+    """Parse and evaluate an XPath expression against ``node``.
+
+    ``variables`` provides ``$name`` bindings; ``namespaces`` resolves
+    prefixes in name tests.  ``default_element_namespace`` optionally
+    applies a namespace to unprefixed element name tests (XPath 2.0-style
+    convenience; XPath 1.0 semantics when left ``None``).
+    """
+    expr = parse_xpath(xpath)
+    context = Context(node=node, variables=dict(variables or {}),
+                      namespaces=dict(namespaces or {}),
+                      default_element_namespace=default_element_namespace)
+    return evaluate_expr(expr, context)

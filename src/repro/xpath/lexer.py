@@ -1,0 +1,142 @@
+"""Tokenizer shared by the XPath and XQ-lite parsers.
+
+The token stream is deliberately simple: names, numbers, strings,
+variables (``$name``) and multi-character operators.  The XQ-lite parser
+additionally switches the lexer into *raw* mode to read direct element
+constructors, so the lexer exposes its position for hand-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "Lexer", "TokenError"]
+
+_TWO_CHAR_OPS = ("//", "!=", "<=", ">=", "::", ":=")
+_ONE_CHAR_OPS = "/[]()@.,|*+-=<>$"
+
+
+class TokenError(ValueError):
+    """Raised on unexpected characters or unterminated literals."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str       # 'name' | 'number' | 'string' | 'op' | 'eof'
+    value: str
+    position: int
+
+    def is_op(self, *values: str) -> bool:
+        return self.kind == "op" and self.value in values
+
+    def is_name(self, *values: str) -> bool:
+        return self.kind == "name" and (not values or self.value in values)
+
+
+class Lexer:
+    """Tokenizes an expression string with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self._pushed: list[Token] = []
+
+    # -- raw access for the XQ-lite constructor parser ---------------------
+
+    def raw_tail(self) -> str:
+        """The unscanned remainder of the input (after pushed-back tokens)."""
+        start = self._pushed[0].position if self._pushed else self.pos
+        return self.text[start:]
+
+    def seek(self, offset: int) -> None:
+        """Reposition the scanner (used after raw constructor parsing)."""
+        self._pushed.clear()
+        self.pos = offset
+
+    def offset_of_next(self) -> int:
+        token = self.peek()
+        return token.position
+
+    # -- token interface -----------------------------------------------------
+
+    def push_back(self, token: Token) -> None:
+        self._pushed.append(token)
+
+    def peek(self) -> Token:
+        token = self.next()
+        self.push_back(token)
+        return token
+
+    def next(self) -> Token:
+        if self._pushed:
+            return self._pushed.pop()
+        self._skip_space()
+        if self.pos >= len(self.text):
+            return Token("eof", "", self.pos)
+        start = self.pos
+        ch = self.text[start]
+        if ch in "'\"":
+            return self._string(ch)
+        if ch.isdigit() or (ch == "." and self._peek_char(1).isdigit()):
+            return self._number()
+        if ch.isalpha() or ch == "_":
+            return self._name()
+        two = self.text[start:start + 2]
+        if two in _TWO_CHAR_OPS:
+            self.pos += 2
+            return Token("op", two, start)
+        if ch == "{" or ch == "}" or ch == ";":
+            self.pos += 1
+            return Token("op", ch, start)
+        if ch in _ONE_CHAR_OPS or ch == ":":
+            self.pos += 1
+            return Token("op", ch, start)
+        raise TokenError(f"unexpected character {ch!r}", start)
+
+    def _peek_char(self, ahead: int) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_space(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            if text[self.pos].isspace():
+                self.pos += 1
+            elif text.startswith("(:", self.pos):  # XQuery-style comment
+                end = text.find(":)", self.pos + 2)
+                if end < 0:
+                    raise TokenError("unterminated comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _string(self, quote: str) -> Token:
+        start = self.pos
+        end = self.text.find(quote, start + 1)
+        if end < 0:
+            raise TokenError("unterminated string literal", start)
+        self.pos = end + 1
+        return Token("string", self.text[start + 1:end], start)
+
+    def _number(self) -> Token:
+        start = self.pos
+        text = self.text
+        while self.pos < len(text) and text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos < len(text) and text[self.pos] == ".":
+            self.pos += 1
+            while self.pos < len(text) and text[self.pos].isdigit():
+                self.pos += 1
+        return Token("number", text[start:self.pos], start)
+
+    def _name(self) -> Token:
+        start = self.pos
+        text = self.text
+        while self.pos < len(text) and (text[self.pos].isalnum()
+                                        or text[self.pos] in "_-."):
+            self.pos += 1
+        return Token("name", text[start:self.pos], start)

@@ -1,0 +1,147 @@
+"""Node-level operations backing the XPath evaluator.
+
+The node model stores attributes in a dict, so XPath's attribute axis is
+served by lightweight :class:`AttributeNode` wrappers created on demand.
+This module also provides document order, string-values and the axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..xmlmodel import (Comment, Document, Element, Node,
+                        ProcessingInstruction, QName, Text)
+
+__all__ = ["AttributeNode", "XPathNode", "string_value", "document_order_key",
+           "axis_nodes", "sort_document_order"]
+
+
+@dataclass(frozen=True)
+class AttributeNode:
+    """An attribute viewed as an XPath node."""
+
+    owner: Element
+    name: QName
+    value: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttributeNode({self.name.clark}={self.value!r})"
+
+
+XPathNode = Element | Document | Text | Comment | ProcessingInstruction | AttributeNode
+
+
+def string_value(node: XPathNode) -> str:
+    """The XPath string-value of a node."""
+    if isinstance(node, Element):
+        return node.text()
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, (Text, Comment)):
+        return node.value
+    if isinstance(node, ProcessingInstruction):
+        return node.data
+    if isinstance(node, Document):
+        return node.root_element.text()
+    raise TypeError(f"not an XPath node: {node!r}")
+
+
+def document_order_key(node: XPathNode) -> tuple:
+    """A sort key realizing document order within one tree.
+
+    Attributes order directly after their owner element, before its
+    children, and among themselves by expanded name.
+    """
+    if isinstance(node, AttributeNode):
+        base = document_order_key(node.owner)
+        return base + ((0, node.name.uri or "", node.name.local),)
+    indices: list[tuple] = []
+    current: Node = node
+    while current.parent is not None:
+        parent = current.parent
+        # identity-based position: structurally equal siblings are
+        # distinct nodes and must not collapse onto the same index
+        indices.append((1, _identity_index(parent.children, current)))
+        current = parent
+    indices.reverse()
+    return (id(current),) + tuple(indices)
+
+
+def _identity_index(children: list, node) -> int:
+    for index, child in enumerate(children):
+        if child is node:
+            return index
+    raise ValueError("node is not among its parent's children")
+
+
+def sort_document_order(nodes: list[XPathNode]) -> list[XPathNode]:
+    """Sort and deduplicate a node list into document order."""
+    seen: set[int] = set()
+    unique: list[XPathNode] = []
+    for node in nodes:
+        key = id(node) if not isinstance(node, AttributeNode) else hash(
+            (id(node.owner), node.name))
+        if key not in seen:
+            seen.add(key)
+            unique.append(node)
+    unique.sort(key=document_order_key)
+    return unique
+
+
+def _children(node: XPathNode) -> list:
+    if isinstance(node, (Element, Document)):
+        return node.children
+    return []
+
+
+def _descendants(node: XPathNode) -> Iterator[XPathNode]:
+    for child in _children(node):
+        yield child
+        yield from _descendants(child)
+
+
+def axis_nodes(node: XPathNode, axis: str) -> Iterator[XPathNode]:
+    """The nodes on ``axis`` starting from ``node``, in axis order."""
+    if axis == "child":
+        yield from _children(node)
+    elif axis == "descendant":
+        yield from _descendants(node)
+    elif axis == "descendant-or-self":
+        yield node
+        yield from _descendants(node)
+    elif axis == "self":
+        yield node
+    elif axis == "parent":
+        parent = node.owner if isinstance(node, AttributeNode) else node.parent
+        if parent is not None:
+            yield parent
+    elif axis in ("ancestor", "ancestor-or-self"):
+        if axis == "ancestor-or-self":
+            yield node
+        current = (node.owner if isinstance(node, AttributeNode)
+                   else node.parent)
+        while current is not None:
+            yield current
+            current = current.parent
+    elif axis == "attribute":
+        if isinstance(node, Element):
+            for name, value in node.attributes.items():
+                yield AttributeNode(node, name, value)
+    elif axis == "following-sibling":
+        yield from _siblings(node, forward=True)
+    elif axis == "preceding-sibling":
+        yield from _siblings(node, forward=False)
+    else:  # pragma: no cover - parser rejects unknown axes
+        raise ValueError(f"unsupported axis: {axis}")
+
+
+def _siblings(node: XPathNode, forward: bool) -> Iterator[XPathNode]:
+    if isinstance(node, AttributeNode) or node.parent is None:
+        return
+    siblings = node.parent.children
+    index = _identity_index(siblings, node)
+    if forward:
+        yield from siblings[index + 1:]
+    else:
+        yield from reversed(siblings[:index])

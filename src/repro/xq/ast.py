@@ -1,0 +1,81 @@
+"""Abstract syntax of XQ-lite (FLWOR subset + constructors)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xpath.ast import Expr
+
+__all__ = ["ForClause", "LetClause", "FLWOR", "IfExpr", "SequenceExpr",
+           "AttributeTemplate", "ElementTemplate", "TextTemplate", "Prolog",
+           "Query"]
+
+
+@dataclass(frozen=True, slots=True)
+class ForClause:
+    variable: str
+    source: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class LetClause:
+    variable: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class FLWOR(Expr):
+    clauses: tuple[ForClause | LetClause, ...]
+    where: Expr | None
+    order_by: Expr | None
+    descending: bool
+    body: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class IfExpr(Expr):
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceExpr(Expr):
+    """Comma operator: concatenation of item sequences."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeTemplate:
+    """An attribute whose value interleaves literal text and expressions."""
+
+    name: str  # possibly prefixed
+    parts: tuple[str | Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TextTemplate:
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class ElementTemplate(Expr):
+    """A direct element constructor ``<tag a="{..}">...{expr}...</tag>``."""
+
+    name: str  # possibly prefixed
+    nsdecls: tuple[tuple[str, str], ...]
+    attributes: tuple[AttributeTemplate, ...]
+    content: tuple["ElementTemplate | TextTemplate | Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Prolog:
+    namespaces: tuple[tuple[str, str], ...]
+    default_element_namespace: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    prolog: Prolog
+    body: Expr

@@ -1,0 +1,203 @@
+"""Actions: templates, runtime effects, combinators, markup."""
+
+import pytest
+
+from repro.actions import (ACTION_NS, ActionError, ActionMarkupError,
+                           ActionRuntime, AssertTriple, If, Insert, Parallel,
+                           Raise, Send, Sequence, TemplateError, instantiate,
+                           parse_action_component, template_variables)
+from repro.bindings import Binding, Relation
+from repro.conditions import TestExpression
+from repro.events import EventStream
+from repro.rdf import Graph, Literal, URIRef
+from repro.xmlmodel import E, parse
+
+ACT = f'xmlns:act="{ACTION_NS}"'
+
+
+class TestTemplates:
+    def test_attribute_and_text_substitution(self):
+        template = parse('<offer person="{Person}">Take the {Car}!</offer>')
+        result = instantiate(template, Binding({"Person": "John Doe",
+                                                "Car": "Polo"}))
+        assert result.get("person") == "John Doe"
+        assert result.text() == "Take the Polo!"
+
+    def test_lone_placeholder_embeds_fragment(self):
+        template = parse("<wrap>{Car}</wrap>")
+        car = parse('<car model="Polo"/>')
+        result = instantiate(template, Binding({"Car": car}))
+        assert result.find("car").get("model") == "Polo"
+
+    def test_numeric_value_formatting(self):
+        result = instantiate(parse('<n v="{X}"/>'), Binding({"X": 5.0}))
+        assert result.get("v") == "5"
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(TemplateError, match="unbound"):
+            instantiate(parse('<a k="{Nope}"/>'), Binding())
+
+    def test_template_variables(self):
+        template = parse('<a k="{X}"><b>{Y} and {Z}</b></a>')
+        assert template_variables(template) == {"X", "Y", "Z"}
+
+    def test_nested_elements_instantiated(self):
+        template = parse('<a><b c="{X}"/><d>{X}</d></a>')
+        result = instantiate(template, Binding({"X": "v"}))
+        assert result.find("b").get("c") == "v"
+        assert result.find("d").text() == "v"
+
+
+class TestRuntimeEffects:
+    def test_send_collects_messages(self):
+        runtime = ActionRuntime()
+        Send("customer", parse('<offer car="{C}"/>')).perform(
+            runtime, Binding({"C": "Polo"}))
+        (message,) = runtime.messages("customer")
+        assert message.content.get("car") == "Polo"
+
+    def test_insert_and_delete(self):
+        runtime = ActionRuntime()
+        runtime.register_document("cars.xml", parse("<cars><car id='1'/></cars>"))
+        Insert("cars.xml", "/cars", parse('<car id="{I}"/>')).perform(
+            runtime, Binding({"I": "2"}))
+        root = runtime.documents["cars.xml"]
+        assert len(root.findall("car")) == 2
+        runtime.delete("cars.xml", "/cars/car[@id='1']")
+        assert len(root.findall("car")) == 1
+
+    def test_insert_into_missing_target_raises(self):
+        runtime = ActionRuntime()
+        runtime.register_document("d", parse("<root/>"))
+        with pytest.raises(ActionError, match="selects nothing"):
+            runtime.insert("d", "/nope", E("x"))
+
+    def test_unknown_document_raises(self):
+        with pytest.raises(ActionError, match="unknown document"):
+            ActionRuntime().insert("ghost", "/", E("x"))
+
+    def test_assert_triple_with_variables(self):
+        runtime = ActionRuntime()
+        runtime.register_graph("fleet", Graph())
+        action = AssertTriple("fleet", "urn:fleet#{Car}",
+                              "urn:fleet#offeredTo", "{Person}")
+        action.perform(runtime, Binding({"Car": "polo",
+                                         "Person": "John Doe"}))
+        graph = runtime.graphs["fleet"]
+        assert (URIRef("urn:fleet#polo"), URIRef("urn:fleet#offeredTo"),
+                Literal("John Doe")) in graph
+
+    def test_raise_event_feeds_stream(self):
+        stream = EventStream()
+        runtime = ActionRuntime(event_stream=stream)
+        Raise(parse('<alert level="{L}"/>')).perform(
+            runtime, Binding({"L": "high"}))
+        assert len(stream) == 1
+        assert stream.history[0].payload.get("level") == "high"
+
+    def test_raise_without_stream_raises(self):
+        with pytest.raises(ActionError, match="no event stream"):
+            Raise(E("x")).perform(ActionRuntime(), Binding())
+
+
+class TestCombinators:
+    def test_sequence_order(self):
+        runtime = ActionRuntime()
+        Sequence((Send("a", E("first")), Send("a", E("second")))).perform(
+            runtime, Binding())
+        names = [m.content.name.local for m in runtime.messages("a")]
+        assert names == ["first", "second"]
+
+    def test_parallel_runs_all(self):
+        runtime = ActionRuntime()
+        Parallel((Send("a", E("x")), Send("b", E("y")))).perform(
+            runtime, Binding())
+        assert runtime.messages("a") and runtime.messages("b")
+
+    def test_if_branches(self):
+        runtime = ActionRuntime()
+        action = If(TestExpression("$Class = 'B'"),
+                    Send("hit", E("yes")), Send("miss", E("no")))
+        action.perform(runtime, Binding({"Class": "B"}))
+        action.perform(runtime, Binding({"Class": "C"}))
+        assert len(runtime.messages("hit")) == 1
+        assert len(runtime.messages("miss")) == 1
+
+    def test_if_without_else_is_noop(self):
+        runtime = ActionRuntime()
+        If(TestExpression("$X = 1"), Send("a", E("x"))).perform(
+            runtime, Binding({"X": 2}))
+        assert runtime.messages("a") == []
+
+    def test_variables_aggregate(self):
+        action = Sequence((Send("m-{R}", parse('<a k="{X}"/>')),
+                           If(TestExpression("$Y = 1"),
+                              Send("n", parse("<b>{Z}</b>")))))
+        assert action.variables() == {"R", "X", "Y", "Z"}
+
+
+class TestMarkup:
+    def test_bare_content_is_default_send(self):
+        action = parse_action_component(parse('<offer car="{C}"/>'))
+        assert isinstance(action, Send)
+        assert action.recipient == "default"
+
+    def test_send_markup(self):
+        action = parse_action_component(parse(
+            f'<act:send {ACT} to="customer"><offer car="{{C}}"/></act:send>'))
+        assert isinstance(action, Send)
+        assert action.recipient == "customer"
+
+    def test_sequence_markup(self):
+        action = parse_action_component(parse(
+            f'<act:sequence {ACT}>'
+            f'<act:send to="a"><x/></act:send>'
+            f'<act:raise><y/></act:raise>'
+            f'</act:sequence>'))
+        assert isinstance(action, Sequence)
+        assert len(action.actions) == 2
+
+    def test_if_else_markup(self):
+        action = parse_action_component(parse(
+            f'<act:if {ACT} test="$K = \'B\'">'
+            f'<act:send to="yes"><a/></act:send>'
+            f'<act:else><act:send to="no"><b/></act:send></act:else>'
+            f'</act:if>'))
+        assert isinstance(action, If)
+        assert action.otherwise is not None
+
+    def test_insert_markup(self):
+        action = parse_action_component(parse(
+            f'<act:insert {ACT} document="cars.xml" at="/cars">'
+            f'<car/></act:insert>'))
+        assert isinstance(action, Insert)
+
+    @pytest.mark.parametrize("bad", [
+        '<act:send {act}><a/><b/></act:send>',         # two children
+        '<act:insert {act} at="/x"><a/></act:insert>', # missing document
+        '<act:sequence {act}/>',                       # empty
+        '<act:if {act} test="$X ="><a/></act:if>',     # bad test
+        '<act:if {act} test="$X = 1"/>',               # no then
+        '<act:assert {act} graph="g" s="a" p="b"/>',   # missing o
+        '<act:frobnicate {act}/>',                     # unknown
+    ])
+    def test_markup_errors(self, bad):
+        with pytest.raises(ActionMarkupError):
+            parse_action_component(parse(bad.format(act=ACT)))
+
+    def test_end_to_end_per_tuple_execution(self):
+        # Sec 4.5: "for each tuple of variable bindings, the action
+        # component is executed"
+        runtime = ActionRuntime()
+        action = parse_action_component(parse(
+            f'<act:send {ACT} to="customer-notifications">'
+            f'<offer person="{{Person}}" car="{{Avail}}"/></act:send>'))
+        relation = Relation([
+            {"Person": "John Doe", "Avail": "Polo"},
+            {"Person": "John Doe", "Avail": "Corsa"},
+        ])
+        for binding in relation:
+            action.perform(runtime, binding)
+        cars = {m.content.get("car")
+                for m in runtime.messages("customer-notifications")}
+        assert cars == {"Polo", "Corsa"}

@@ -1,0 +1,79 @@
+"""Additional Relation/value coverage: extend_many, sorting, edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bindings import (Binding, Relation, Uri, value_sort_key,
+                            value_to_text)
+from repro.xmlmodel import E
+
+
+class TestExtendMany:
+    def test_compatible_extensions_merge(self):
+        relation = Relation([{"A": 1}, {"A": 2}])
+        extended = relation.extend_many(
+            lambda b: [{"B": b["A"] * 10}, {"B": b["A"] * 100}])
+        assert len(extended) == 4
+        assert Binding({"A": 1, "B": 10}) in set(extended)
+
+    def test_incompatible_extensions_dropped(self):
+        relation = Relation([{"A": 1}])
+        extended = relation.extend_many(lambda b: [{"A": 2, "B": 9}])
+        assert extended == Relation.empty()
+
+    def test_binding_instances_accepted(self):
+        relation = Relation([{"A": 1}])
+        extended = relation.extend_many(lambda b: [Binding({"B": 2})])
+        assert dict(next(iter(extended))) == {"A": 1, "B": 2}
+
+    def test_empty_producer_kills_tuple(self):
+        relation = Relation([{"A": 1}, {"A": 2}])
+        extended = relation.extend_many(
+            lambda b: [{"B": 1}] if b["A"] == 1 else [])
+        assert len(extended) == 1
+
+
+class TestValueHelpers:
+    def test_sort_key_total_order_over_mixed_values(self):
+        values = [E("z"), Uri("urn:a"), "text", 3, True, 2.5]
+        ordered = sorted(values, key=value_sort_key)
+        # sorting must not raise and must be deterministic
+        assert sorted(ordered, key=value_sort_key) == ordered
+
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0"), (-2.5, "-2.5"), (10.0, "10"), (False, "false"),
+        (Uri("urn:x"), "urn:x"),
+    ])
+    def test_value_to_text(self, value, expected):
+        assert value_to_text(value) == expected
+
+
+class TestRelationSorted:
+    def test_sorted_is_deterministic_permutation(self):
+        relation = Relation([{"A": 3}, {"A": 1}, {"A": 2}])
+        assert list(relation.sorted()) == [Binding({"A": 1}),
+                                           Binding({"A": 2}),
+                                           Binding({"A": 3})]
+        assert relation.sorted() == relation  # same set
+
+    @given(st.lists(st.dictionaries(st.sampled_from(["X", "Y"]),
+                                    st.integers(-5, 5), max_size=2),
+                    max_size=8))
+    def test_sorted_preserves_contents(self, rows):
+        relation = Relation(rows)
+        assert relation.sorted() == relation
+        assert len(relation.sorted()) == len(relation)
+
+
+class TestComponentSpecHelpers:
+    def test_consumed_variables_for_opaque(self):
+        from repro.grh import ComponentSpec, opaque_placeholders
+        spec = ComponentSpec("query", "l", opaque="//x[@a='{A}'][@b='{B}']")
+        assert spec.consumed_variables() == {"A", "B"}
+        assert opaque_placeholders("{X} and {X} and {Y}") == {"X", "Y"}
+
+    def test_consumed_variables_unknown_for_markup(self):
+        from repro.grh import ComponentSpec
+        from repro.xmlmodel import parse
+        spec = ComponentSpec("query", "l", content=parse("<q xmlns='l'/>"))
+        assert spec.consumed_variables() is None

@@ -1,0 +1,196 @@
+"""Binding/Relation algebra, including the paper's Fig. 11 join."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bindings import Binding, BindingError, Relation, Uri, values_equal
+from repro.xmlmodel import E
+
+
+class TestValues:
+    def test_numbers_compare_numerically(self):
+        assert values_equal(2, 2.0)
+        assert not values_equal(2, 3)
+
+    def test_string_never_equals_number(self):
+        assert not values_equal("2", 2)
+
+    def test_bool_is_not_number(self):
+        assert not values_equal(True, 1)
+        assert values_equal(True, True)
+
+    def test_uri_distinct_from_string(self):
+        assert not values_equal(Uri("urn:x"), "urn:x")
+        assert values_equal(Uri("urn:x"), Uri("urn:x"))
+
+    def test_xml_fragments_compare_structurally(self):
+        assert values_equal(E("a", {"k": "v"}), E("a", {"k": "v"}))
+        assert not values_equal(E("a"), E("b"))
+
+
+class TestBinding:
+    def test_mapping_interface(self):
+        binding = Binding({"Person": "John Doe", "To": "Paris"})
+        assert binding["To"] == "Paris"
+        assert set(binding) == {"Person", "To"}
+        assert len(binding) == 2
+
+    def test_compatible_and_merge(self):
+        left = Binding({"A": 1, "B": 2})
+        right = Binding({"B": 2.0, "C": 3})
+        assert left.compatible(right)
+        assert dict(left.merged(right)) == {"A": 1, "B": 2, "C": 3}
+
+    def test_incompatible_merge_raises(self):
+        with pytest.raises(BindingError, match="incompatible"):
+            Binding({"A": 1}).merged(Binding({"A": 2}))
+
+    def test_extended_fresh_variable(self):
+        assert Binding().extended("X", "v")["X"] == "v"
+
+    def test_extended_conflict_raises(self):
+        with pytest.raises(BindingError):
+            Binding({"X": "a"}).extended("X", "b")
+
+    def test_extended_same_value_ok(self):
+        binding = Binding({"X": 2}).extended("X", 2.0)
+        assert binding["X"] == 2
+
+    def test_projection(self):
+        binding = Binding({"A": 1, "B": 2}).projected(["A", "Z"])
+        assert dict(binding) == {"A": 1}
+
+    def test_equality_is_value_based(self):
+        assert Binding({"N": 2}) == Binding({"N": 2.0})
+        assert hash(Binding({"N": 2})) == hash(Binding({"N": 2.0}))
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(BindingError):
+            Binding({"": "x"})
+
+
+class TestRelation:
+    def test_deduplication(self):
+        relation = Relation([{"A": 1}, {"A": 1.0}, {"A": 2}])
+        assert len(relation) == 2
+
+    def test_unit_and_empty(self):
+        assert len(Relation.unit()) == 1
+        assert len(Relation.empty()) == 0
+        assert bool(Relation.empty()) is False
+
+    def test_variables_and_common_variables(self):
+        relation = Relation([{"A": 1, "B": 1}, {"A": 2}])
+        assert relation.variables() == {"A", "B"}
+        assert relation.common_variables() == {"A"}
+
+    def test_select_and_project(self):
+        relation = Relation([{"A": 1}, {"A": 2}])
+        assert len(relation.select(lambda b: b["A"] > 1)) == 1
+        assert relation.project(["A"]) == relation
+
+    def test_union_dedupes(self):
+        left = Relation([{"A": 1}])
+        right = Relation([{"A": 1}, {"A": 2}])
+        assert len(left.union(right)) == 2
+
+
+class TestJoin:
+    def test_paper_figure_11_join(self):
+        # Customer owns a Golf (class B) and a Passat (class C);
+        # available at the destination are cars of classes B and D.
+        owned = Relation([
+            {"Person": "John Doe", "OwnCar": "Golf", "Class": "B"},
+            {"Person": "John Doe", "OwnCar": "Passat", "Class": "C"},
+        ])
+        available = Relation([
+            {"Class": "B", "Avail": "Polo"},
+            {"Class": "D", "Avail": "Espace"},
+        ])
+        joined = owned.join(available)
+        assert len(joined) == 1
+        (tuple_,) = joined
+        assert tuple_["OwnCar"] == "Golf"
+        assert tuple_["Avail"] == "Polo"
+        assert tuple_["Class"] == "B"
+
+    def test_join_without_shared_variables_is_product(self):
+        left = Relation([{"A": 1}, {"A": 2}])
+        right = Relation([{"B": 1}, {"B": 2}])
+        assert len(left.join(right)) == 4
+
+    def test_join_with_empty_is_empty(self):
+        relation = Relation([{"A": 1}])
+        assert relation.join(Relation.empty()) == Relation.empty()
+
+    def test_join_with_unit_is_identity(self):
+        relation = Relation([{"A": 1}, {"A": 2}])
+        assert relation.join(Relation.unit()) == relation
+
+    def test_join_heterogeneous_tuples(self):
+        left = Relation([{"A": 1, "B": 1}, {"A": 2}])
+        right = Relation([{"B": 1, "C": 9}])
+        joined = left.join(right)
+        # {"A":2} has no B → compatible with the right tuple
+        assert Binding({"A": 1, "B": 1, "C": 9}) in set(joined)
+        assert Binding({"A": 2, "B": 1, "C": 9}) in set(joined)
+
+    def test_extend_each_multiplies_tuples(self):
+        relation = Relation([{"Person": "John Doe"}])
+        cars = {"John Doe": ["Golf", "Passat"]}
+        extended = relation.extend_each(
+            "OwnCar", lambda b: cars.get(b["Person"], []))
+        assert len(extended) == 2
+        assert {b["OwnCar"] for b in extended} == {"Golf", "Passat"}
+
+    def test_extend_each_drops_unproductive_tuples(self):
+        relation = Relation([{"P": "known"}, {"P": "unknown"}])
+        extended = relation.extend_each(
+            "X", lambda b: ["v"] if b["P"] == "known" else [])
+        assert len(extended) == 1
+
+
+_values = st.one_of(
+    st.integers(-3, 3),
+    st.sampled_from(["a", "b", "c"]),
+)
+_bindings = st.dictionaries(st.sampled_from(["X", "Y", "Z"]), _values,
+                            max_size=3)
+_relations = st.lists(_bindings, max_size=6).map(Relation)
+
+
+class TestJoinProperties:
+    @given(_relations, _relations)
+    def test_commutative(self, left, right):
+        assert left.join(right) == right.join(left)
+
+    @given(_relations, _relations, _relations)
+    def test_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(_relations)
+    def test_unit_identity(self, relation):
+        assert relation.join(Relation.unit()) == relation
+
+    @given(_relations)
+    def test_empty_absorbing(self, relation):
+        assert relation.join(Relation.empty()) == Relation.empty()
+
+    @given(_relations)
+    def test_self_join_idempotent_on_uniform_schema(self, relation):
+        # For relations where all tuples bind the same variables,
+        # R ⋈ R = R.
+        uniform = Relation([b for b in relation
+                            if set(b) == relation.variables()])
+        assert uniform.join(uniform) == uniform
+
+
+class TestPresentation:
+    def test_to_table_contains_columns_and_values(self):
+        relation = Relation([{"Person": "John Doe", "Class": "B"}])
+        table = relation.to_table()
+        assert "Person" in table and "Class" in table
+        assert "John Doe" in table
+
+    def test_to_table_empty_schema(self):
+        assert "tuple" in Relation.unit().to_table()

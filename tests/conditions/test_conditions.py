@@ -1,0 +1,100 @@
+"""The test language: comparisons over bound variables."""
+
+import pytest
+
+from repro.bindings import Binding, Relation, Uri
+from repro.conditions import (TestEvaluationError, TestExpression,
+                              TestSyntaxError)
+from repro.xmlmodel import parse
+
+
+class TestBasicPredicates:
+    @pytest.mark.parametrize("source,binding,expected", [
+        ("$Class = 'B'", {"Class": "B"}, True),
+        ("$Class = 'B'", {"Class": "C"}, False),
+        ("$Price < 100", {"Price": 50}, True),
+        ("$Price < 100", {"Price": 150}, False),
+        ("$A = $B", {"A": "x", "B": "x"}, True),
+        ("$A != $B", {"A": "x", "B": "y"}, True),
+        ("$N + 1 = 3", {"N": 2}, True),
+        ("$N mod 2 = 0", {"N": 4}, True),
+        ("not($Flag)", {"Flag": False}, True),
+        ("$A = 'x' and $B > 1", {"A": "x", "B": 2}, True),
+        ("$A = 'x' or $B > 1", {"A": "z", "B": 2}, True),
+        ("contains($City, 'Par')", {"City": "Paris"}, True),
+        ("starts-with($Name, 'John')", {"Name": "John Doe"}, True),
+        ("string-length($Name) > 3", {"Name": "John"}, True),
+    ])
+    def test_predicates(self, source, binding, expected):
+        assert TestExpression(source).holds(Binding(binding)) is expected
+
+    def test_uri_values_compare_as_strings(self):
+        test = TestExpression("$Ref = 'http://example.org/x'")
+        assert test.holds(Binding({"Ref": Uri("http://example.org/x")}))
+
+
+class TestXMLNavigation:
+    def test_navigate_into_fragment(self):
+        car = parse("<car><model>Golf</model><class>B</class></car>")
+        test = TestExpression("$Car/class = 'B'")
+        assert test.holds(Binding({"Car": car})) is True
+        assert test.holds(Binding({"Car": parse(
+            "<car><class>C</class></car>")})) is False
+
+    def test_attribute_of_fragment(self):
+        test = TestExpression("$Car/@doors > 3")
+        assert test.holds(Binding({"Car": parse('<car doors="5"/>')}))
+
+
+class TestRelationFiltering:
+    def test_filter_keeps_satisfying_tuples(self):
+        relation = Relation([
+            {"OwnCar": "Golf", "Class": "B"},
+            {"OwnCar": "Passat", "Class": "C"},
+        ])
+        filtered = TestExpression("$Class = 'B'").filter(relation)
+        assert len(filtered) == 1
+        (binding,) = filtered
+        assert binding["OwnCar"] == "Golf"
+
+    def test_filter_empty_relation(self):
+        assert TestExpression("$X = 1").filter(Relation()) == Relation()
+
+
+class TestValidation:
+    def test_variables_are_reported(self):
+        test = TestExpression("$A = $B and contains($C, 'x')")
+        assert test.variables() == {"A", "B", "C"}
+
+    @pytest.mark.parametrize("bad", [
+        "",                      # empty
+        "$A = ",                 # incomplete
+        "book = 'x'",            # free path
+        "/a/b = 1",              # absolute path
+        ". = 1",                 # context item
+        "$A[. = 1]/x | b",       # free path inside union
+    ])
+    def test_rejected_expressions(self, bad):
+        with pytest.raises(TestSyntaxError):
+            TestExpression(bad)
+
+    def test_unbound_variable_raises_at_evaluation(self):
+        with pytest.raises(TestEvaluationError, match="Missing"):
+            TestExpression("$Missing = 1").holds(Binding({"Other": 1}))
+
+
+class TestNamespacedFragments:
+    def test_navigation_with_prefix(self):
+        from repro.xmlmodel import parse
+        car = parse('<t:car xmlns:t="urn:t"><t:class>B</t:class></t:car>')
+        test = TestExpression("$Car/t:class = 'B'",
+                              namespaces={"t": "urn:t"})
+        assert test.holds(Binding({"Car": car})) is True
+
+    def test_undeclared_prefix_fails_at_evaluation(self):
+        from repro.xmlmodel import parse
+        # the element must have children for the name test to be applied
+        car = parse('<car><klass>B</klass></car>')
+        test = TestExpression("$Car/t:klass = 'B'")
+        with pytest.raises(TestEvaluationError):
+            test.holds(Binding({"Car": car}))

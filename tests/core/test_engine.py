@@ -1,0 +1,235 @@
+"""Engine lifecycle: registration, instances, chaining, failure modes."""
+
+import pytest
+
+from repro.core import ECAEngine, EngineError, RuleValidationError, parse_rule
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS, parse
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+
+def simple_rule(rule_id="r1", event="ping", action_recipient="out"):
+    from repro.actions import ACTION_NS
+    return f"""
+    <eca:rule {ECA} id="{rule_id}">
+      <eca:event><{event} n="{{N}}"/></eca:event>
+      <eca:action>
+        <act:send xmlns:act="{ACTION_NS}" to="{action_recipient}">
+          <pong n="{{N}}"/>
+        </act:send>
+      </eca:action>
+    </eca:rule>
+    """
+
+
+@pytest.fixture()
+def world():
+    deployment = standard_deployment()
+    return deployment, ECAEngine(deployment.grh)
+
+
+class TestRegistration:
+    def test_register_returns_rule_id(self, world):
+        deployment, engine = world
+        assert engine.register_rule(simple_rule()) == "r1"
+        assert "r1" in engine.rules
+
+    def test_duplicate_rule_id_rejected(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule())
+        with pytest.raises(EngineError, match="already registered"):
+            engine.register_rule(simple_rule())
+
+    def test_validation_runs_at_registration(self, world):
+        deployment, engine = world
+        bad = f"""
+        <eca:rule {ECA} id="bad">
+          <eca:event><ping/></eca:event>
+          <eca:action><pong n="{{Unbound}}"/></eca:action>
+        </eca:rule>"""
+        with pytest.raises(RuleValidationError):
+            engine.register_rule(bad)
+        # nothing was registered at the event service
+        assert deployment.atomic_events.registered_ids == []
+
+    def test_validation_can_be_disabled(self, world):
+        deployment, engine = world
+        engine.validate = False
+        bad = f"""
+        <eca:rule {ECA} id="bad">
+          <eca:event><ping/></eca:event>
+          <eca:action><pong n="{{Unbound}}"/></eca:action>
+        </eca:rule>"""
+        engine.register_rule(bad)  # registers; will fail at runtime
+        deployment.stream.emit(E("ping"))
+        (instance,) = engine.instances_of("bad")
+        assert instance.status == "failed"
+        assert "Unbound" in instance.error
+
+    def test_deregister_stops_firing(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule())
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        engine.deregister_rule("r1")
+        deployment.stream.emit(E("ping", {"n": "2"}))
+        assert len(deployment.runtime.messages("out")) == 1
+
+    def test_deregister_unknown_rule(self, world):
+        deployment, engine = world
+        with pytest.raises(EngineError, match="unknown rule"):
+            engine.deregister_rule("ghost")
+
+    def test_accepts_parsed_rule_and_element(self, world):
+        deployment, engine = world
+        engine.register_rule(parse_rule(simple_rule("r-parsed")))
+        engine.register_rule(parse(simple_rule("r-element")))
+        assert set(engine.rules) == {"r-parsed", "r-element"}
+
+
+class TestInstanceLifecycle:
+    def test_one_instance_per_detection(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule())
+        for n in range(3):
+            deployment.stream.emit(E("ping", {"n": str(n)}))
+        assert engine.stats["instances"] == 3
+        assert engine.stats["completed"] == 3
+        assert len(deployment.runtime.messages("out")) == 3
+
+    def test_multiple_rules_same_event(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule("a", action_recipient="box-a"))
+        engine.register_rule(simple_rule("b", action_recipient="box-b"))
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert len(deployment.runtime.messages("box-a")) == 1
+        assert len(deployment.runtime.messages("box-b")) == 1
+
+    def test_instances_not_kept_when_disabled(self, world):
+        deployment, engine = world
+        engine.keep_instances = False
+        engine.register_rule(simple_rule())
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert engine.instances == []
+        assert engine.stats["completed"] == 1
+
+    def test_test_component_filters(self, world):
+        deployment, engine = world
+        from repro.actions import ACTION_NS
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="guarded">
+          <eca:event><ping n="{{N}}"/></eca:event>
+          <eca:test>$N > 2</eca:test>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="out"><pong/></act:send>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        deployment.stream.emit(E("ping", {"n": "5"}))
+        assert len(deployment.runtime.messages("out")) == 1
+        statuses = sorted(i.status for i in engine.instances_of("guarded"))
+        assert statuses == ["completed", "dead"]
+
+    def test_remote_test_evaluation(self, world):
+        deployment, engine = world
+        engine.evaluate_tests_locally = False
+        from repro.actions import ACTION_NS
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="guarded">
+          <eca:event><ping n="{{N}}"/></eca:event>
+          <eca:test>$N > 2</eca:test>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="out"><pong/></act:send>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("ping", {"n": "5"}))
+        assert len(deployment.runtime.messages("out")) == 1
+
+
+class TestRuleChaining:
+    def test_action_raised_event_triggers_next_rule(self, world):
+        deployment, engine = world
+        from repro.actions import ACTION_NS
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="first">
+          <eca:event><ping n="{{N}}"/></eca:event>
+          <eca:action>
+            <act:raise xmlns:act="{ACTION_NS}"><relay n="{{N}}"/></act:raise>
+          </eca:action>
+        </eca:rule>""")
+        engine.register_rule(simple_rule("second", event="relay"))
+        deployment.stream.emit(E("ping", {"n": "7"}))
+        messages = deployment.runtime.messages("out")
+        assert len(messages) == 1
+        assert messages[0].content.get("n") == "7"
+
+    def test_chaining_does_not_recurse_unboundedly(self, world):
+        deployment, engine = world
+        from repro.actions import ACTION_NS
+        # ping → relay → out; only two hops exist, but the queue-based
+        # drain means even this self-triggering rule terminates per event
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="decrement">
+          <eca:event><count n="{{N}}"/></eca:event>
+          <eca:test>$N > 0</eca:test>
+          <eca:action>
+            <act:raise xmlns:act="{ACTION_NS}"><done n="{{N}}"/></act:raise>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("count", {"n": "3"}))
+        assert engine.stats["completed"] == 1
+
+
+class TestInstanceRetention:
+    def test_max_kept_instances_caps_memory(self, world):
+        deployment, engine = world
+        engine.max_kept_instances = 3
+        engine.register_rule(simple_rule())
+        for n in range(10):
+            deployment.stream.emit(E("ping", {"n": str(n)}))
+        assert len(engine.instances) == 3
+        # the retained instances are the most recent ones
+        kept = [instance.instance_id for instance in engine.instances]
+        assert kept == sorted(kept)
+        assert engine.stats["instances"] == 10
+
+    def test_unbounded_by_default(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule())
+        for n in range(5):
+            deployment.stream.emit(E("ping", {"n": str(n)}))
+        assert len(engine.instances) == 5
+
+
+class TestInstanceReport:
+    def test_to_xml_contains_outcome_and_stages(self, world):
+        deployment, engine = world
+        engine.register_rule(simple_rule())
+        deployment.stream.emit(E("ping", {"n": "7"}))
+        (instance,) = engine.instances
+        report = instance.to_xml()
+        assert report.get("rule") == "r1"
+        assert report.get("status") == "completed"
+        assert report.get("actions") == "1"
+        from repro.xmlmodel import LOG_NS, QName, parse, serialize
+        stages = report.findall(QName(LOG_NS, "stage"))
+        assert [s.get("name") for s in stages] == ["event", "action"]
+        events = report.find(QName(LOG_NS, "events"))
+        assert events.elements().__next__().get("n") == "7"
+        # the report serializes and reparses
+        assert parse(serialize(report)).get("status") == "completed"
+
+    def test_failed_instance_report_carries_error(self, world):
+        deployment, engine = world
+        engine.validate = False
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="broken">
+          <eca:event><ping/></eca:event>
+          <eca:action><x v="{{Nope}}"/></eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("ping"))
+        (instance,) = engine.instances
+        report = instance.to_xml()
+        assert report.get("status") == "failed"
+        from repro.xmlmodel import LOG_NS, QName
+        assert "Nope" in report.find(QName(LOG_NS, "error")).text()

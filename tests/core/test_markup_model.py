@@ -1,0 +1,183 @@
+"""ECA-ML parsing, the rule model and its RDF export (FIG1/FIG4)."""
+
+import pytest
+
+from repro.actions import ACTION_NS
+from repro.conditions import TEST_NS
+from repro.core import (ECARule, RuleError, RuleMarkupError, parse_rule,
+                        rule_to_xml)
+from repro.events import ATOMIC_NS, SNOOP_NS
+from repro.grh import ComponentSpec, ECA_ONTOLOGY
+from repro.rdf import Literal, RDF, URIRef
+from repro.services import XQ_LANG
+from repro.xmlmodel import ECA_NS, parse, serialize
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+MINIMAL = f"""
+<eca:rule {ECA} id="minimal">
+  <eca:event><booking person="{{P}}"/></eca:event>
+  <eca:action><offer person="{{P}}"/></eca:action>
+</eca:rule>
+"""
+
+FULL = f"""
+<eca:rule {ECA} id="full">
+  <eca:event>
+    <snoop:seq xmlns:snoop="{SNOOP_NS}">
+      <a k="{{K}}"/><b/>
+    </snoop:seq>
+  </eca:event>
+  <eca:variable name="V">
+    <eca:query>
+      <xq:xquery xmlns:xq="{XQ_LANG}">for $x in doc('d')//i return $x</xq:xquery>
+    </eca:query>
+  </eca:variable>
+  <eca:query>
+    <eca:opaque language="exist-like">//thing[@k='{{K}}']</eca:opaque>
+  </eca:query>
+  <eca:test>$K != 'forbidden'</eca:test>
+  <eca:action><act:raise xmlns:act="{ACTION_NS}"><done k="{{K}}"/></act:raise></eca:action>
+  <eca:action><note k="{{K}}"/></eca:action>
+</eca:rule>
+"""
+
+
+class TestParseRule:
+    def test_minimal_rule(self):
+        rule = parse_rule(MINIMAL)
+        assert rule.rule_id == "minimal"
+        assert rule.event.language == ATOMIC_NS
+        assert rule.queries == ()
+        assert rule.test is None
+        assert len(rule.actions) == 1
+        assert rule.actions[0].language == ACTION_NS
+
+    def test_full_rule_structure(self):
+        rule = parse_rule(FULL)
+        assert rule.event.language == SNOOP_NS
+        assert [query.bind_to for query in rule.queries] == ["V", None]
+        assert rule.queries[0].language == XQ_LANG
+        assert rule.queries[1].language == "exist-like"
+        assert rule.queries[1].is_opaque
+        assert rule.test.language == TEST_NS
+        assert rule.test.opaque == "$K != 'forbidden'"
+        assert len(rule.actions) == 2
+
+    def test_generated_rule_id(self):
+        rule = parse_rule(MINIMAL.replace(' id="minimal"', ""))
+        assert rule.rule_id.startswith("rule-")
+
+    def test_explicit_rule_id_overrides(self):
+        assert parse_rule(MINIMAL, rule_id="custom").rule_id == "custom"
+
+    def test_languages_listing(self):
+        rule = parse_rule(FULL)
+        assert rule.languages() == {SNOOP_NS, XQ_LANG, "exist-like",
+                                    TEST_NS, ACTION_NS}
+
+    @pytest.mark.parametrize("bad,message", [
+        (f'<eca:rule {ECA}><eca:action><a/></eca:action></eca:rule>',
+         "come last"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event></eca:rule>',
+         "at least one action"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:event><e/></eca:event>'
+         f'<eca:action><a/></eca:action></eca:rule>',
+         "exactly one event"),
+        (f'<eca:rule {ECA}><eca:action><a/></eca:action>'
+         f'<eca:event><e/></eca:event></eca:rule>', "come last"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:test>1 = 1</eca:test><eca:test>1 = 1</eca:test>'
+         f'<eca:action><a/></eca:action></eca:rule>', "at most one test"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:action><a/></eca:action>'
+         f'<eca:query><q xmlns="urn:q"/></eca:query></eca:rule>',
+         "between event and test"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:variable><eca:query><eca:opaque language="l">q'
+         f'</eca:opaque></eca:query></eca:variable>'
+         f'<eca:action><a/></eca:action></eca:rule>', "name attribute"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:query><q/></eca:query>'
+         f'<eca:action><a/></eca:action></eca:rule>', "namespace"),
+        (f'<eca:rule {ECA}><eca:event><eca:opaque language="l">x'
+         f'</eca:opaque></eca:event>'
+         f'<eca:action><a/></eca:action></eca:rule>', "cannot be opaque"),
+        (f'<eca:rule {ECA}><eca:event><e/><f/></eca:event>'
+         f'<eca:action><a/></eca:action></eca:rule>', "exactly one"),
+        (f'<eca:rule {ECA}><eca:event><e/></eca:event>'
+         f'<eca:frobnicate/><eca:action><a/></eca:action></eca:rule>',
+         "unexpected element"),
+        ('<not-a-rule/>', "expected eca:rule"),
+    ])
+    def test_malformed_rules(self, bad, message):
+        with pytest.raises(RuleMarkupError, match=message):
+            parse_rule(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("markup", [MINIMAL, FULL])
+    def test_rule_to_xml_roundtrips(self, markup):
+        rule = parse_rule(markup)
+        reparsed = parse_rule(serialize(rule_to_xml(rule)))
+        assert reparsed.rule_id == rule.rule_id
+        assert [q.bind_to for q in reparsed.queries] == \
+            [q.bind_to for q in rule.queries]
+        assert (reparsed.test is None) == (rule.test is None)
+        if rule.test is not None:
+            assert reparsed.test.opaque == rule.test.opaque
+        assert len(reparsed.actions) == len(rule.actions)
+        assert reparsed.languages() == rule.languages()
+
+
+class TestModelInvariants:
+    def event(self):
+        return ComponentSpec("event", ATOMIC_NS, content=parse("<e/>"))
+
+    def action(self):
+        return ComponentSpec("action", ACTION_NS, content=parse("<a/>"))
+
+    def test_requires_action(self):
+        with pytest.raises(RuleError, match="at least one action"):
+            ECARule("r", self.event(), (), None, ())
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(RuleError):
+            ECARule("r", self.action(), (), None, (self.action(),))
+        with pytest.raises(RuleError):
+            ECARule("r", self.event(), (self.action(),), None,
+                    (self.action(),))
+
+    def test_component_spec_content_xor_opaque(self):
+        with pytest.raises(ValueError):
+            ComponentSpec("query", "l")
+        with pytest.raises(ValueError):
+            ComponentSpec("query", "l", content=parse("<q/>"), opaque="q")
+
+
+class TestRuleOntologyExport:
+    """FIG1: rules and their components are Semantic-Web resources."""
+
+    def test_rdf_export_structure(self):
+        rule = parse_rule(FULL)
+        graph = rule.to_rdf()
+        rule_node = URIRef("urn:eca:rule:full")
+        assert (rule_node, RDF.type, ECA_ONTOLOGY.ECARule) in graph
+        # one component node per component, each linked to its language
+        events = list(graph.objects(rule_node,
+                                    ECA_ONTOLOGY.hasEventComponent))
+        queries = list(graph.objects(rule_node,
+                                     ECA_ONTOLOGY.hasQueryComponent))
+        actions = list(graph.objects(rule_node,
+                                     ECA_ONTOLOGY.hasActionComponent))
+        assert len(events) == 1 and len(queries) == 2 and len(actions) == 2
+        assert graph.value(events[0], ECA_ONTOLOGY.usesLanguage) == \
+            URIRef(SNOOP_NS)
+
+    def test_variable_binding_exported(self):
+        rule = parse_rule(FULL)
+        graph = rule.to_rdf()
+        bound = [o for _, _, o in
+                 graph.triples(None, ECA_ONTOLOGY.bindsVariable, None)]
+        assert Literal("V") in bound

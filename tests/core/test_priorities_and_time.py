@@ -1,0 +1,110 @@
+"""Extensions beyond the paper: rule priorities and time-driven events."""
+
+import pytest
+
+from repro.actions import ACTION_NS
+from repro.core import ECAEngine, parse_rule, rule_to_xml, RuleMarkupError
+from repro.events import SNOOP_NS
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS, serialize
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+
+def prioritized_rule(rule_id, priority, recipient):
+    return f"""
+    <eca:rule {ECA} id="{rule_id}" priority="{priority}">
+      <eca:event><ping/></eca:event>
+      <eca:action>
+        <act:send xmlns:act="{ACTION_NS}" to="{recipient}">
+          <fired by="{rule_id}"/>
+        </act:send>
+      </eca:action>
+    </eca:rule>
+    """
+
+
+class TestPriorities:
+    def test_priority_parsed_and_roundtripped(self):
+        rule = parse_rule(prioritized_rule("r", 7, "out"))
+        assert rule.priority == 7
+        assert parse_rule(serialize(rule_to_xml(rule))).priority == 7
+
+    def test_default_priority_zero(self):
+        assert parse_rule(prioritized_rule("r", 0, "out")).priority == 0
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(RuleMarkupError, match="priority"):
+            parse_rule(prioritized_rule("r", "high", "out"))
+
+    def test_batch_orders_by_priority(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        # registration order is the reverse of priority order
+        engine.register_rule(prioritized_rule("low", 1, "log"))
+        engine.register_rule(prioritized_rule("mid", 5, "log"))
+        engine.register_rule(prioritized_rule("high", 9, "log"))
+        with engine.batch():
+            deployment.stream.emit(E("ping"))
+        order = [m.content.get("by")
+                 for m in deployment.runtime.messages("log")]
+        assert order == ["high", "mid", "low"]
+
+    def test_without_batch_arrival_order(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(prioritized_rule("low", 1, "log"))
+        engine.register_rule(prioritized_rule("high", 9, "log"))
+        deployment.stream.emit(E("ping"))
+        order = [m.content.get("by")
+                 for m in deployment.runtime.messages("log")]
+        assert order == ["low", "high"]  # registration/arrival order
+
+    def test_fifo_within_same_priority(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(prioritized_rule("first", 3, "log"))
+        engine.register_rule(prioritized_rule("second", 3, "log"))
+        with engine.batch():
+            deployment.stream.emit(E("ping"))
+        order = [m.content.get("by")
+                 for m in deployment.runtime.messages("log")]
+        assert order == ["first", "second"]
+
+    def test_nested_batch_is_noop(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(prioritized_rule("r", 1, "log"))
+        with engine.batch():
+            with engine.batch():
+                deployment.stream.emit(E("ping"))
+        assert len(deployment.runtime.messages("log")) == 1
+
+
+class TestTimeDrivenEvents:
+    def test_tick_fires_periodic_rules(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="heartbeat">
+          <eca:event>
+            <snoop:periodic xmlns:snoop="{SNOOP_NS}" period="2">
+              <start/><stop/>
+            </snoop:periodic>
+          </eca:event>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="beats"><beat/></act:send>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("start"))      # t=0, fires at 2, 4, ...
+        deployment.tick(5.0)                    # now=5 → beats at 2 and 4
+        assert len(deployment.runtime.messages("beats")) == 2
+        deployment.stream.emit(E("stop"))       # closes the window
+        deployment.tick(10.0)
+        assert len(deployment.runtime.messages("beats")) == 2
+
+    def test_tick_without_open_window_is_silent(self):
+        deployment = standard_deployment()
+        ECAEngine(deployment.grh)
+        deployment.tick(100.0)
+        assert deployment.runtime.mailboxes == {}

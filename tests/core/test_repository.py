@@ -1,0 +1,89 @@
+"""The rule repository: rules as queryable Semantic-Web objects."""
+
+import pytest
+
+from repro.core import (ECAEngine, RepositoryError, RuleRepository,
+                        parse_rule)
+from repro.domain import CAR_RENTAL_RULE, booking_event, classes_document, \
+    fleet_document, persons_document
+from repro.events import SNOOP_NS
+from repro.services import XQ_LANG, standard_deployment
+from repro.xmlmodel import ECA_NS
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+SNOOP_RULE = f"""
+<eca:rule {ECA} id="composite">
+  <eca:event>
+    <snoop:seq xmlns:snoop="{SNOOP_NS}"><a/><b/></snoop:seq>
+  </eca:event>
+  <eca:action><out/></eca:action>
+</eca:rule>
+"""
+
+
+class TestStoreAndLoad:
+    def test_store_load_roundtrip(self):
+        repository = RuleRepository()
+        repository.store(CAR_RENTAL_RULE)
+        loaded = repository.load("car-rental-offer")
+        original = parse_rule(CAR_RENTAL_RULE)
+        assert loaded.rule_id == original.rule_id
+        assert [q.bind_to for q in loaded.queries] == \
+            [q.bind_to for q in original.queries]
+        assert loaded.languages() == original.languages()
+
+    def test_duplicate_store_rejected(self):
+        repository = RuleRepository()
+        repository.store(SNOOP_RULE)
+        with pytest.raises(RepositoryError, match="already stored"):
+            repository.store(SNOOP_RULE)
+
+    def test_load_unknown_rule(self):
+        with pytest.raises(RepositoryError, match="no stored rule"):
+            RuleRepository().load("ghost")
+
+    def test_rule_ids_sorted(self):
+        repository = RuleRepository()
+        repository.store(SNOOP_RULE)
+        repository.store(CAR_RENTAL_RULE)
+        assert repository.rule_ids() == ["car-rental-offer", "composite"]
+        assert len(repository) == 2
+
+    def test_remove(self):
+        repository = RuleRepository()
+        repository.store(SNOOP_RULE)
+        assert repository.remove("composite") is True
+        assert repository.rule_ids() == []
+        assert repository.remove("composite") is False
+        assert len(repository.graph) == 0
+
+
+class TestSemanticQueries:
+    def test_rules_using_language(self):
+        repository = RuleRepository()
+        repository.store(CAR_RENTAL_RULE)
+        repository.store(SNOOP_RULE)
+        assert repository.rules_using_language(SNOOP_NS) == ["composite"]
+        assert repository.rules_using_language(XQ_LANG) == \
+            ["car-rental-offer"]
+        assert repository.rules_using_language("urn:nothing") == []
+
+
+class TestEngineIntegration:
+    def test_register_all_into_running_engine(self):
+        deployment = standard_deployment()
+        deployment.add_document("persons.xml", persons_document())
+        deployment.add_document("classes.xml", classes_document())
+        deployment.add_document("fleet.xml", fleet_document())
+        engine = ECAEngine(deployment.grh)
+
+        repository = RuleRepository()
+        repository.store(CAR_RENTAL_RULE)
+        registered = repository.register_all(engine)
+        assert registered == ["car-rental-offer"]
+
+        deployment.stream.emit(booking_event())
+        messages = deployment.runtime.messages("customer-notifications")
+        assert len(messages) == 1
+        assert messages[0].content.get("car") == "Polo"

@@ -1,0 +1,147 @@
+"""The static binding-order check of Sec. 3 (Event < Query < Test < Action)."""
+
+import pytest
+
+from repro.core import (RuleValidationError, component_variables, parse_rule,
+                        validate_rule)
+from repro.grh import ComponentSpec
+from repro.services import DATALOG_LANG, SPARQL_LANG
+from repro.xmlmodel import ECA_NS, parse
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+
+def rule(body: str) -> str:
+    return f'<eca:rule {ECA} id="r">{body}</eca:rule>'
+
+
+EVENT = '<eca:event><booking person="{Person}" to="{To}"/></eca:event>'
+
+
+class TestComponentVariables:
+    def test_event_produces_pattern_variables(self):
+        spec = parse_rule(rule(
+            EVENT + "<eca:action><a/></eca:action>")).event
+        produces, consumes = component_variables(spec)
+        assert produces == {"Person", "To"}
+        assert consumes == set()
+
+    def test_opaque_query_consumes_placeholders(self):
+        spec = ComponentSpec("query", "exist-like",
+                             opaque="//x[@p='{Person}'][@q='{To}']",
+                             bind_to="V")
+        produces, consumes = component_variables(spec)
+        assert produces == {"V"}
+        assert consumes == {"Person", "To"}
+
+    def test_sparql_query_produces_select_variables(self):
+        spec = ComponentSpec(
+            "query", SPARQL_LANG,
+            content=parse(f'<s:select xmlns:s="{SPARQL_LANG}">'
+                          "SELECT ?Car ?Class WHERE { ?c ?p ?Class }"
+                          "</s:select>"))
+        produces, _ = component_variables(spec)
+        assert {"Car", "Class"} <= produces
+
+    def test_datalog_query_produces_goal_variables(self):
+        spec = ComponentSpec(
+            "query", DATALOG_LANG,
+            content=parse(f'<d:query xmlns:d="{DATALOG_LANG}">'
+                          "offer(Person, Car)</d:query>"))
+        produces, _ = component_variables(spec)
+        assert produces == {"Person", "Car"}
+
+    def test_test_consumes_expression_variables(self):
+        spec = parse_rule(rule(
+            EVENT + "<eca:test>$Person != ''</eca:test>"
+            "<eca:action><a/></eca:action>")).test
+        produces, consumes = component_variables(spec)
+        assert produces == set()
+        assert consumes == {"Person"}
+
+    def test_action_consumes_template_placeholders(self):
+        spec = parse_rule(rule(
+            EVENT + '<eca:action><offer to="{Person}"/></eca:action>')).actions[0]
+        _, consumes = component_variables(spec)
+        assert consumes == {"Person"}
+
+
+class TestValidateRule:
+    def test_valid_rule_passes(self):
+        validate_rule(parse_rule(rule(
+            EVENT +
+            '<eca:variable name="Car"><eca:query>'
+            '<eca:opaque language="l">//car[@p=\'{Person}\']</eca:opaque>'
+            "</eca:query></eca:variable>"
+            "<eca:test>$Car != ''</eca:test>"
+            '<eca:action><offer car="{Car}" to="{Person}"/></eca:action>')))
+
+    def test_action_using_unbound_variable_rejected(self):
+        with pytest.raises(RuleValidationError, match="Ghost"):
+            validate_rule(parse_rule(rule(
+                EVENT + '<eca:action><offer car="{Ghost}"/></eca:action>')))
+
+    def test_test_using_unbound_variable_rejected(self):
+        with pytest.raises(RuleValidationError, match="Nope"):
+            validate_rule(parse_rule(rule(
+                EVENT + "<eca:test>$Nope = 1</eca:test>"
+                "<eca:action><a/></eca:action>")))
+
+    def test_query_using_unbound_variable_rejected(self):
+        with pytest.raises(RuleValidationError, match="Later"):
+            validate_rule(parse_rule(rule(
+                EVENT +
+                '<eca:query><eca:opaque language="l">//x[@k=\'{Later}\']'
+                "</eca:opaque></eca:query>"
+                "<eca:action><a/></eca:action>")))
+
+    def test_binding_in_same_or_earlier_component_is_fine(self):
+        validate_rule(parse_rule(rule(
+            EVENT +
+            '<eca:variable name="A"><eca:query>'
+            "<eca:opaque language=\"l\">//x[@p='{Person}']</eca:opaque>"
+            "</eca:query></eca:variable>"
+            '<eca:variable name="B"><eca:query>'
+            "<eca:opaque language=\"l\">//y[@a='{A}']</eca:opaque>"
+            "</eca:query></eca:variable>"
+            '<eca:action><z b="{B}"/></eca:action>')))
+
+    def test_rebinding_variable_rejected(self):
+        with pytest.raises(RuleValidationError, match="already bound"):
+            validate_rule(parse_rule(rule(
+                EVENT +
+                '<eca:variable name="Person"><eca:query>'
+                '<eca:opaque language="l">//x</eca:opaque>'
+                "</eca:query></eca:variable>"
+                "<eca:action><a/></eca:action>")))
+
+    def test_unknown_producer_disables_downstream_errors(self):
+        # the log:answers-generating query (Fig. 10) may produce anything
+        validate_rule(parse_rule(rule(
+            EVENT +
+            '<eca:query><eca:opaque language="l">generate answers'
+            "</eca:opaque></eca:query>"
+            '<eca:action><offer car="{Avail}"/></eca:action>')))
+
+    def test_join_variable_from_lp_query_allowed(self):
+        validate_rule(parse_rule(rule(
+            EVENT +
+            f'<eca:query><s:select xmlns:s="{SPARQL_LANG}">'
+            "SELECT ?Avail ?Class WHERE { ?c ?p ?Avail }</s:select>"
+            "</eca:query>"
+            "<eca:test>$Avail != $Person</eca:test>"
+            '<eca:action><offer car="{Avail}"/></eca:action>')))
+
+    def test_malformed_event_reported(self):
+        from repro.events import SNOOP_NS
+        with pytest.raises(RuleValidationError, match="malformed event"):
+            validate_rule(parse_rule(rule(
+                f'<eca:event><snoop:and xmlns:snoop="{SNOOP_NS}"><a/>'
+                "</snoop:and></eca:event>"
+                "<eca:action><a/></eca:action>")))
+
+    def test_malformed_test_reported(self):
+        with pytest.raises(RuleValidationError, match="malformed test"):
+            validate_rule(parse_rule(rule(
+                EVENT + "<eca:test>$Person =</eca:test>"
+                "<eca:action><a/></eca:action>")))

@@ -1,0 +1,79 @@
+"""Evaluation strategies agree; semi-naive does less work."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import DatalogEngine, DatalogError, evaluate
+
+TC_RULES = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+"""
+
+
+def closure_program(edges):
+    facts = "\n".join(f"edge(n{a}, n{b})." for a, b in edges)
+    return facts + TC_RULES
+
+
+class TestStrategyEquivalence:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DatalogError, match="strategy"):
+            DatalogEngine("p(1).", strategy="psychic")
+
+    def test_same_fixpoint_on_chain(self):
+        program = closure_program([(i, i + 1) for i in range(20)])
+        semi = DatalogEngine(program)
+        naive = DatalogEngine(program, strategy="naive")
+        assert semi.facts("path", 2) == naive.facts("path", 2)
+
+    def test_semi_naive_uses_fewer_or_equal_derivation_rounds(self):
+        program = closure_program([(i, i + 1) for i in range(15)])
+        semi = DatalogEngine(program)
+        naive = DatalogEngine(program, strategy="naive")
+        semi.facts("path", 2)
+        naive.facts("path", 2)
+        assert semi.rounds <= naive.rounds
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                   max_size=20))
+    def test_property_same_fixpoint_on_random_graphs(self, edges):
+        if not edges:
+            return
+        program = closure_program(sorted(edges))
+        semi = DatalogEngine(program)
+        naive = DatalogEngine(program, strategy="naive")
+        assert semi.facts("path", 2) == naive.facts("path", 2)
+
+
+class TestAgainstNetworkxReference:
+    """Transitive closure must equal the networkx reference result."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 10), st.integers(0, 10)),
+                   min_size=1, max_size=25))
+    def test_transitive_closure_matches_networkx(self, edges):
+        import networkx as nx
+        graph = nx.DiGraph(sorted(edges))
+        expected = {(f"n{a}", f"n{b}")
+                    for a, b in nx.transitive_closure(graph).edges()}
+        engine = evaluate(closure_program(sorted(edges)))
+        assert engine.facts("path", 2) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                   min_size=1, max_size=20),
+           st.integers(0, 8))
+    def test_reachability_matches_networkx(self, edges, source):
+        import networkx as nx
+        graph = nx.DiGraph(sorted(edges))
+        graph.add_node(source)
+        expected = {f"n{node}" for node in nx.descendants(graph, source)}
+        expected.add(f"n{source}")
+        facts = "\n".join(f"edge(n{a}, n{b})." for a, b in sorted(edges))
+        engine = evaluate(facts + f"""
+            reach(n{source}).
+            reach(Y) :- reach(X), edge(X, Y).
+        """)
+        assert {values[0] for values in engine.facts("reach", 1)} == expected

@@ -1,0 +1,86 @@
+"""Additional SNOOP Any coverage and XChange window edge cases."""
+
+from repro.events import (Any, Atomic, AtomicPattern, EventStream,
+                          PatternQuery, SeqQuery)
+from repro.xmlmodel import E, parse
+
+
+def atom(markup):
+    return Atomic(AtomicPattern(parse(markup)))
+
+
+def run(detector, payloads, spacing=1.0):
+    stream = EventStream()
+    out = []
+    stream.subscribe(lambda event: out.extend(detector.feed(event)))
+    stream.emit_all(payloads, spacing=spacing)
+    return out
+
+
+class TestAnyOperator:
+    def test_any_one_degenerates_to_or(self):
+        detector = Any(1, [atom("<a/>"), atom("<b/>")])
+        detections = run(detector, [E("a"), E("b"), E("c")])
+        assert len(detections) == 2
+
+    def test_any_all_children_is_and(self):
+        detector = Any(3, [atom("<a/>"), atom("<b/>"), atom("<c/>")])
+        assert run(detector, [E("a"), E("b")]) == []
+        detector.reset()
+        detections = run(detector, [E("b"), E("c"), E("a")])
+        assert len(detections) == 1
+
+    def test_any_consumes_used_occurrences(self):
+        detector = Any(2, [atom("<a/>"), atom("<b/>"), atom("<c/>")])
+        detections = run(detector, [E("a"), E("b"), E("c"), E("a")])
+        # (a,b) fires; then c and the second a fire again
+        assert len(detections) == 2
+
+    def test_any_with_join_variables(self):
+        detector = Any(2, [Atomic(AtomicPattern(parse('<a k="{K}"/>'))),
+                           Atomic(AtomicPattern(parse('<b k="{K}"/>')))])
+        detections = run(detector, [E("a", {"k": "1"}), E("b", {"k": "2"})])
+        # incompatible join variables: the pair is rejected
+        assert detections == []
+
+    def test_any_variables_listing(self):
+        detector = Any(2, [Atomic(AtomicPattern(parse('<a x="{X}"/>'))),
+                           Atomic(AtomicPattern(parse('<b y="{Y}"/>')))])
+        assert detector.variables() == {"X", "Y"}
+
+    def test_any_reset(self):
+        detector = Any(2, [atom("<a/>"), atom("<b/>")])
+        run(detector, [E("a")])
+        detector.reset()
+        assert run(detector, [E("b")]) == []
+
+
+class TestXChangeWindows:
+    def pattern(self, markup):
+        return PatternQuery(AtomicPattern(parse(markup)))
+
+    def test_seq_window_boundary_inclusive(self):
+        query = SeqQuery([self.pattern("<a/>"), self.pattern("<b/>")],
+                         within=3.0)
+        # events exactly 3 apart: span == within → allowed
+        detections = run(query, [E("a"), E("b")], spacing=3.0)
+        assert len(detections) == 1
+
+    def test_seq_window_just_over(self):
+        query = SeqQuery([self.pattern("<a/>"), self.pattern("<b/>")],
+                         within=3.0)
+        detections = run(query, [E("a"), E("b")], spacing=3.5)
+        assert detections == []
+
+    def test_three_stage_seq_ordering(self):
+        query = SeqQuery([self.pattern("<a/>"), self.pattern("<b/>"),
+                          self.pattern("<c/>")])
+        assert len(run(query, [E("a"), E("b"), E("c")])) == 1
+        query.reset()
+        assert run(query, [E("a"), E("c"), E("b")]) == []
+
+    def test_combination_deduplication(self):
+        query = SeqQuery([self.pattern("<a/>"), self.pattern("<b/>")])
+        detections = run(query, [E("a"), E("b"), E("x")])
+        # the trailing unrelated event must not re-emit the pair
+        assert len(detections) == 1

@@ -1,0 +1,85 @@
+"""The A* operator (cumulative aperiodic) and its markup."""
+
+from repro.events import (AperiodicCumulative, Atomic, AtomicPattern,
+                          EventStream, SNOOP_NS, parse_snoop)
+from repro.xmlmodel import E, parse
+
+
+def atom(markup):
+    return Atomic(AtomicPattern(parse(markup)))
+
+
+def run(detector, payloads):
+    stream = EventStream()
+    out = []
+    stream.subscribe(lambda event: out.extend(detector.feed(event)))
+    stream.emit_all(payloads, spacing=1.0)
+    return out
+
+
+class TestAperiodicCumulative:
+    def make(self):
+        return AperiodicCumulative(atom("<a/>"),
+                                   Atomic(AtomicPattern(
+                                       parse('<b n="{N}"/>'))),
+                                   atom("<c/>"))
+
+    def test_signals_once_at_close_with_all_bodies(self):
+        detector = self.make()
+        detections = run(detector,
+                         [E("a"), E("b", {"n": "1"}), E("b", {"n": "2"}),
+                          E("c")])
+        assert len(detections) == 1
+        (occurrence,) = detections
+        values = sorted(binding["N"] for binding in occurrence.bindings)
+        assert values == ["1", "2"]
+        names = [event.name.local for event in occurrence.constituents]
+        assert names == ["a", "b", "b", "c"]
+
+    def test_no_bodies_still_signals_window(self):
+        detector = self.make()
+        detections = run(detector, [E("a"), E("c")])
+        assert len(detections) == 1
+        assert len(detections[0].constituents) == 2  # just a and c
+
+    def test_no_signal_without_close(self):
+        detector = self.make()
+        assert run(detector, [E("a"), E("b", {"n": "1"})]) == []
+
+    def test_no_signal_without_open(self):
+        detector = self.make()
+        assert run(detector, [E("b", {"n": "1"}), E("c")]) == []
+
+    def test_windows_are_independent(self):
+        detector = self.make()
+        detections = run(detector,
+                         [E("a"), E("b", {"n": "1"}), E("c"),
+                          E("a"), E("b", {"n": "2"}), E("c")])
+        assert len(detections) == 2
+        first, second = detections
+        assert [b["N"] for b in first.bindings] == ["1"]
+        assert [b["N"] for b in second.bindings] == ["2"]
+
+    def test_reset(self):
+        detector = self.make()
+        run(detector, [E("a"), E("b", {"n": "1"})])
+        detector.reset()
+        assert run(detector, [E("c")]) == []
+
+    def test_variables_include_all_three_roles(self):
+        assert self.make().variables() == {"N"}
+
+
+class TestMarkup:
+    def test_cumulative_attribute_selects_a_star(self):
+        detector = parse_snoop(parse(
+            f'<snoop:aperiodic xmlns:snoop="{SNOOP_NS}" cumulative="true">'
+            "<a/><b/><c/></snoop:aperiodic>"))
+        assert isinstance(detector, AperiodicCumulative)
+
+    def test_default_is_plain_aperiodic(self):
+        from repro.events import Aperiodic
+        detector = parse_snoop(parse(
+            f'<snoop:aperiodic xmlns:snoop="{SNOOP_NS}">'
+            "<a/><b/><c/></snoop:aperiodic>"))
+        assert isinstance(detector, Aperiodic)

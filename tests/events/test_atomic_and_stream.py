@@ -1,0 +1,124 @@
+"""Event model, stream behaviour and atomic pattern matching."""
+
+import pytest
+
+from repro.bindings import Binding
+from repro.events import AtomicPattern, Event, EventStream
+from repro.xmlmodel import E, QName, parse
+
+TRAVEL = "http://example.org/travel"
+
+
+def booking(person="John Doe", frm="Munich", to="Paris"):
+    return E(QName(TRAVEL, "booking"),
+             {"person": person, "from": frm, "to": to})
+
+
+def pattern(markup):
+    return AtomicPattern(parse(markup, namespaces={"travel": TRAVEL}))
+
+
+class TestEventStream:
+    def test_emit_stamps_sequence_and_time(self):
+        stream = EventStream()
+        first = stream.emit(booking())
+        stream.advance(2.5)
+        second = stream.emit(booking())
+        assert first.sequence == 0 and second.sequence == 1
+        assert second.timestamp == pytest.approx(2.5)
+
+    def test_subscribers_receive_events(self):
+        stream = EventStream()
+        seen = []
+        stream.subscribe(seen.append)
+        stream.emit(booking())
+        assert len(seen) == 1
+        stream.unsubscribe(seen.append)
+        stream.emit(booking())
+        assert len(seen) == 1
+
+    def test_explicit_timestamp(self):
+        stream = EventStream()
+        event = stream.emit(booking(), at=10.0)
+        assert event.timestamp == 10.0
+        with pytest.raises(ValueError, match="before stream time"):
+            stream.emit(booking(), at=5.0)
+
+    def test_time_cannot_go_backwards(self):
+        stream = EventStream()
+        with pytest.raises(ValueError):
+            stream.advance(-1)
+
+    def test_emit_all_spacing_and_history(self):
+        stream = EventStream()
+        stream.emit_all([booking(), booking(), booking()], spacing=2.0)
+        assert len(stream) == 3
+        assert [event.timestamp for event in stream] == [0.0, 2.0, 4.0]
+
+
+class TestAtomicPattern:
+    def test_paper_booking_pattern(self):
+        # Fig. 5/6: detect a booking, binding person and destination
+        p = pattern('<travel:booking person="{Person}" from="{From}" '
+                    'to="{To}"/>')
+        event = Event(booking(), 1.0)
+        occurrence = p.match(event)
+        assert occurrence is not None
+        (binding,) = occurrence.bindings
+        assert binding == Binding({"Person": "John Doe", "From": "Munich",
+                                   "To": "Paris"})
+        assert occurrence.constituents == (event,)
+        assert occurrence.start == occurrence.end == 1.0
+
+    def test_literal_attribute_must_match(self):
+        p = pattern('<travel:booking to="Paris" person="{P}"/>')
+        assert p.match(Event(booking(to="Paris"), 0)) is not None
+        assert p.match(Event(booking(to="Rome"), 0)) is None
+
+    def test_wrong_element_name_rejected(self):
+        p = pattern('<travel:cancellation person="{P}"/>')
+        assert p.match(Event(booking(), 0)) is None
+
+    def test_wrong_namespace_rejected(self):
+        p = AtomicPattern(parse('<booking person="{P}"/>'))
+        assert p.match(Event(booking(), 0)) is None
+
+    def test_missing_attribute_rejected(self):
+        p = pattern('<travel:booking seat="{S}"/>')
+        assert p.match(Event(booking(), 0)) is None
+
+    def test_extra_event_attributes_allowed(self):
+        p = pattern('<travel:booking person="{P}"/>')
+        assert p.match(Event(booking(), 0)) is not None
+
+    def test_repeated_variable_is_join(self):
+        p = pattern('<travel:booking from="{X}" to="{X}"/>')
+        assert p.match(Event(booking(frm="Paris", to="Paris"), 0)) is not None
+        assert p.match(Event(booking(), 0)) is None
+
+    def test_child_element_matching(self):
+        p = AtomicPattern(parse(
+            '<order><item sku="{Sku}"/></order>'))
+        event_payload = parse(
+            '<order><note>rush</note><item sku="A1"/></order>')
+        occurrence = p.match(Event(event_payload, 0))
+        (binding,) = occurrence.bindings
+        assert binding["Sku"] == "A1"
+
+    def test_child_text_variable(self):
+        p = AtomicPattern(parse("<msg><to>{Who}</to></msg>"))
+        occurrence = p.match(Event(parse("<msg><to>Bob</to></msg>"), 0))
+        assert occurrence.bindings.sorted().to_table().count("Bob") == 1
+
+    def test_bind_event_to_variable(self):
+        p = AtomicPattern(parse('<travel:booking person="{P}"/>',
+                                namespaces={"travel": TRAVEL}),
+                          bind_event_to="Evt")
+        occurrence = p.match(Event(booking(), 0))
+        (binding,) = occurrence.bindings
+        assert binding["Evt"].name == QName(TRAVEL, "booking")
+
+    def test_variables_listing(self):
+        p = AtomicPattern(parse('<a x="{X}"><b>{Y}</b></a>'),
+                          bind_event_to="E")
+        assert p.variables() == {"X", "Y", "E"}

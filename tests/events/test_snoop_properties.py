@@ -1,0 +1,130 @@
+"""Property-based invariants of the SNOOP detectors (vs. naive counting)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.events import (And, Atomic, AtomicPattern, EventStream, Not, Or,
+                          Seq)
+from repro.xmlmodel import E, parse
+
+
+def atom(markup):
+    return Atomic(AtomicPattern(parse(markup)))
+
+
+_payload_specs = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c", "noise"]),
+              st.integers(0, 2)),
+    min_size=0, max_size=25)
+
+
+def build_payloads(specs):
+    return [E(name, {"k": str(k)}) for name, k in specs]
+
+
+def run(detector, payloads):
+    stream = EventStream()
+    detections = []
+    stream.subscribe(lambda event: detections.extend(detector.feed(event)))
+    stream.emit_all(payloads, spacing=1.0)
+    return detections
+
+
+class TestCountingInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_atomic_counts_matches(self, specs):
+        payloads = build_payloads(specs)
+        detections = run(atom("<a/>"), payloads)
+        assert len(detections) == sum(1 for name, _ in specs if name == "a")
+
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_or_is_sum_of_children(self, specs):
+        payloads = build_payloads(specs)
+        combined = run(Or([atom("<a/>"), atom("<b/>")]), payloads)
+        expected = sum(1 for name, _ in specs if name in ("a", "b"))
+        assert len(combined) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_seq_unrestricted_counts_ordered_pairs(self, specs):
+        payloads = build_payloads(specs)
+        detections = run(Seq(atom("<a/>"), atom("<b/>"), "unrestricted"),
+                         payloads)
+        a_positions = [i for i, (name, _) in enumerate(specs) if name == "a"]
+        b_positions = [i for i, (name, _) in enumerate(specs) if name == "b"]
+        expected = sum(1 for i in a_positions for j in b_positions if i < j)
+        assert len(detections) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_chronicle_count_is_min_matched_pairs(self, specs):
+        payloads = build_payloads(specs)
+        detections = run(Seq(atom("<a/>"), atom("<b/>"), "chronicle"),
+                         payloads)
+        # chronicle pairs each b with the oldest unconsumed earlier a:
+        # simulate directly
+        unconsumed = 0
+        expected = 0
+        for name, _ in specs:
+            if name == "a":
+                unconsumed += 1
+            elif name == "b" and unconsumed:
+                unconsumed -= 1
+                expected += 1
+        assert len(detections) == expected
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_occurrence_intervals_well_formed(self, specs):
+        payloads = build_payloads(specs)
+        detector = Or([
+            Seq(atom("<a/>"), atom("<b/>"), "unrestricted"),
+            And(atom("<b/>"), atom("<c/>"), "chronicle"),
+        ])
+        for occurrence in run(detector, payloads):
+            assert occurrence.start <= occurrence.end
+            times = [event.timestamp for event in occurrence.constituents]
+            assert min(times) == occurrence.start
+            assert max(times) == occurrence.end
+            sequences = [event.sequence for event in occurrence.constituents]
+            assert sequences == sorted(sequences)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_payload_specs)
+    def test_join_variables_consistent_in_detections(self, specs):
+        payloads = build_payloads(specs)
+        detector = Seq(atom('<a k="{K}"/>'), atom('<b k="{K}"/>'),
+                       "unrestricted")
+        for occurrence in run(detector, payloads):
+            ks = {event.get("k") for event in occurrence.constituents}
+            assert len(ks) == 1  # join variable forces equal k
+            for binding in occurrence.bindings:
+                assert binding["K"] in ks
+
+    @settings(max_examples=30, deadline=None)
+    @given(_payload_specs)
+    def test_not_is_subset_of_seq(self, specs):
+        """NOT(B)[A, C] detections ⊆ SEQ(A, C) detections."""
+        payloads = build_payloads(specs)
+        with_not = run(Not(atom("<a/>"), atom("<b/>"), atom("<c/>")),
+                       payloads)
+        plain_seq = run(Seq(atom("<a/>"), atom("<c/>"), "unrestricted"),
+                        payloads)
+        keys_not = {tuple(e.sequence for e in o.constituents)
+                    for o in with_not}
+        keys_seq = {tuple(e.sequence for e in o.constituents)
+                    for o in plain_seq}
+        assert keys_not <= keys_seq
+
+    @settings(max_examples=30, deadline=None)
+    @given(_payload_specs)
+    def test_reset_restores_initial_behaviour(self, specs):
+        payloads = build_payloads(specs)
+        detector = Seq(atom("<a/>"), atom("<b/>"), "chronicle")
+        first = len(run(detector, payloads))
+        detector.reset()
+        second = len(run(detector, payloads))
+        assert first == second

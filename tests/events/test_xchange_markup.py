@@ -1,0 +1,174 @@
+"""XChange-style queries and event-component markup parsing."""
+
+import pytest
+
+from repro.events import (AndQuery, Atomic, EventMarkupError, EventStream,
+                          Or, OrQuery, PatternQuery, Periodic, SeqQuery, Seq,
+                          WithoutQuery, XChangeError, parse_atomic,
+                          parse_event_component, parse_snoop, parse_xchange,
+                          SNOOP_NS, XCHANGE_NS)
+from repro.events.atomic import AtomicPattern
+from repro.xmlmodel import E, parse
+
+
+def pattern_query(markup):
+    return PatternQuery(AtomicPattern(parse(markup)))
+
+
+def feed_sequence(query, payloads, spacing=1.0):
+    stream = EventStream()
+    out = []
+    stream.subscribe(lambda event: out.extend(query.feed(event)))
+    stream.emit_all(payloads, spacing=spacing)
+    return out
+
+
+class TestXChangeQueries:
+    def test_and_any_order_distinct_events(self):
+        query = AndQuery([pattern_query("<a/>"), pattern_query("<b/>")])
+        assert len(feed_sequence(query, [E("b"), E("a")])) == 1
+
+    def test_and_requires_distinct_events(self):
+        query = AndQuery([pattern_query('<a x="{X}"/>'),
+                          pattern_query("<a/>")])
+        # a single event cannot satisfy both conjuncts...
+        assert len(feed_sequence(query, [E("a", {"x": "1"})])) == 0
+        # ...but a second event completes the conjunction
+        query.reset()
+        detections = feed_sequence(query,
+                                   [E("a", {"x": "1"}), E("a", {"x": "2"})])
+        assert len(detections) >= 1
+
+    def test_seq_ordered(self):
+        query = SeqQuery([pattern_query("<a/>"), pattern_query("<b/>")])
+        assert len(feed_sequence(query, [E("b"), E("a")])) == 0
+        query.reset()
+        assert len(feed_sequence(query, [E("a"), E("b")])) == 1
+
+    def test_window_limit(self):
+        query = AndQuery([pattern_query("<a/>"), pattern_query("<b/>")],
+                         within=3.0)
+        assert len(feed_sequence(query, [E("a"), E("b")], spacing=5.0)) == 0
+        query.reset()
+        assert len(feed_sequence(query, [E("a"), E("b")], spacing=2.0)) == 1
+
+    def test_join_variables(self):
+        query = AndQuery([pattern_query('<a k="{K}"/>'),
+                          pattern_query('<b k="{K}"/>')])
+        detections = feed_sequence(
+            query, [E("a", {"k": "1"}), E("b", {"k": "2"}),
+                    E("b", {"k": "1"})])
+        assert len(detections) == 1
+
+    def test_or(self):
+        query = OrQuery([pattern_query("<a/>"), pattern_query("<b/>")])
+        assert len(feed_sequence(query, [E("a"), E("b"), E("c")])) == 2
+
+    def test_without_suppression(self):
+        query = WithoutQuery(
+            SeqQuery([pattern_query("<a/>"), pattern_query("<c/>")]),
+            pattern_query("<b/>"))
+        assert len(feed_sequence(query, [E("a"), E("b"), E("c")])) == 0
+        query.reset()
+        assert len(feed_sequence(query, [E("a"), E("x"), E("c")])) == 1
+
+    def test_validation(self):
+        with pytest.raises(XChangeError):
+            AndQuery([pattern_query("<a/>")])
+        with pytest.raises(XChangeError):
+            OrQuery([])
+        with pytest.raises(XChangeError):
+            SeqQuery([pattern_query("<a/>"), pattern_query("<b/>")],
+                     within=-1)
+
+
+SNOOP_DECL = f'xmlns:snoop="{SNOOP_NS}"'
+XCHANGE_DECL = f'xmlns:xc="{XCHANGE_NS}"'
+
+
+class TestSnoopMarkup:
+    def test_seq_markup(self):
+        detector = parse_snoop(parse(
+            f'<snoop:seq {SNOOP_DECL} context="chronicle">'
+            f'<a/><b/><c/></snoop:seq>'))
+        assert isinstance(detector, Seq)
+        detections = feed_sequence(detector, [E("a"), E("b"), E("c")])
+        assert len(detections) == 1
+
+    def test_or_and_nested(self):
+        detector = parse_snoop(parse(
+            f'<snoop:or {SNOOP_DECL}><snoop:and><a/><b/></snoop:and>'
+            f'<c/></snoop:or>'))
+        assert isinstance(detector, Or)
+        assert len(feed_sequence(detector, [E("c")])) == 1
+
+    def test_any_markup(self):
+        detector = parse_snoop(parse(
+            f'<snoop:any {SNOOP_DECL} m="2"><a/><b/><c/></snoop:any>'))
+        assert len(feed_sequence(detector, [E("c"), E("a")])) == 1
+
+    def test_periodic_markup(self):
+        detector = parse_snoop(parse(
+            f'<snoop:periodic {SNOOP_DECL} period="3"><a/><c/>'
+            f'</snoop:periodic>'))
+        assert isinstance(detector, Periodic)
+
+    def test_not_markup(self):
+        detector = parse_snoop(parse(
+            f'<snoop:not {SNOOP_DECL}><a/><b/><c/></snoop:not>'))
+        assert len(feed_sequence(detector, [E("a"), E("c")])) == 1
+
+    @pytest.mark.parametrize("bad", [
+        f'<snoop:frobnicate {SNOOP_DECL}><a/></snoop:frobnicate>',
+        f'<snoop:and {SNOOP_DECL}><a/></snoop:and>',
+        f'<snoop:any {SNOOP_DECL}><a/></snoop:any>',          # missing m
+        f'<snoop:periodic {SNOOP_DECL}><a/><c/></snoop:periodic>',
+        f'<snoop:not {SNOOP_DECL}><a/><b/></snoop:not>',
+    ])
+    def test_markup_errors(self, bad):
+        with pytest.raises(EventMarkupError):
+            parse_snoop(parse(bad))
+
+
+class TestXChangeMarkup:
+    def test_and_markup_with_window(self):
+        query = parse_xchange(parse(
+            f'<xc:and {XCHANGE_DECL} within="10"><a/><b/></xc:and>'))
+        assert isinstance(query, AndQuery)
+        assert query.within == 10.0
+
+    def test_without_markup(self):
+        query = parse_xchange(parse(
+            f'<xc:without {XCHANGE_DECL}><xc:seq><a/><c/></xc:seq><b/>'
+            f'</xc:without>'))
+        assert isinstance(query, WithoutQuery)
+
+    def test_unknown_operator(self):
+        with pytest.raises(EventMarkupError):
+            parse_xchange(parse(f'<xc:maybe {XCHANGE_DECL}><a/></xc:maybe>'))
+
+
+class TestDispatch:
+    def test_atomic_fallback(self):
+        detector = parse_event_component(parse('<booking person="{P}"/>'))
+        assert isinstance(detector, Atomic)
+
+    def test_snoop_dispatch(self):
+        detector = parse_event_component(parse(
+            f'<snoop:or {SNOOP_DECL}><a/></snoop:or>'))
+        assert isinstance(detector, Or)
+
+    def test_xchange_dispatch(self):
+        query = parse_event_component(parse(
+            f'<xc:or {XCHANGE_DECL}><a/></xc:or>'))
+        assert isinstance(query, OrQuery)
+
+    def test_eca_bind_attribute_stripped(self):
+        from repro.xmlmodel import ECA_NS
+        pattern = parse_atomic(parse(
+            f'<booking xmlns:eca="{ECA_NS}" eca:bind="Evt" person="{{P}}"/>'))
+        assert pattern.bind_event_to == "Evt"
+        assert pattern.variables() == {"P", "Evt"}
+        # the bind attribute must not participate in matching
+        from repro.events import Event
+        assert pattern.match(Event(E("booking", {"person": "x"}), 0))

@@ -1,0 +1,100 @@
+"""FIG3: the service-oriented architecture, including real HTTP services.
+
+The engine ↔ GRH ↔ services message flow is exercised with the query
+services deployed behind genuine localhost HTTP endpoints while the
+event/action services stay in-process — the paper's picture of autonomous
+remote language processors.
+"""
+
+import pytest
+
+from repro.actions import ACTION_NS, ActionRuntime
+from repro.conditions import TEST_NS
+from repro.core import ECAEngine
+from repro.domain import (CAR_RENTAL_RULE, booking_event, classes_document,
+                          fleet_document, persons_document)
+from repro.events import ATOMIC_NS, EventStream
+from repro.grh import (GenericRequestHandler, LanguageDescriptor,
+                       LanguageRegistry)
+from repro.services import (ActionExecutionService, AtomicEventService,
+                            EXIST_LANG, ExistLikeService, HttpServiceServer,
+                            HybridTransport, TestLanguageService, XQ_LANG,
+                            XQService)
+
+
+@pytest.fixture()
+def http_world():
+    """Engine + GRH with XQ-lite and eXist-like services behind HTTP."""
+    registry = LanguageRegistry()
+    transport = HybridTransport()
+    grh = GenericRequestHandler(registry, transport)
+    stream = EventStream()
+    runtime = ActionRuntime(event_stream=stream)
+
+    atomic = AtomicEventService(grh.notify)
+    atomic.attach(stream)
+    grh.add_service(LanguageDescriptor(ATOMIC_NS, "event", "atomic-events"),
+                    atomic)
+    grh.add_service(LanguageDescriptor(TEST_NS, "test", "test"),
+                    TestLanguageService())
+    grh.add_service(LanguageDescriptor(ACTION_NS, "action", "actions"),
+                    ActionExecutionService(runtime))
+
+    xq = XQService({"persons.xml": persons_document(),
+                    "fleet.xml": fleet_document()})
+    exist = ExistLikeService({"classes.xml": classes_document(),
+                              "fleet.xml": fleet_document()})
+    xq_server = HttpServiceServer(aware_handler=xq.handle)
+    exist_server = HttpServiceServer(opaque_handler=exist.execute)
+    xq_url = xq_server.start()
+    exist_url = exist_server.start()
+    grh.add_remote_language(
+        LanguageDescriptor(XQ_LANG, "query", "xquery-lite"), xq_url)
+    grh.add_remote_language(
+        LanguageDescriptor(EXIST_LANG, "query", "exist-like",
+                           framework_aware=False), exist_url)
+
+    engine = ECAEngine(grh)
+    yield engine, stream, runtime, grh
+    xq_server.stop()
+    exist_server.stop()
+
+
+class TestArchitectureOverHttp:
+    def test_running_example_over_real_http(self, http_world):
+        engine, stream, runtime, grh = http_world
+        rule_id = engine.register_rule(CAR_RENTAL_RULE)
+        stream.emit(booking_event())
+        messages = runtime.messages("customer-notifications")
+        assert len(messages) == 1
+        assert messages[0].content.get("car") == "Polo"
+        (instance,) = engine.instances_of(rule_id)
+        assert instance.status == "completed"
+
+    def test_http_and_inprocess_give_identical_results(self, http_world):
+        from repro.services import standard_deployment
+        engine, stream, runtime, grh = http_world
+        engine.register_rule(CAR_RENTAL_RULE)
+        stream.emit(booking_event())
+        http_offers = sorted(
+            (m.content.get("car"), m.content.get("class"))
+            for m in runtime.messages("customer-notifications"))
+
+        deployment = standard_deployment()
+        deployment.add_document("persons.xml", persons_document())
+        deployment.add_document("classes.xml", classes_document())
+        deployment.add_document("fleet.xml", fleet_document())
+        local_engine = ECAEngine(deployment.grh)
+        local_engine.register_rule(CAR_RENTAL_RULE)
+        deployment.stream.emit(booking_event())
+        local_offers = sorted(
+            (m.content.get("car"), m.content.get("class"))
+            for m in deployment.runtime.messages("customer-notifications"))
+        assert http_offers == local_offers
+
+    def test_unaware_http_service_gets_plain_get_requests(self, http_world):
+        engine, stream, runtime, grh = http_world
+        engine.register_rule(CAR_RENTAL_RULE)
+        stream.emit(booking_event())
+        # at least the two per-tuple class queries travelled as plain GETs
+        assert grh.request_count >= 4

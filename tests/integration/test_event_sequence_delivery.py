@@ -1,0 +1,67 @@
+"""Fig. 6 (1): detections carry the matched event sequence to the engine."""
+
+from repro.core import ECAEngine
+from repro.domain import TRAVEL_NS, booking_event, cancellation_event
+from repro.events import SNOOP_NS
+from repro.grh import Detection, detection_to_xml, xml_to_detection
+from repro.bindings import Relation
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS, QName, parse, serialize
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+
+
+class TestDetectionMessageCarriesEvents:
+    def test_wire_roundtrip_with_events(self):
+        detection = Detection("r::event", 0.0, 1.0,
+                              Relation([{"P": "x"}]),
+                              (E("a", {"k": "1"}), E("b")))
+        back = xml_to_detection(parse(serialize(
+            detection_to_xml(detection))))
+        assert len(back.events) == 2
+        assert back.events[0].get("k") == "1"
+
+    def test_empty_events_omitted_from_markup(self):
+        detection = Detection("r::event", 0.0, 0.0, Relation.unit())
+        markup = serialize(detection_to_xml(detection))
+        assert "log:events" not in markup
+
+
+class TestInstanceTriggeringEvents:
+    def test_atomic_rule_instance_has_its_event(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="r">
+          <eca:event>
+            <travel:booking xmlns:travel="{TRAVEL_NS}" person="{{P}}"/>
+          </eca:event>
+          <eca:action><seen p="{{P}}"/></eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(booking_event())
+        (instance,) = engine.instances
+        assert len(instance.triggering_events) == 1
+        assert instance.triggering_events[0].name == \
+            QName(TRAVEL_NS, "booking")
+
+    def test_composite_rule_instance_has_full_sequence(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="r">
+          <eca:event>
+            <snoop:seq xmlns:snoop="{SNOOP_NS}" context="chronicle">
+              <travel:booking xmlns:travel="{TRAVEL_NS}" person="{{P}}"/>
+              <travel:cancellation xmlns:travel="{TRAVEL_NS}"
+                                   person="{{P}}"/>
+            </snoop:seq>
+          </eca:event>
+          <eca:action><churn p="{{P}}"/></eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(booking_event())
+        deployment.stream.advance(1)
+        deployment.stream.emit(cancellation_event("John Doe", "Paris"))
+        (instance,) = engine.instances
+        names = [payload.name.local
+                 for payload in instance.triggering_events]
+        assert names == ["booking", "cancellation"]

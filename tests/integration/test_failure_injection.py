@@ -1,0 +1,198 @@
+"""Failure injection: misbehaving services must not corrupt the engine.
+
+The paper's services are autonomous — they can fail, lie about message
+shapes, or disappear.  The engine must record the failure on the affected
+instance and keep serving other rules and later events.
+"""
+
+import pytest
+
+from repro.bindings import Relation
+from repro.core import ECAEngine
+from repro.grh import (GRHError, LanguageDescriptor, error_message,
+                       ok_message)
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS, parse
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+FLAKY_LANG = "urn:test:flaky"
+
+
+class FlakyService:
+    """A query service scripted to fail in configurable ways."""
+
+    def __init__(self):
+        self.mode = "ok"
+        self.calls = 0
+
+    def handle(self, message):
+        self.calls += 1
+        if self.mode == "error":
+            return error_message("storage exploded")
+        if self.mode == "crash":
+            raise RuntimeError("segfault (simulated)")
+        if self.mode == "wrong-shape":
+            return parse("<unexpected/>")
+        if self.mode == "garbage-answers":
+            return parse('<log:answers xmlns:log='
+                         '"http://www.semwebtech.org/languages/2006/log">'
+                         "<log:answer><log:variable>nameless"
+                         "</log:variable></log:answer></log:answers>")
+        from repro.bindings import relation_to_answers
+        return relation_to_answers(Relation([{"Q": "fine"}]))
+
+
+def flaky_rule():
+    return f"""
+    <eca:rule {ECA} id="flaky-rule">
+      <eca:event><ping n="{{N}}"/></eca:event>
+      <eca:query><q xmlns="{FLAKY_LANG}">whatever</q></eca:query>
+      <eca:action><out q="{{Q}}"/></eca:action>
+    </eca:rule>
+    """
+
+
+@pytest.fixture()
+def world():
+    deployment = standard_deployment()
+    service = FlakyService()
+    deployment.grh.add_service(
+        LanguageDescriptor(FLAKY_LANG, "query", "flaky"), service)
+    engine = ECAEngine(deployment.grh)
+    engine.register_rule(flaky_rule())
+    return deployment, engine, service
+
+
+class TestServiceFailures:
+    def test_clean_error_marks_instance_failed(self, world):
+        deployment, engine, service = world
+        service.mode = "error"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert "storage exploded" in instance.error
+        assert engine.stats["failed"] == 1
+
+    def test_service_crash_becomes_error_message(self, world):
+        deployment, engine, service = world
+        service.mode = "crash"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert "segfault" in instance.error
+
+    def test_wrong_message_shape_fails_cleanly(self, world):
+        deployment, engine, service = world
+        service.mode = "wrong-shape"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert "log:answers" in instance.error
+
+    def test_garbage_answers_fail_cleanly(self, world):
+        deployment, engine, service = world
+        service.mode = "garbage-answers"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+
+    def test_engine_recovers_after_failure(self, world):
+        deployment, engine, service = world
+        service.mode = "error"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        service.mode = "ok"
+        deployment.stream.emit(E("ping", {"n": "2"}))
+        statuses = [instance.status for instance in engine.instances]
+        assert statuses == ["failed", "completed"]
+        assert deployment.runtime.messages("default")
+
+    def test_other_rules_unaffected_by_failing_rule(self, world):
+        deployment, engine, service = world
+        from repro.actions import ACTION_NS
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="healthy">
+          <eca:event><ping n="{{N}}"/></eca:event>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="healthy-out">
+              <pong n="{{N}}"/>
+            </act:send>
+          </eca:action>
+        </eca:rule>""")
+        service.mode = "crash"
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert len(deployment.runtime.messages("healthy-out")) == 1
+        assert engine.stats["failed"] == 1
+        assert engine.stats["completed"] == 1
+
+
+class TestActionFailures:
+    def test_failing_action_marks_instance(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh, validate=False)
+        from repro.actions import ACTION_NS
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="bad-action">
+          <eca:event><ping/></eca:event>
+          <eca:action>
+            <act:insert xmlns:act="{ACTION_NS}" document="ghost.xml"
+                        at="/nope"><x/></act:insert>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("ping"))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert "ghost.xml" in instance.error
+
+    def test_partial_action_execution_reported(self):
+        """When the action fails for the second tuple, the count of
+        successfully executed actions is preserved on the instance."""
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh, validate=False)
+        from repro.actions import ACTION_NS
+        # send works for tuples that bind Q; template error otherwise —
+        # engineered via a query binding Q for only one of two tuples
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="partial">
+          <eca:event><pair a="{{A}}" b="{{B}}"/></eca:event>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="out"><x a="{{A}}"/></act:send>
+          </eca:action>
+          <eca:action>
+            <act:send xmlns:act="{ACTION_NS}" to="out"><x c="{{C}}"/></act:send>
+          </eca:action>
+        </eca:rule>""")
+        deployment.stream.emit(E("pair", {"a": "1", "b": "2"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"  # second action: unbound {C}
+        assert instance.actions_executed == 1  # first action did run
+
+
+class TestTransportFailures:
+    def test_unreachable_http_service_fails_instance(self):
+        from repro.grh import GenericRequestHandler, LanguageRegistry
+        from repro.services import (ActionExecutionService,
+                                    AtomicEventService, HybridTransport)
+        from repro.actions import ACTION_NS, ActionRuntime
+        from repro.events import ATOMIC_NS, EventStream
+
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry,
+                                    HybridTransport(timeout=0.3))
+        stream = EventStream()
+        runtime = ActionRuntime()
+        atomic = AtomicEventService(grh.notify)
+        atomic.attach(stream)
+        grh.add_service(LanguageDescriptor(ATOMIC_NS, "event", "atomic"),
+                        atomic)
+        grh.add_service(LanguageDescriptor(ACTION_NS, "action", "actions"),
+                        ActionExecutionService(runtime))
+        grh.add_remote_language(
+            LanguageDescriptor(FLAKY_LANG, "query", "flaky"),
+            "http://127.0.0.1:1/")  # nothing listens here
+        engine = ECAEngine(grh)
+        engine.register_rule(flaky_rule())
+        # the dead endpoint is contained: the instance fails, emit returns
+        stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert "unreachable" in instance.error

@@ -1,0 +1,197 @@
+"""The paper's central claim: arbitrary combinations of component languages.
+
+The same business logic (offer a matching rental car) is expressed with
+different language mixes — SPARQL instead of XQuery for the fleet,
+Datalog for the ownership knowledge base, SNOOP and XChange composite
+events instead of an atomic pattern — all running unchanged through the
+same engine and GRH.
+"""
+
+import pytest
+
+from repro.actions import ACTION_NS
+from repro.core import ECAEngine
+from repro.domain import (TRAVEL_NS, booking_event, cancellation_event,
+                          classes_document, fleet_graph, persons_document)
+from repro.events import SNOOP_NS, XCHANGE_NS
+from repro.services import (DATALOG_LANG, SPARQL_LANG, XQ_LANG,
+                            standard_deployment)
+from repro.xmlmodel import ECA_NS
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+ACT = f'xmlns:act="{ACTION_NS}"'
+TRAVEL = f'xmlns:travel="{TRAVEL_NS}"'
+
+FLEET_PREFIX = "http://example.org/fleet#"
+
+DATALOG_PROGRAM = """
+    owns("John Doe", "Golf"). owns("John Doe", "Passat").
+    owns("Jane Roe", "Clio").
+    class("Clio", "A"). class("Golf", "B"). class("Polo", "B").
+    class("Passat", "C"). class("Espace", "D").
+    owned_class(P, K) :- owns(P, C), class(C, K).
+"""
+
+
+@pytest.fixture()
+def world():
+    deployment = standard_deployment(graph=fleet_graph(),
+                                     datalog_program=DATALOG_PROGRAM)
+    deployment.sparql.prefixes["fleet"] = FLEET_PREFIX
+    deployment.add_document("persons.xml", persons_document())
+    deployment.add_document("classes.xml", classes_document())
+    return deployment, ECAEngine(deployment.grh)
+
+
+class TestQueryLanguageHeterogeneity:
+    def test_datalog_plus_sparql_variant(self, world):
+        """Ownership via Datalog, availability via SPARQL — no XML query
+        language involved at all, same offers as the paper's variant."""
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="dl-sparql">
+          <eca:event>
+            <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+          </eca:event>
+          <eca:query>
+            <dl:query xmlns:dl="{DATALOG_LANG}">owned_class("{{Person}}", Class)</dl:query>
+          </eca:query>
+          <eca:query>
+            <sp:select xmlns:sp="{SPARQL_LANG}">
+              SELECT ?Avail ?Class WHERE {{
+                ?c fleet:location '{{To}}' ;
+                   fleet:model ?Avail ; fleet:carClass ?Class .
+              }}
+            </sp:select>
+          </eca:query>
+          <eca:action>
+            <act:send {ACT} to="offers"><offer car="{{Avail}}"/></act:send>
+          </eca:action>
+        </eca:rule>
+        """)
+        deployment.stream.emit(booking_event())
+        offers = [m.content.get("car")
+                  for m in deployment.runtime.messages("offers")]
+        assert offers == ["Polo"]
+
+    def test_datalog_goal_with_substituted_constant(self, world):
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="dl-only">
+          <eca:event>
+            <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+          </eca:event>
+          <eca:query>
+            <dl:query xmlns:dl="{DATALOG_LANG}">owns("{{Person}}", Car)</dl:query>
+          </eca:query>
+          <eca:action>
+            <act:send {ACT} to="cars"><own car="{{Car}}"/></act:send>
+          </eca:action>
+        </eca:rule>
+        """)
+        deployment.stream.emit(booking_event(person="Jane Roe"))
+        cars = {m.content.get("car")
+                for m in deployment.runtime.messages("cars")}
+        assert cars == {"Clio"}
+
+
+class TestEventLanguageHeterogeneity:
+    def test_snoop_composite_event_rule(self, world):
+        """Fire only when a booking is followed by a cancellation of the
+        same person (join variable across constituent events)."""
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="snoop-rule">
+          <eca:event>
+            <snoop:seq xmlns:snoop="{SNOOP_NS}" context="chronicle">
+              <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+              <travel:cancellation {TRAVEL} person="{{Person}}"/>
+            </snoop:seq>
+          </eca:event>
+          <eca:action>
+            <act:send {ACT} to="alerts">
+              <churn person="{{Person}}" dest="{{To}}"/>
+            </act:send>
+          </eca:action>
+        </eca:rule>
+        """)
+        deployment.stream.emit(booking_event(person="John Doe"))
+        deployment.stream.advance(1)
+        deployment.stream.emit(cancellation_event("Jane Roe", "Paris"))
+        assert deployment.runtime.messages("alerts") == []  # wrong person
+        deployment.stream.advance(1)
+        deployment.stream.emit(cancellation_event("John Doe", "Paris"))
+        (alert,) = deployment.runtime.messages("alerts")
+        assert alert.content.get("person") == "John Doe"
+        assert alert.content.get("dest") == "Paris"
+
+    def test_xchange_windowed_event_rule(self, world):
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="xchange-rule">
+          <eca:event>
+            <xc:and xmlns:xc="{XCHANGE_NS}" within="5">
+              <travel:booking {TRAVEL} person="{{Person}}"/>
+              <travel:delayed {TRAVEL} person="{{Person}}"/>
+            </xc:and>
+          </eca:event>
+          <eca:action>
+            <act:send {ACT} to="care"><apology person="{{Person}}"/></act:send>
+          </eca:action>
+        </eca:rule>
+        """)
+        from repro.domain import delayed_flight_event
+        deployment.stream.emit(booking_event(person="John Doe"))
+        deployment.stream.advance(2)
+        deployment.stream.emit(delayed_flight_event("LH123", "John Doe"))
+        assert len(deployment.runtime.messages("care")) == 1
+        # outside the window: no detection
+        deployment.stream.advance(20)
+        deployment.stream.emit(booking_event(person="Jane Roe"))
+        deployment.stream.advance(10)
+        deployment.stream.emit(delayed_flight_event("LH9", "Jane Roe"))
+        assert len(deployment.runtime.messages("care")) == 1
+
+
+class TestFullMixAndMatch:
+    def test_every_family_in_one_rule(self, world):
+        """SNOOP event + XQ-lite query + Datalog query + test + two
+        action languages — five languages in one rule."""
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="grand-tour">
+          <eca:event>
+            <snoop:or xmlns:snoop="{SNOOP_NS}">
+              <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+            </snoop:or>
+          </eca:event>
+          <eca:variable name="OwnCar">
+            <eca:query>
+              <xq:xquery xmlns:xq="{XQ_LANG}">
+                for $c in doc('persons.xml')//person[@name = $Person]/car
+                return $c/model/text()
+              </xq:xquery>
+            </eca:query>
+          </eca:variable>
+          <eca:query>
+            <dl:query xmlns:dl="{DATALOG_LANG}">class("{{OwnCar}}", Class)</dl:query>
+          </eca:query>
+          <eca:test>$Class != 'D'</eca:test>
+          <eca:action>
+            <act:sequence {ACT}>
+              <act:send to="offers">
+                <offer car="{{OwnCar}}" class="{{Class}}"/>
+              </act:send>
+              <act:raise><audited person="{{Person}}"/></act:raise>
+            </act:sequence>
+          </eca:action>
+        </eca:rule>
+        """)
+        deployment.stream.emit(booking_event())
+        offers = {(m.content.get("car"), m.content.get("class"))
+                  for m in deployment.runtime.messages("offers")}
+        assert offers == {("Golf", "B"), ("Passat", "C")}
+        # the raised audit events landed on the stream (rule chaining hook)
+        audits = [e for e in deployment.stream
+                  if e.payload.name.local == "audited"]
+        assert len(audits) == 2

@@ -1,0 +1,220 @@
+"""Triple store, Turtle parsing and N-Triples output."""
+
+import pytest
+
+from repro.rdf import (BNode, Graph, Literal, Namespace, RDF, TurtleSyntaxError,
+                       URIRef, XSD, parse_turtle, to_ntriples)
+
+EX = Namespace("http://example.org/")
+
+
+class TestTerms:
+    def test_namespace_factory(self):
+        assert EX.car == URIRef("http://example.org/car")
+        assert EX["car"] == EX.car
+
+    def test_literal_python_roundtrip(self):
+        assert Literal.from_python(5).to_python() == 5
+        assert Literal.from_python(2.5).to_python() == 2.5
+        assert Literal.from_python(True).to_python() is True
+        assert Literal.from_python("x").to_python() == "x"
+
+    def test_literal_datatype_language_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, language="en")
+
+    def test_bnode_fresh_ids(self):
+        assert BNode() != BNode()
+        assert BNode("fixed") == BNode("fixed")
+
+
+class TestGraph:
+    def test_add_idempotent(self):
+        graph = Graph()
+        graph.add(EX.s, EX.p, EX.o)
+        graph.add(EX.s, EX.p, EX.o)
+        assert len(graph) == 1
+
+    def test_remove(self):
+        graph = Graph([(EX.s, EX.p, EX.o)])
+        assert graph.remove(EX.s, EX.p, EX.o) is True
+        assert graph.remove(EX.s, EX.p, EX.o) is False
+        assert len(graph) == 0
+
+    def test_contains(self):
+        graph = Graph([(EX.s, EX.p, EX.o)])
+        assert (EX.s, EX.p, EX.o) in graph
+        assert (EX.s, EX.p, EX.s) not in graph
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError, match="subject"):
+            Graph().add(Literal("x"), EX.p, EX.o)
+
+    def test_nonuri_predicate_rejected(self):
+        with pytest.raises(ValueError, match="predicate"):
+            Graph().add(EX.s, Literal("p"), EX.o)
+
+    @pytest.fixture
+    def fleet(self):
+        graph = Graph()
+        graph.add(EX.golf, RDF.type, EX.Car)
+        graph.add(EX.golf, EX.carClass, Literal("B"))
+        graph.add(EX.passat, RDF.type, EX.Car)
+        graph.add(EX.passat, EX.carClass, Literal("C"))
+        graph.add(EX.john, EX.owns, EX.golf)
+        graph.add(EX.john, EX.owns, EX.passat)
+        return graph
+
+    def test_pattern_all_positions(self, fleet):
+        assert len(list(fleet.triples(EX.john, None, None))) == 2
+        assert len(list(fleet.triples(None, RDF.type, None))) == 2
+        assert len(list(fleet.triples(None, None, EX.golf))) == 1
+        assert len(list(fleet.triples(EX.john, EX.owns, EX.golf))) == 1
+        assert len(list(fleet.triples(None, None, None))) == 6
+
+    def test_pattern_no_match(self, fleet):
+        assert list(fleet.triples(EX.nobody, None, None)) == []
+        assert list(fleet.triples(None, EX.rents, None)) == []
+
+    def test_subjects_objects_value(self, fleet):
+        assert set(fleet.subjects(RDF.type, EX.Car)) == {EX.golf, EX.passat}
+        assert set(fleet.objects(EX.john, EX.owns)) == {EX.golf, EX.passat}
+        assert fleet.value(EX.golf, EX.carClass) == Literal("B")
+        assert fleet.value(EX.golf, EX.owns) is None
+
+    def test_instances_of(self, fleet):
+        assert set(fleet.instances_of(EX.Car)) == {EX.golf, EX.passat}
+
+    def test_count(self, fleet):
+        assert fleet.count() == 6
+        assert fleet.count(predicate=EX.owns) == 2
+
+
+TURTLE = """
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:golf a ex:Car ;
+    ex:carClass "B" ;
+    ex:doors 5 ;
+    ex:price 19999.5 ;
+    ex:electric false .
+
+ex:john ex:owns ex:golf, ex:passat ;
+    ex:name "John Doe"@en .
+
+_:station ex:locatedIn ex:paris .
+[ ex:model "Clio" ] ex:carClass "A" .
+"""
+
+
+class TestTurtle:
+    def test_parse_counts(self):
+        graph = parse_turtle(TURTLE)
+        assert len(graph) == 11
+
+    def test_prefixed_names_and_a(self):
+        graph = parse_turtle(TURTLE)
+        assert (EX.golf, RDF.type, EX.Car) in graph
+
+    def test_typed_literals(self):
+        graph = parse_turtle(TURTLE)
+        assert graph.value(EX.golf, EX.doors) == Literal("5",
+                                                         datatype=XSD.integer)
+        assert graph.value(EX.golf, EX.price).to_python() == 19999.5
+        assert graph.value(EX.golf, EX.electric).to_python() is False
+
+    def test_language_literal(self):
+        graph = parse_turtle(TURTLE)
+        assert graph.value(EX.john, EX.name) == Literal("John Doe",
+                                                        language="en")
+
+    def test_object_list(self):
+        graph = parse_turtle(TURTLE)
+        assert set(graph.objects(EX.john, EX.owns)) == {EX.golf, EX.passat}
+
+    def test_blank_nodes(self):
+        graph = parse_turtle(TURTLE)
+        stations = list(graph.subjects(EX.locatedIn, EX.paris))
+        assert len(stations) == 1
+        assert isinstance(stations[0], BNode)
+
+    def test_anonymous_bnode_with_properties(self):
+        graph = parse_turtle(TURTLE)
+        anon = list(graph.subjects(EX.model, Literal("Clio")))
+        assert len(anon) == 1
+        assert graph.value(anon[0], EX.carClass) == Literal("A")
+
+    def test_string_escapes(self):
+        graph = parse_turtle(
+            '@prefix ex: <urn:x#> . ex:a ex:b "line\\nbreak\\t\\"q\\"" .')
+        literal = graph.value(URIRef("urn:x#a"), URIRef("urn:x#b"))
+        assert literal.lexical == 'line\nbreak\t"q"'
+
+    def test_explicit_datatype(self):
+        graph = parse_turtle(
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+            '<urn:s> <urn:p> "42"^^xsd:integer .')
+        assert graph.value(URIRef("urn:s"), URIRef("urn:p")).to_python() == 42
+
+    def test_base_resolution(self):
+        graph = parse_turtle('@base <http://example.org/> . <a> <b> <c> .')
+        assert (URIRef("http://example.org/a"),
+                URIRef("http://example.org/b"),
+                URIRef("http://example.org/c")) in graph
+
+    @pytest.mark.parametrize("bad", [
+        "ex:a ex:b ex:c .",            # undeclared prefix
+        "@prefix ex: <urn:x> . ex:a ex:b .",  # missing object
+        '<urn:a> <urn:b> "unterminated .',
+        "<urn:a> <urn:b> <urn:c>",     # missing dot
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle(bad)
+
+    def test_error_has_line_number(self):
+        with pytest.raises(TurtleSyntaxError) as excinfo:
+            parse_turtle("@prefix ex: <urn:x#> .\nex:a ex:b .")
+        assert excinfo.value.line == 2
+
+
+class TestNTriples:
+    def test_roundtrip_through_ntriples(self):
+        graph = parse_turtle(TURTLE)
+        # N-Triples is valid Turtle: reparse and compare URI/literal triples
+        reparsed = parse_turtle(to_ntriples(graph))
+        assert len(reparsed) == len(graph)
+
+    def test_deterministic_for_same_graph(self):
+        graph = parse_turtle(TURTLE)
+        assert to_ntriples(graph) == to_ntriples(graph)
+        # across parses only anonymous bnode labels may differ
+        import re as _re
+        scrub = lambda text: _re.sub(r"_:b\d+", "_:anon", text)
+        assert scrub(to_ntriples(graph)) == scrub(
+            to_ntriples(parse_turtle(TURTLE)))
+
+    def test_empty_graph(self):
+        assert to_ntriples(Graph()) == ""
+
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestTurtleRoundTripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 6), st.integers(0, 3),
+                             st.integers(0, 6)), max_size=25),
+           st.sets(st.tuples(st.integers(0, 6), st.integers(0, 3),
+                             st.text(alphabet='ab "\\\n', max_size=6)),
+                   max_size=10))
+    def test_ntriples_roundtrip_random_graphs(self, uri_triples,
+                                              literal_triples):
+        graph = Graph()
+        for s, p, o in uri_triples:
+            graph.add(EX[f"s{s}"], EX[f"p{p}"], EX[f"o{o}"])
+        for s, p, text in literal_triples:
+            graph.add(EX[f"s{s}"], EX[f"p{p}"], Literal(text))
+        reparsed = parse_turtle(to_ntriples(graph))
+        assert set(reparsed) == set(graph)

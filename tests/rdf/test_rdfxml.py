@@ -1,0 +1,100 @@
+"""RDF/XML subset: RDF fragments as embeddable XML (Sec. 3 values)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bindings import Binding, Relation, answers_to_relation, \
+    relation_to_answers
+from repro.rdf import (BNode, Graph, Literal, Namespace, RdfXmlError, XSD,
+                       describe_subject, graph_to_rdfxml, parse_turtle,
+                       rdfxml_to_graph)
+from repro.xmlmodel import parse, serialize
+
+EX = Namespace("http://example.org/")
+
+TURTLE = """
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:golf a ex:Car ;
+    ex:carClass "B" ;
+    ex:doors "5"^^xsd:integer ;
+    ex:name "Golf"@en ;
+    ex:soldBy _:dealer .
+_:dealer ex:city ex:munich .
+"""
+
+
+class TestRoundTrip:
+    def test_graph_roundtrips_through_rdfxml(self):
+        graph = parse_turtle(TURTLE)
+        reparsed = rdfxml_to_graph(graph_to_rdfxml(graph))
+        assert len(reparsed) == len(graph)
+        assert (EX.golf, EX.carClass, Literal("B")) in reparsed
+        assert reparsed.value(EX.golf, EX.doors) == Literal(
+            "5", datatype=XSD.integer)
+        assert reparsed.value(EX.golf, EX.name) == Literal("Golf",
+                                                           language="en")
+
+    def test_bnode_links_preserved(self):
+        graph = parse_turtle(TURTLE)
+        reparsed = rdfxml_to_graph(graph_to_rdfxml(graph))
+        dealer = reparsed.value(EX.golf, EX.soldBy)
+        assert isinstance(dealer, BNode)
+        assert reparsed.value(dealer, EX.city) == EX.munich
+
+    def test_wire_roundtrip_through_serializer(self):
+        graph = parse_turtle(TURTLE)
+        wire = serialize(graph_to_rdfxml(graph))
+        assert len(rdfxml_to_graph(parse(wire))) == len(graph)
+
+    def test_describe_subject_is_partial(self):
+        graph = parse_turtle(TURTLE)
+        fragment = describe_subject(graph, EX.golf)
+        partial = rdfxml_to_graph(fragment)
+        assert len(partial) == 5  # only golf's triples
+        assert partial.value(EX.golf, EX.carClass) == Literal("B")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 3),
+                             st.integers(0, 5)), min_size=1, max_size=15))
+    def test_property_roundtrip_random_graphs(self, triples):
+        graph = Graph()
+        for s, p, o in triples:
+            graph.add(EX[f"s{s}"], EX[f"p{p}"], Literal(f"o{o}"))
+        reparsed = rdfxml_to_graph(parse(serialize(graph_to_rdfxml(graph))))
+        assert set(reparsed) == set(graph)
+
+
+class TestAsBindingValue:
+    def test_rdf_fragment_travels_in_log_answers(self):
+        """Sec. 3: a variable bound to an RDF fragment crosses the wire."""
+        graph = parse_turtle(TURTLE)
+        fragment = describe_subject(graph, EX.golf)
+        relation = Relation([Binding({"CarDescription": fragment})])
+        wire = serialize(relation_to_answers(relation))
+        (binding,) = answers_to_relation(parse(wire))
+        recovered = rdfxml_to_graph(binding["CarDescription"])
+        assert recovered.value(EX.golf, EX.carClass) == Literal("B")
+
+
+class TestErrors:
+    def test_wrong_root_rejected(self):
+        with pytest.raises(RdfXmlError, match="rdf:RDF"):
+            rdfxml_to_graph(parse("<notrdf/>"))
+
+    def test_typed_node_form_rejected(self):
+        from repro.rdf import RDF_SYNTAX_NS
+        markup = (f'<rdf:RDF xmlns:rdf="{RDF_SYNTAX_NS}" '
+                  f'xmlns:ex="http://example.org/">'
+                  f'<ex:Car rdf:about="http://example.org/golf"/></rdf:RDF>')
+        with pytest.raises(RdfXmlError, match="rdf:Description"):
+            rdfxml_to_graph(parse(markup))
+
+    def test_property_without_namespace_rejected(self):
+        from repro.rdf import RDF_SYNTAX_NS
+        markup = (f'<rdf:RDF xmlns:rdf="{RDF_SYNTAX_NS}">'
+                  f'<rdf:Description rdf:about="urn:x">'
+                  f"<plain>v</plain></rdf:Description></rdf:RDF>")
+        with pytest.raises(RdfXmlError, match="namespace"):
+            rdfxml_to_graph(parse(markup))

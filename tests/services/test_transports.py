@@ -1,0 +1,111 @@
+"""Transports: in-process broker and the real localhost HTTP endpoints."""
+
+import pytest
+
+from repro.bindings import Relation, relation_to_answers
+from repro.services import (HttpServiceServer, HttpTransport,
+                            InProcessTransport, TransportError)
+from repro.xmlmodel import canonicalize, parse, serialize
+
+
+def echo_handler(message):
+    """Returns the request unchanged (wrapped), to inspect wire bytes."""
+    wrapper = parse("<echo/>")
+    wrapper.append(message.copy() if message.parent is None else message)
+    return wrapper
+
+
+class TestInProcessTransport:
+    def test_send_roundtrips_through_markup(self):
+        transport = InProcessTransport()
+        seen = []
+
+        def handler(message):
+            seen.append(message)
+            return relation_to_answers(Relation([{"X": 1}]))
+
+        transport.bind("svc:q", handler)
+        response = transport.send("svc:q", parse("<ping a='1'/>"))
+        assert seen[0] == parse("<ping a='1'/>")
+        # the handler received a *reparsed* copy, not the original object
+        assert response == relation_to_answers(Relation([{"X": 1}]))
+
+    def test_serialization_can_be_disabled(self):
+        transport = InProcessTransport(serialize_messages=False)
+        original = parse("<ping/>")
+        received = []
+        transport.bind("svc:q", lambda m: (received.append(m), m)[1])
+        transport.send("svc:q", original)
+        assert received[0] is original
+
+    def test_unknown_address(self):
+        transport = InProcessTransport()
+        with pytest.raises(TransportError, match="no service bound"):
+            transport.send("svc:ghost", parse("<x/>"))
+        with pytest.raises(TransportError, match="no opaque service"):
+            transport.fetch("svc:ghost", "q")
+
+    def test_opaque_fetch(self):
+        transport = InProcessTransport()
+        transport.bind_opaque("svc:exist", lambda q: f"result-of({q})")
+        assert transport.fetch("svc:exist", "query") == "result-of(query)"
+
+
+class TestHttpTransport:
+    def test_aware_post_roundtrip(self):
+        def handler(message):
+            return relation_to_answers(Relation([{"Got": message.name.local}]))
+
+        with HttpServiceServer(aware_handler=handler) as url:
+            transport = HttpTransport()
+            response = transport.send(url, parse("<ping/>"))
+            assert "Got" in serialize(response)
+
+    def test_opaque_get_roundtrip(self):
+        with HttpServiceServer(opaque_handler=lambda q: f"<r q='{q}'/>") as url:
+            transport = HttpTransport()
+            assert transport.fetch(url, "the query") == "<r q='the query'/>"
+
+    def test_unreachable_endpoint(self):
+        transport = HttpTransport(timeout=0.5)
+        with pytest.raises(TransportError):
+            transport.send("http://127.0.0.1:1/", parse("<x/>"))
+
+    def test_service_exception_becomes_transport_error(self):
+        def handler(message):
+            raise RuntimeError("boom")
+
+        with HttpServiceServer(aware_handler=handler) as url:
+            with pytest.raises(TransportError):
+                HttpTransport().send(url, parse("<x/>"))
+
+    def test_wrong_method_rejected(self):
+        with HttpServiceServer(aware_handler=lambda m: m) as url:
+            with pytest.raises(TransportError):
+                HttpTransport().fetch(url, "q")
+
+
+class TestWireEquivalence:
+    """DESIGN.md §5: identical canonical bytes over both transports."""
+
+    def test_same_message_bytes_in_process_and_http(self):
+        message = relation_to_answers(Relation([{"Person": "John Doe",
+                                                 "Class": "B"}]))
+        captured = {}
+
+        def capture(received):
+            captured["inproc"] = canonicalize(received)
+            return parse("<ok/>")
+
+        in_process = InProcessTransport()
+        in_process.bind("svc:x", capture)
+        in_process.send("svc:x", message)
+
+        def capture_http(received):
+            captured["http"] = canonicalize(received)
+            return parse("<ok/>")
+
+        with HttpServiceServer(aware_handler=capture_http) as url:
+            HttpTransport().send(url, message)
+
+        assert captured["inproc"] == captured["http"]

@@ -1,0 +1,45 @@
+"""QName parsing and namespace edge cases."""
+
+import pytest
+
+from repro.xmlmodel import NamespaceError, QName, XML_NS
+
+
+class TestQNameParsing:
+    def test_plain_local_name(self):
+        assert QName.parse("booking") == QName(None, "booking")
+
+    def test_default_namespace_applied(self):
+        assert QName.parse("booking", default="urn:t") == \
+            QName("urn:t", "booking")
+
+    def test_prefixed_name(self):
+        assert QName.parse("t:booking", {"t": "urn:t"}) == \
+            QName("urn:t", "booking")
+
+    def test_clark_notation(self):
+        assert QName.parse("{urn:t}booking") == QName("urn:t", "booking")
+        assert QName("urn:t", "booking").clark == "{urn:t}booking"
+        assert QName(None, "x").clark == "x"
+
+    def test_builtin_xml_prefix(self):
+        assert QName.parse("xml:lang") == QName(XML_NS, "lang")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(NamespaceError):
+            QName.parse("t:booking", {})
+        with pytest.raises(NamespaceError):
+            QName.parse("t:booking")
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("urn:t", "")
+
+    def test_equality_ignores_prefix_origin(self):
+        left = QName.parse("a:x", {"a": "urn:one"})
+        right = QName.parse("b:x", {"b": "urn:one"})
+        assert left == right and hash(left) == hash(right)
+
+    def test_same_local_different_uri_differ(self):
+        assert QName("urn:one", "x") != QName("urn:two", "x")
+        assert QName(None, "x") != QName("urn:one", "x")

@@ -1,0 +1,183 @@
+"""Node-model operations, builder and serializer behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlmodel import (E, Element, ElementMaker, QName, Text,
+                            canonicalize, parse, serialize)
+
+
+class TestNodeOperations:
+    def test_append_sets_parent(self):
+        parent = E("a")
+        child = parent.append(E("b"))
+        assert child.parent is parent
+        assert child.root() is parent
+
+    def test_append_attached_node_rejected(self):
+        parent = E("a")
+        child = parent.append(E("b"))
+        with pytest.raises(ValueError, match="already has a parent"):
+            E("c").append(child)
+
+    def test_detach_then_reattach(self):
+        parent = E("a")
+        child = parent.append(E("b"))
+        child.detach()
+        assert child.parent is None
+        other = E("c")
+        other.append(child)
+        assert child.parent is other
+
+    def test_copy_is_deep_and_detached(self):
+        original = parse('<a k="v"><b>t</b></a>')
+        clone = original.copy()
+        assert clone == original
+        clone.find("b").append(E("c"))
+        assert clone != original
+
+    def test_iter_document_order(self):
+        root = parse("<a><b><c/></b><d/></a>")
+        assert [node.name.local for node in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_ancestors(self):
+        root = parse("<a><b><c/></b></a>")
+        c = root.find("b").find("c")
+        names = [anc.name.local for anc in c.ancestors()
+                 if isinstance(anc, Element)]
+        assert names == ["b", "a"]
+        # a parsed tree is rooted in a synthetic Document
+        assert type(c.root()).__name__ == "Document"
+
+    def test_set_attribute_coerces(self):
+        element = E("a")
+        element.set("n", 5)
+        assert element.get("n") == "5"
+
+
+class TestBuilder:
+    def test_nested_build(self):
+        tree = E("a", {"k": "v"}, E("b", None, "text"), "tail")
+        assert serialize(tree) == '<a k="v"><b>text</b>tail</a>'
+
+    def test_numbers_become_text(self):
+        assert E("n", None, 5).text() == "5"
+        assert E("n", None, 2.5).text() == "2.5"
+        assert E("n", None, 2.0).text() == "2"
+
+    def test_element_maker_namespace(self):
+        travel = ElementMaker("urn:travel")
+        booking = travel.booking({"person": "John Doe"})
+        assert booking.name == QName("urn:travel", "booking")
+        assert booking.get("person") == "John Doe"
+
+    def test_element_maker_call_form(self):
+        maker = ElementMaker("urn:x")
+        assert maker("thing").name == QName("urn:x", "thing")
+
+
+class TestSerializer:
+    def test_escaping_in_text_and_attributes(self):
+        tree = E("a", {"k": 'quo"te<'}, "a<b&c")
+        markup = serialize(tree)
+        assert "&lt;b&amp;c" in markup
+        assert "quo&quot;te&lt;" in markup
+        assert parse(markup) == tree
+
+    def test_generated_prefix_for_builder_namespace(self):
+        tree = E(QName("urn:x", "a"), None, E(QName("urn:x", "b")))
+        reparsed = parse(serialize(tree))
+        assert reparsed == tree
+
+    def test_attribute_in_namespace_gets_prefix(self):
+        tree = E("a", {QName("urn:x", "k"): "v"})
+        reparsed = parse(serialize(tree))
+        assert reparsed.get(QName("urn:x", "k")) == "v"
+
+    def test_pretty_print_keeps_text_strings(self):
+        tree = parse("<a><b>hello</b><c><d/></c></a>")
+        pretty = serialize(tree, indent="  ")
+        assert "<b>hello</b>" in pretty
+        assert "\n" in pretty
+        assert parse(pretty) == tree
+
+    def test_declaration(self):
+        assert serialize(E("a"), declaration=True).startswith("<?xml")
+
+    def test_mixed_default_and_no_namespace(self):
+        # A no-namespace child inside a default-namespace parent must be
+        # serialized with the default namespace undeclared.
+        parent = E(QName("urn:x", "a"), None, E(QName(None, "plain")))
+        reparsed = parse(serialize(parent))
+        assert reparsed == parent
+
+
+class TestCanonicalize:
+    def test_equal_trees_same_bytes(self):
+        left = parse('<p:a xmlns:p="urn:x" z="2" a="1">\n  <p:b/>\n</p:a>')
+        right = parse('<a xmlns="urn:x" a="1" z="2"><b/></a>')
+        assert canonicalize(left) == canonicalize(right)
+
+    def test_different_text_different_bytes(self):
+        assert canonicalize(parse("<a>x</a>")) != canonicalize(parse("<a>y</a>"))
+
+    def test_canonical_form_is_reparseable(self):
+        tree = parse('<a xmlns="urn:x" k="v"><b>t</b><!-- gone --></a>')
+        assert parse(canonicalize(tree)) == parse(
+            '<a xmlns="urn:x" k="v"><b>t</b></a>')
+
+
+_local_names = st.sampled_from(["a", "b", "item", "booking", "car"])
+
+
+@st.composite
+def _trees(draw, depth=0):
+    name = draw(_local_names)
+    uri = draw(st.sampled_from([None, "urn:one", "urn:two"]))
+    n_attrs = draw(st.integers(0, 2))
+    attrs = {}
+    for index in range(n_attrs):
+        attrs[QName(None, f"k{index}")] = draw(
+            st.text(alphabet="abc<&\"' ", max_size=6))
+    element = Element(QName(uri, name), attrs)
+    if depth < 2:
+        for _ in range(draw(st.integers(0, 2))):
+            kind = draw(st.sampled_from(["element", "text"]))
+            if kind == "element":
+                element.append(draw(_trees(depth=depth + 1)))
+            else:
+                value = draw(st.text(alphabet="xyz<&; ", min_size=1,
+                                     max_size=8))
+                element.append(Text(value))
+    return element
+
+
+class TestPropertyRoundTrip:
+    @given(_trees())
+    def test_serialize_parse_roundtrip(self, tree):
+        assert parse(serialize(tree)) == tree
+
+    @given(_trees())
+    def test_canonicalize_stable_under_roundtrip(self, tree):
+        assert canonicalize(parse(serialize(tree))) == canonicalize(tree)
+
+
+class TestXPathConvenience:
+    def test_element_xpath_method(self):
+        doc = parse("<cars><car m='Golf'/><car m='Polo'/></cars>")
+        assert [n.value for n in doc.xpath("car/@m")] == ["Golf", "Polo"]
+
+    def test_with_variables_and_namespaces(self):
+        doc = parse('<t:cars xmlns:t="urn:t"><t:car m="Golf"/></t:cars>')
+        result = doc.xpath("t:car[@m = $model]",
+                           variables={"model": "Golf"},
+                           namespaces={"t": "urn:t"})
+        assert len(result) == 1
+
+    def test_identity_remove_of_equal_siblings(self):
+        doc = parse("<a><b/><b/></a>")
+        first, second = doc.elements()
+        doc.remove(second)
+        assert doc.elements().__next__() is first
+        with pytest.raises(ValueError, match="not a child"):
+            doc.remove(second)

