@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 
 from ..bindings import Relation
 from ..conditions import TEST_NS, TestExpression
-from ..grh import Detection, GenericRequestHandler, GRHError
+from ..grh import (ActionExecutionError, Detection, GenericRequestHandler,
+                   GRHError)
 from ..xmlmodel import Element
 from .markup import parse_rule
 from .model import ECARule
@@ -155,10 +156,15 @@ class ECAEngine:
     def deregister_rule(self, rule_id: str) -> None:
         if rule_id not in self.rules:
             raise EngineError(f"unknown rule {rule_id!r}")
-        registered = self.rules.pop(rule_id)
-        self._by_component.pop(registered.event_component_id, None)
+        registered = self.rules[rule_id]
+        # unregister on the event service FIRST: if that send fails, the
+        # engine still knows the rule — popping local state first would
+        # leave a live service-side registration whose detections the
+        # engine silently drops
         self.grh.unregister_event_component(registered.event_component_id,
                                             registered.rule.event)
+        self.rules.pop(rule_id)
+        self._by_component.pop(registered.event_component_id, None)
 
     # -- detection handling (Fig. 6) --------------------------------------------
 
@@ -256,11 +262,18 @@ class ECAEngine:
                     len(self.instances) > self.max_kept_instances:
                 del self.instances[:len(self.instances)
                                    - self.max_kept_instances]
-        self._evaluate(rule, instance)
+        failure = self._evaluate(rule, instance)
+        if failure is not None and not isinstance(failure,
+                                                  ActionExecutionError):
+            # park the detection for replay_dead_letters(); action-phase
+            # failures are dead-lettered per-tuple by the GRH instead
+            # (replaying the whole detection would re-run executed actions)
+            self.grh.dead_letter_detection(detection, failure)
 
     # -- instance evaluation (Figs. 7-11) ----------------------------------------------
 
-    def _evaluate(self, rule: ECARule, instance: RuleInstance) -> None:
+    def _evaluate(self, rule: ECARule,
+                  instance: RuleInstance) -> GRHError | None:
         relation = instance.relation
         try:
             for index, query in enumerate(rule.queries):
@@ -296,9 +309,16 @@ class ECAEngine:
             instance.status = "completed"
             self.stats["completed"] += 1
         except GRHError as exc:
+            if isinstance(exc, ActionExecutionError) and exc.executed:
+                # tuples that ran before the failure really executed;
+                # keep the audit trail (to_xml, stats) truthful
+                instance.actions_executed += exc.executed
+                self.stats["actions"] += exc.executed
             instance.status = "failed"
             instance.error = str(exc)
             self.stats["failed"] += 1
+            return exc
+        return None
 
     def _run_test(self, rule: ECARule, relation: Relation) -> Relation:
         test = rule.test
@@ -306,6 +326,47 @@ class ECAEngine:
                 and test.language == TEST_NS):
             return TestExpression(test.opaque).filter(relation)
         return self.grh.evaluate_test(f"{rule.rule_id}::test", test, relation)
+
+    # -- dead letter replay ----------------------------------------------------------------
+
+    def replay_dead_letters(self, limit: int | None = None) -> dict:
+        """Replay parked failures after the failing services recover.
+
+        Detection letters re-run the whole rule instance (a fresh
+        instance is created, so the failed one stays in the audit
+        trail); action letters execute only the tuples that never ran.
+        Letters that fail again are re-parked by the normal failure
+        path.  Returns a summary: letters replayed / succeeded / failed,
+        and how many action executions the replay performed.
+        """
+        letters = self.grh.resilience.dead_letters.drain(limit)
+        summary = {"replayed": 0, "succeeded": 0, "failed": 0, "actions": 0}
+        for letter in letters:
+            summary["replayed"] += 1
+            if letter.kind == "action":
+                try:
+                    executed = self.grh.execute_action(
+                        letter.component_id, letter.spec, letter.bindings)
+                except GRHError as exc:
+                    # execute_action re-parked the still-failing tuples;
+                    # partial progress still counts as executed actions
+                    if isinstance(exc, ActionExecutionError) and \
+                            exc.executed:
+                        summary["actions"] += exc.executed
+                        self.stats["actions"] += exc.executed
+                    summary["failed"] += 1
+                    continue
+                summary["succeeded"] += 1
+                summary["actions"] += executed
+                self.stats["actions"] += executed
+            else:
+                failed_before = self.stats["failed"]
+                self._on_detection(letter.detection)
+                if self.stats["failed"] > failed_before:
+                    summary["failed"] += 1
+                else:
+                    summary["succeeded"] += 1
+        return summary
 
     # -- introspection ---------------------------------------------------------------------
 

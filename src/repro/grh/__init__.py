@@ -4,11 +4,14 @@ component specs and the mediator itself."""
 from .component import ComponentSpec, opaque_placeholders
 from .handler import GenericRequestHandler, GRHError
 from .messages import (Detection, MessageError, REQUEST_KINDS, Request,
-                       detection_to_xml, error_message, error_text, is_error,
-                       ok_message, request_to_xml, xml_to_detection,
-                       xml_to_request)
+                       dead_letter_to_xml, detection_to_xml, error_message,
+                       error_text, is_error, ok_message, request_to_xml,
+                       xml_to_detection, xml_to_request)
 from .registry import (ECA_ONTOLOGY, FAMILIES, LanguageDescriptor,
                        LanguageRegistry, RegistryError)
+from .resilience import (ActionExecutionError, BreakerPolicy, CircuitBreaker,
+                         CircuitOpenError, DeadLetter, DeadLetterQueue,
+                         ResilienceManager, RetryPolicy)
 
 __all__ = [
     "GenericRequestHandler", "GRHError",
@@ -18,5 +21,8 @@ __all__ = [
     "Request", "Detection", "MessageError", "REQUEST_KINDS",
     "request_to_xml", "xml_to_request", "detection_to_xml",
     "xml_to_detection", "ok_message", "error_message", "is_error",
-    "error_text",
+    "error_text", "dead_letter_to_xml",
+    "RetryPolicy", "BreakerPolicy", "CircuitBreaker", "CircuitOpenError",
+    "ActionExecutionError", "DeadLetter", "DeadLetterQueue",
+    "ResilienceManager",
 ]

@@ -33,6 +33,9 @@ from .component import ComponentSpec
 from .messages import (Detection, MessageError, Request, detection_to_xml,
                        error_text, is_error, request_to_xml, xml_to_detection)
 from .registry import LanguageDescriptor, LanguageRegistry, RegistryError
+from .resilience import (ActionExecutionError, DeadLetter, GRHError,
+                         ResilienceManager, ServiceReportedError,
+                         TransientServiceFailure)
 
 __all__ = ["GenericRequestHandler", "GRHError"]
 
@@ -40,17 +43,19 @@ _ANSWERS = QName(LOG_NS, "answers")
 _ANSWER = QName(LOG_NS, "answer")
 
 
-class GRHError(RuntimeError):
-    """Raised when mediation fails (unknown language, service error...)."""
-
-
 class GenericRequestHandler:
     """Mediator between the ECA engine and component-language services."""
 
     def __init__(self, registry: LanguageRegistry, transport,
-                 cache_opaque_requests: bool = False) -> None:
+                 cache_opaque_requests: bool = False,
+                 resilience: ResilienceManager | None = None) -> None:
         self.registry = registry
         self.transport = transport
+        #: retry policies, per-endpoint circuit breakers and the dead
+        #: letter queue; the default manager performs no retries and
+        #: opens a breaker after 5 consecutive transport failures
+        self.resilience = resilience if resilience is not None \
+            else ResilienceManager()
         self._detection_callbacks: list[Callable[[Detection], None]] = []
         self._endpoints: dict[str, str] = {}
         self.request_count = 0
@@ -127,20 +132,36 @@ class GenericRequestHandler:
     def _send(self, descriptor: LanguageDescriptor,
               request: Request) -> Element:
         self.request_count += 1
+        address = self._address_of(descriptor)
+        payload = request_to_xml(request)
+        timeout = self.resilience.timeout_for(descriptor)
+
+        def attempt_once() -> Element:
+            try:
+                if timeout is not None:
+                    response = self.transport.send(address, payload,
+                                                   timeout=timeout)
+                else:
+                    response = self.transport.send(address, payload)
+            except GRHError:
+                raise
+            except Exception as exc:
+                # a crash on the other side of the transport is a service
+                # failure: transient, retryable, counted by the breaker
+                raise TransientServiceFailure(str(exc)) from exc
+            if is_error(response):
+                # a clean log:error from a healthy service: not transient
+                raise ServiceReportedError(error_text(response))
+            return response
+
         try:
-            response = self.transport.send(self._address_of(descriptor),
-                                           request_to_xml(request))
-        except GRHError:
-            raise
-        except Exception as exc:
-            # a crash on the other side of the transport is a service
-            # failure, reported like any other mediation error
+            return self.resilience.call(address, descriptor, attempt_once)
+        except TransientServiceFailure as exc:
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
-        if is_error(response):
+        except ServiceReportedError as exc:
             raise GRHError(f"service {descriptor.name!r} reported: "
-                           f"{error_text(response)}")
-        return response
+                           f"{exc}") from exc
 
     # -- event components (Figs. 5/6) ---------------------------------------------------
 
@@ -232,9 +253,22 @@ class GenericRequestHandler:
 
     def _fetch(self, descriptor: LanguageDescriptor, address: str,
                query: str) -> str:
+        timeout = self.resilience.timeout_for(descriptor)
+
+        def attempt_once() -> str:
+            try:
+                if timeout is not None:
+                    return self.transport.fetch(address, query,
+                                                timeout=timeout)
+                return self.transport.fetch(address, query)
+            except GRHError:
+                raise
+            except Exception as exc:
+                raise TransientServiceFailure(str(exc)) from exc
+
         try:
-            return self.transport.fetch(address, query)
-        except Exception as exc:
+            return self.resilience.call(address, descriptor, attempt_once)
+        except TransientServiceFailure as exc:
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
 
@@ -266,8 +300,10 @@ class GenericRequestHandler:
             if spec.bind_to is None:
                 raise GRHError(
                     "framework-unaware results need an eca:variable wrapper")
-            values = [line for line in (raw.splitlines() or [])
-                      if line.strip()]
+            # strip each line: CRLF responses (HTTP services) would
+            # otherwise bind values with a trailing \r that fail joins
+            values = [stripped for line in raw.splitlines()
+                      if (stripped := line.strip())]
         out = []
         for value in values:
             try:
@@ -294,16 +330,52 @@ class GenericRequestHandler:
 
     def execute_action(self, component_id: str, spec: ComponentSpec,
                        bindings: Relation) -> int:
-        """Execute the action once per tuple; returns the execution count."""
+        """Execute the action once per tuple; returns the execution count.
+
+        A mid-loop failure raises :class:`ActionExecutionError` carrying
+        the count of tuples that *did* execute (so the engine's audit
+        trail stays truthful) and parks the failed tuple plus every
+        not-yet-attempted tuple in the dead letter queue for replay.
+        """
         descriptor = self._descriptor_for(spec)
         content = spec.content if spec.content is not None \
             else _opaque_element(spec)
         count = 0
-        for binding in bindings:
-            self._send(descriptor, Request("action", component_id, content,
-                                           Relation([binding])))
+        tuples = list(bindings)
+        for index, binding in enumerate(tuples):
+            try:
+                self._send(descriptor, Request("action", component_id,
+                                               content, Relation([binding])))
+            except GRHError as exc:
+                remaining = Relation(tuples[index:])
+                self.resilience.dead_letters.append(DeadLetter(
+                    kind="action", error=str(exc),
+                    enqueued_at=self.resilience.clock(),
+                    component_id=component_id, spec=spec, content=content,
+                    bindings=remaining))
+                raise ActionExecutionError(str(exc), executed=count,
+                                           remaining=remaining) from exc
             count += 1
         return count
+
+    # -- resilience surface --------------------------------------------------
+
+    def dead_letter_detection(self, detection: Detection, error,
+                              attempts: int = 1) -> None:
+        """Park a detection whose rule instance failed, for replay via
+        :meth:`repro.core.ECAEngine.replay_dead_letters`."""
+        self.resilience.dead_letters.append(DeadLetter(
+            kind="detection", error=str(error),
+            enqueued_at=self.resilience.clock(), attempts=attempts,
+            detection=detection))
+
+    @property
+    def stats(self) -> dict:
+        """Mediation counters: requests, cache hits, plus the resilience
+        layer's retries, breaker activity and dead letters."""
+        return {"requests": self.request_count,
+                "cache_hits": self.cache_hits,
+                **self.resilience.snapshot()}
 
 
 def _opaque_element(spec: ComponentSpec) -> Element:

@@ -28,8 +28,8 @@ from ..xmlmodel import Element, LOG_NS, QName, Text
 
 __all__ = ["Request", "Detection", "request_to_xml", "xml_to_request",
            "detection_to_xml", "xml_to_detection", "ok_message",
-           "error_message", "is_error", "error_text", "MessageError",
-           "REQUEST_KINDS"]
+           "error_message", "is_error", "error_text", "dead_letter_to_xml",
+           "MessageError", "REQUEST_KINDS"]
 
 REQUEST_KINDS = ("register-event", "unregister-event", "query", "action",
                  "test")
@@ -41,6 +41,7 @@ _DETECTION = QName(LOG_NS, "detection")
 _EVENTS = QName(LOG_NS, "events")
 _OK = QName(LOG_NS, "ok")
 _ERROR = QName(LOG_NS, "error")
+_DEADLETTER = QName(LOG_NS, "deadletter")
 
 
 class MessageError(ValueError):
@@ -163,6 +164,25 @@ def ok_message() -> Element:
 def error_message(text: str) -> Element:
     element = Element(_ERROR, nsdecls={"log": LOG_NS})
     element.append(Text(text))
+    return element
+
+
+def dead_letter_to_xml(kind: str, error: str, attempts: int,
+                       payload: Element | None = None) -> Element:
+    """``log:deadletter`` — a failed unit of work parked for replay.
+
+    ``payload`` is the original ``log:detection`` (failed instance) or
+    ``log:request`` (failed per-tuple action loop), so a dead letter is
+    self-contained: archiving it preserves everything needed to replay.
+    """
+    element = Element(_DEADLETTER, {QName(None, "kind"): kind,
+                                    QName(None, "attempts"): str(attempts)},
+                      nsdecls={"log": LOG_NS})
+    error_element = Element(_ERROR)
+    error_element.append(Text(error))
+    element.append(error_element)
+    if payload is not None:
+        element.append(payload.copy())
     return element
 
 

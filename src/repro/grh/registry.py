@@ -19,6 +19,7 @@ from typing import Callable
 
 from ..rdf import Graph, Literal, Namespace, RDF, URIRef
 from ..xmlmodel import Element
+from .resilience import BreakerPolicy, RetryPolicy
 
 __all__ = ["LanguageDescriptor", "LanguageRegistry", "RegistryError",
            "FAMILIES", "ECA_ONTOLOGY"]
@@ -40,6 +41,12 @@ class LanguageDescriptor:
     ``analyze`` optionally inspects a component's content and reports
     ``(produces, consumes)`` variable sets, enabling the engine's static
     binding-order check; ``None`` entries mean "unknown".
+
+    ``retry``, ``breaker`` and ``timeout`` override the GRH's default
+    resilience policies for this one language: autonomous services have
+    individual failure characteristics, so the knobs live on the
+    resource description (Sec. 2: "with this URI, further information is
+    associated").  ``None`` means "use the GRH-wide default".
     """
 
     uri: str
@@ -49,6 +56,9 @@ class LanguageDescriptor:
     endpoint: str | None = None
     analyze: Callable[[Element | str],
                       tuple[set[str] | None, set[str] | None]] | None = None
+    retry: RetryPolicy | None = None
+    breaker: BreakerPolicy | None = None
+    timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:

@@ -1,0 +1,382 @@
+"""Resilience for the mediation layer: retries, breakers, dead letters.
+
+The paper's component-language services are *autonomous* and possibly
+remote (Sec. 4.4) — they fail, time out and recover on their own
+schedule.  Homogeneous reaction-rule systems (ECA-LP / ECA-RuleML)
+treat failure handling as first-class; this module provides the
+equivalent for the heterogeneous-services setting, at the one place all
+service traffic passes through — the Generic Request Handler:
+
+* :class:`RetryPolicy` — per-language retry with exponential backoff and
+  *deterministic* jitter (no hidden randomness: the jitter is a hash of
+  the endpoint and the attempt number, so tests and replays are exact);
+* :class:`CircuitBreaker` — per-endpoint closed → open → half-open
+  breaker that sheds load to services that keep failing instead of
+  stacking timeouts onto every rule instance;
+* :class:`DeadLetterQueue` — failed detections and failed per-tuple
+  action requests are captured for later replay via
+  :meth:`repro.core.ECAEngine.replay_dead_letters`;
+* :class:`ResilienceManager` — owns the policies, breakers, counters and
+  the injectable ``clock``/``sleep`` used by all of the above.
+
+Failure classification (see docs/PROTOCOL.md §6): a transport-level
+failure (connection refused, HTTP 5xx, a crash inside an in-process
+service) is **transient** — it is retried and counted against the
+endpoint's breaker.  A clean ``log:error`` response is an **application
+error** from a healthy service — it is not retried (unless the policy
+opts in) and never trips the breaker.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TYPE_CHECKING
+
+from .messages import Detection, Request, dead_letter_to_xml, request_to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..bindings import Relation
+    from ..xmlmodel import Element
+    from .component import ComponentSpec
+    from .registry import LanguageDescriptor
+
+__all__ = ["GRHError", "CircuitOpenError", "ActionExecutionError",
+           "TransientServiceFailure", "ServiceReportedError",
+           "RetryPolicy", "BreakerPolicy", "CircuitBreaker",
+           "DeadLetter", "DeadLetterQueue", "ResilienceManager"]
+
+
+class GRHError(RuntimeError):
+    """Raised when mediation fails (unknown language, service error...)."""
+
+
+class CircuitOpenError(GRHError):
+    """The endpoint's circuit breaker is open; the request was shed."""
+
+
+class ActionExecutionError(GRHError):
+    """An action component failed part-way through its per-tuple loop.
+
+    ``executed`` is the number of tuples whose action request succeeded
+    before the failure; ``remaining`` holds the failed tuple and every
+    tuple not yet attempted (the same relation is captured in the dead
+    letter queue for replay).
+    """
+
+    def __init__(self, message: str, executed: int = 0,
+                 remaining: "Relation | None" = None) -> None:
+        super().__init__(message)
+        self.executed = executed
+        self.remaining = remaining
+
+
+class TransientServiceFailure(RuntimeError):
+    """Internal: transport/crash failure — retryable, counts for breaker."""
+
+
+class ServiceReportedError(RuntimeError):
+    """Internal: the service answered ``log:error`` — an application
+    error from a healthy service (not retried by default)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry one service request.
+
+    The default (``max_attempts=1``) performs no retries, keeping the
+    seed semantics.  ``timeout`` (seconds) is propagated per-request into
+    timeout-capable transports.  Jitter is deterministic: attempt ``n``
+    against endpoint ``a`` always sleeps the same amount.
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    timeout: float | None = None
+    #: opt in to retrying clean ``log:error`` responses too
+    retry_on_service_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered
+        deterministically by ``key`` (normally the endpoint address)."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.backoff_factor ** (attempt - 1))
+        if self.jitter:
+            frac = zlib.crc32(f"{key}#{attempt}".encode()) % 1000 / 1000.0
+            delay *= 1.0 + self.jitter * frac
+        return delay
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a per-endpoint circuit breaker opens and how it recovers."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one endpoint.
+
+    Closed: requests pass; consecutive transient failures count toward
+    the threshold.  Open: requests are shed without touching the
+    transport until ``reset_timeout`` has elapsed.  Half-open: one probe
+    request passes; success closes the breaker, failure reopens it.
+    """
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.opens = 0
+
+    def allow(self, now: float) -> bool:
+        if self.state == "open":
+            if now - self.opened_at >= self.policy.reset_timeout:
+                self.state = "half_open"
+                return True
+            return False
+        return True
+
+    def retry_after(self, now: float) -> float:
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self.policy.reset_timeout - (now - self.opened_at))
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+
+    def record_failure(self, now: float) -> bool:
+        """Count one transient failure; returns True if this opened
+        (or re-opened) the breaker."""
+        self.failures += 1
+        if (self.state == "half_open"
+                or self.failures >= self.policy.failure_threshold):
+            self.state = "open"
+            self.opened_at = now
+            self.failures = 0
+            self.opens += 1
+            return True
+        return False
+
+
+@dataclass
+class DeadLetter:
+    """One failed unit of work, parked for replay.
+
+    ``kind`` is ``"detection"`` (a rule instance whose evaluation failed
+    — replay re-runs the whole instance) or ``"action"`` (a per-tuple
+    action loop that failed part-way — replay executes the failed tuple
+    and every tuple after it, never the ones that already ran).
+    """
+
+    kind: str
+    error: str
+    enqueued_at: float = 0.0
+    attempts: int = 1
+    #: detection letters
+    detection: Detection | None = None
+    #: action letters
+    component_id: str | None = None
+    spec: "ComponentSpec | None" = None
+    content: "Element | None" = None
+    bindings: "Relation | None" = None
+
+    def to_xml(self) -> "Element":
+        """``log:deadletter`` markup, for archiving or monitoring UIs."""
+        from .messages import detection_to_xml
+        payload = None
+        if self.kind == "detection" and self.detection is not None:
+            payload = detection_to_xml(self.detection)
+        elif self.kind == "action" and self.bindings is not None:
+            payload = request_to_xml(Request("action", self.component_id,
+                                             self.content, self.bindings))
+        return dead_letter_to_xml(self.kind, self.error, self.attempts,
+                                  payload)
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of :class:`DeadLetter`; oldest dropped when full."""
+
+    def __init__(self, max_size: int = 1000) -> None:
+        self.max_size = max_size
+        self._letters: deque[DeadLetter] = deque()
+        self.dropped = 0
+
+    def append(self, letter: DeadLetter) -> None:
+        self._letters.append(letter)
+        while len(self._letters) > self.max_size:
+            self._letters.popleft()
+            self.dropped += 1
+
+    def drain(self, limit: int | None = None) -> list[DeadLetter]:
+        """Remove and return up to ``limit`` letters (all by default)."""
+        count = len(self._letters) if limit is None else min(
+            limit, len(self._letters))
+        return [self._letters.popleft() for _ in range(count)]
+
+    def clear(self) -> None:
+        self._letters.clear()
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+
+#: sentinel distinguishing "use the default breaker" from "no breaker"
+_DEFAULT = object()
+
+
+class ResilienceManager:
+    """Policies, breakers, dead letters and counters for one GRH.
+
+    ``clock`` and ``sleep`` are injectable so tests (and deterministic
+    replays) never wait on wall-clock time.  Per-language overrides come
+    from :class:`~repro.grh.registry.LanguageDescriptor` fields; the
+    manager's ``retry``/``breaker`` are the defaults.
+    """
+
+    def __init__(self, retry: RetryPolicy | None = None,
+                 breaker: BreakerPolicy | None = _DEFAULT,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 max_dead_letters: int = 1000) -> None:
+        self.default_retry = retry if retry is not None else RetryPolicy()
+        self.default_breaker = (BreakerPolicy() if breaker is _DEFAULT
+                                else breaker)
+        self.clock = clock
+        self.sleep = sleep
+        self.dead_letters = DeadLetterQueue(max_dead_letters)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.retries = 0
+        self.attempts = 0
+        self.breaker_opens = 0
+        self.breaker_rejections = 0
+        self._per_service: dict[str, dict[str, int]] = {}
+
+    # -- policy resolution ---------------------------------------------------
+
+    def policy_for(self, descriptor: "LanguageDescriptor") -> RetryPolicy:
+        return descriptor.retry if descriptor.retry is not None \
+            else self.default_retry
+
+    def timeout_for(self, descriptor: "LanguageDescriptor") -> float | None:
+        if descriptor.timeout is not None:
+            return descriptor.timeout
+        return self.policy_for(descriptor).timeout
+
+    def breaker_for(self, address: str,
+                    descriptor: "LanguageDescriptor") -> CircuitBreaker | None:
+        policy = descriptor.breaker if descriptor.breaker is not None \
+            else self.default_breaker
+        if policy is None:
+            return None
+        breaker = self._breakers.get(address)
+        if breaker is None:
+            breaker = self._breakers[address] = CircuitBreaker(policy)
+        return breaker
+
+    # -- the retry loop ------------------------------------------------------
+
+    def call(self, address: str, descriptor: "LanguageDescriptor",
+             attempt_once: Callable[[], object]):
+        """Run one logical service request under retry + breaker.
+
+        ``attempt_once`` raises :class:`TransientServiceFailure` for
+        transport-level failures (retryable, breaker-counted) or
+        :class:`ServiceReportedError` for clean ``log:error`` responses
+        (retried only when the policy opts in, never breaker-counted);
+        anything else propagates untouched.
+        """
+        policy = descriptor.retry if descriptor.retry is not None \
+            else self.default_retry
+        breaker = self.breaker_for(address, descriptor)
+        # happy path: a closed breaker admits everything — skip the
+        # clock read (allow() only needs the time to leave "open")
+        if breaker is not None and breaker.state != "closed" and \
+                not breaker.allow(self.clock()):
+            self.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit open for service {descriptor.name!r} at "
+                f"{address!r}; retry after "
+                f"{breaker.retry_after(self.clock()):.3g}s")
+        attempt = 1
+        while True:
+            self.attempts += 1
+            try:
+                result = attempt_once()
+            except TransientServiceFailure:
+                if breaker is not None and \
+                        breaker.record_failure(self.clock()):
+                    self.breaker_opens += 1
+                self._record(address, ok=False)
+                shed = breaker is not None and breaker.state == "open"
+                if attempt >= policy.max_attempts or shed:
+                    raise
+            except ServiceReportedError:
+                self._record(address, ok=False)
+                if attempt >= policy.max_attempts or \
+                        not policy.retry_on_service_errors:
+                    raise
+            else:
+                if breaker is not None and (breaker.failures
+                                            or breaker.state != "closed"):
+                    breaker.record_success()
+                self._record(address, ok=True)
+                return result
+            self.retries += 1
+            self.sleep(policy.delay_for(attempt, address))
+            attempt += 1
+
+    def _record(self, address: str, ok: bool) -> None:
+        try:
+            counts = self._per_service[address]
+        except KeyError:
+            counts = self._per_service[address] = {"successes": 0,
+                                                   "failures": 0}
+        counts["successes" if ok else "failures"] += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Counters for ``grh.stats``: retries, breaker activity, dead
+        letters and per-service failure rates."""
+        services = {}
+        for address, counts in self._per_service.items():
+            total = counts["successes"] + counts["failures"]
+            services[address] = dict(counts,
+                                     failure_rate=counts["failures"] / total
+                                     if total else 0.0)
+        return {
+            "retries": self.retries,
+            "attempts": self.attempts,
+            "breaker_opens": self.breaker_opens,
+            "breaker_rejections": self.breaker_rejections,
+            "breakers": {address: breaker.state
+                         for address, breaker in self._breakers.items()},
+            "dead_letters": len(self.dead_letters),
+            "dead_letters_dropped": self.dead_letters.dropped,
+            "services": services,
+        }

@@ -15,7 +15,7 @@ from ..actions import ACTION_NS, ActionRuntime
 from ..conditions import TEST_NS
 from ..events import ATOMIC_NS, EventStream, SNOOP_NS, XCHANGE_NS
 from ..grh import (GenericRequestHandler, LanguageDescriptor,
-                   LanguageRegistry)
+                   LanguageRegistry, ResilienceManager)
 from ..rdf import Graph
 from ..xmlmodel import Element
 from .action_service import ActionExecutionService
@@ -67,16 +67,19 @@ class Deployment:
 
 def standard_deployment(serialize_messages: bool = True,
                         graph: Graph | None = None,
-                        datalog_program: str = "") -> Deployment:
+                        datalog_program: str = "",
+                        resilience: ResilienceManager | None = None
+                        ) -> Deployment:
     """Wire the full service landscape over an in-process transport.
 
     ``serialize_messages=True`` (default) round-trips every message
     through markup, making the in-process broker byte-equivalent to the
-    HTTP transport.
+    HTTP transport.  ``resilience`` configures retry policies, circuit
+    breakers and the dead letter queue of the GRH.
     """
     registry = LanguageRegistry()
     transport = InProcessTransport(serialize_messages=serialize_messages)
-    grh = GenericRequestHandler(registry, transport)
+    grh = GenericRequestHandler(registry, transport, resilience=resilience)
     stream = EventStream()
     runtime = ActionRuntime(event_stream=stream)
 

@@ -55,7 +55,10 @@ class InProcessTransport:
         self._opaque[address] = handler
         return address
 
-    def send(self, address: str, message: Element) -> Element:
+    def send(self, address: str, message: Element,
+             timeout: float | None = None) -> Element:
+        # in-process calls cannot be interrupted; ``timeout`` is accepted
+        # for contract compatibility with the HTTP transport
         if address not in self._aware:
             raise TransportError(f"no service bound at {address!r}")
         handler = self._aware[address]
@@ -65,7 +68,8 @@ class InProcessTransport:
         response = handler(parse(wire_out))
         return parse(serialize(response))
 
-    def fetch(self, address: str, query: str) -> str:
+    def fetch(self, address: str, query: str,
+              timeout: float | None = None) -> str:
         if address not in self._opaque:
             raise TransportError(f"no opaque service bound at {address!r}")
         return self._opaque[address](query)
@@ -127,17 +131,37 @@ class HttpServiceServer:
                               if aware_handler else None,
                               "opaque_handler": staticmethod(opaque_handler)
                               if opaque_handler else None})
-        self._server = ThreadingHTTPServer(("127.0.0.1", 0), handler_class)
+        class _QuietServer(ThreadingHTTPServer):
+            def handle_error(self, request, client_address):
+                # a client that timed out and hung up mid-response is
+                # routine (per-request timeouts abandon slow requests);
+                # everything else still gets the stock traceback
+                import sys
+                if isinstance(sys.exception(), ConnectionError):
+                    return
+                super().handle_error(request, client_address)
+
+        self._server = _QuietServer(("127.0.0.1", 0), handler_class)
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         daemon=True)
+        self._started = False
+        self._stopped = False
 
     def start(self) -> str:
         self._thread.start()
+        self._started = True
         host, port = self._server.server_address[:2]
         return f"http://{host}:{port}/"
 
     def stop(self) -> None:
-        self._server.shutdown()
+        """Stop the server.  Idempotent, and safe before :meth:`start`:
+        ``shutdown()`` is only issued when ``serve_forever`` actually
+        runs (it would otherwise block forever on its event)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._started:
+            self._server.shutdown()
         self._server.server_close()
 
     def __enter__(self) -> str:
@@ -171,39 +195,47 @@ class HybridTransport:
     def bind_opaque(self, address: str, handler: OpaqueHandler) -> str:
         return self.local.bind_opaque(address, handler)
 
-    def send(self, address: str, message: Element) -> Element:
+    def send(self, address: str, message: Element,
+             timeout: float | None = None) -> Element:
         if self._is_http(address):
-            return self.http.send(address, message)
-        return self.local.send(address, message)
+            return self.http.send(address, message, timeout=timeout)
+        return self.local.send(address, message, timeout=timeout)
 
-    def fetch(self, address: str, query: str) -> str:
+    def fetch(self, address: str, query: str,
+              timeout: float | None = None) -> str:
         if self._is_http(address):
-            return self.http.fetch(address, query)
-        return self.local.fetch(address, query)
+            return self.http.fetch(address, query, timeout=timeout)
+        return self.local.fetch(address, query, timeout=timeout)
 
 
 class HttpTransport:
     """Reaches services over HTTP (POST for aware, GET for opaque)."""
 
     def __init__(self, timeout: float = 10.0) -> None:
+        #: default per-request timeout; a per-request ``timeout`` argument
+        #: (e.g. from a language's resilience policy) overrides it
         self.timeout = timeout
 
-    def send(self, address: str, message: Element) -> Element:
+    def send(self, address: str, message: Element,
+             timeout: float | None = None) -> Element:
         body = serialize(message).encode("utf-8")
         request = urllib.request.Request(
             address, data=body,
             headers={"Content-Type": "application/xml; charset=utf-8"})
+        effective = self.timeout if timeout is None else timeout
         try:
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+                                        timeout=effective) as response:
                 return parse(response.read().decode("utf-8"))
         except OSError as exc:
             raise TransportError(f"cannot reach {address!r}: {exc}") from exc
 
-    def fetch(self, address: str, query: str) -> str:
+    def fetch(self, address: str, query: str,
+              timeout: float | None = None) -> str:
         url = f"{address}?{urllib.parse.urlencode({'query': query})}"
+        effective = self.timeout if timeout is None else timeout
         try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            with urllib.request.urlopen(url, timeout=effective) as response:
                 return response.read().decode("utf-8")
         except OSError as exc:
             raise TransportError(f"cannot reach {address!r}: {exc}") from exc

@@ -1,0 +1,212 @@
+"""Engine-level resilience: state consistency under partial failure,
+dead letter capture and replay (ECAEngine.replay_dead_letters)."""
+
+import pytest
+
+from repro.bindings import Relation, relation_to_answers
+from repro.core import ECAEngine, EngineError
+from repro.grh import GRHError, LanguageDescriptor, ok_message
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+PAIRS_LANG = "urn:test:pairs"
+FLAKY_ACT = "urn:test:flaky-act"
+FLAKY_Q = "urn:test:flaky-q"
+
+
+class PairsService:
+    """Query service contributing two tuples per evaluation."""
+
+    def handle(self, message):
+        return relation_to_answers(Relation([{"X": "1"}, {"X": "2"}]))
+
+
+class FlakyActionService:
+    """Action service that crashes on configurable call numbers."""
+
+    def __init__(self, fail_on=()):
+        self.fail_on = set(fail_on)
+        self.calls = 0
+
+    def handle(self, message):
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise RuntimeError("action backend down")
+        return ok_message()
+
+
+class FlakyQueryService:
+    def __init__(self, failing=True):
+        self.failing = failing
+        self.calls = 0
+
+    def handle(self, message):
+        self.calls += 1
+        if self.failing:
+            raise RuntimeError("query backend down")
+        return relation_to_answers(Relation([{"Q": "fine"}]))
+
+
+def make_world(extra_services=()):
+    deployment = standard_deployment()
+    for descriptor, service in extra_services:
+        deployment.grh.add_service(descriptor, service)
+    engine = ECAEngine(deployment.grh, validate=False)
+    return deployment, engine
+
+
+class TestDeregisterConsistency:
+    """Regression: a failed unregister must not desynchronize engine
+    and event service (the engine forgot the rule, the service kept a
+    live registration whose detections were silently dropped)."""
+
+    RULE = f"""
+    <eca:rule {ECA} id="r1">
+      <eca:event><ping n="{{N}}"/></eca:event>
+      <eca:action><out n="{{N}}"/></eca:action>
+    </eca:rule>
+    """
+
+    def wrap_event_transport(self, deployment, fail_unregister):
+        original = deployment.transport._aware["svc:atomic-events"]
+
+        def wrapper(message):
+            if fail_unregister() and \
+                    message.get("kind") == "unregister-event":
+                raise RuntimeError("event service unreachable")
+            return original(message)
+
+        deployment.transport.bind("svc:atomic-events", wrapper)
+
+    def test_failed_unregister_keeps_rule_registered(self):
+        deployment, engine = make_world()
+        failing = [True]
+        self.wrap_event_transport(deployment, lambda: failing[0])
+        engine.register_rule(self.RULE)
+        with pytest.raises(GRHError, match="unreachable"):
+            engine.deregister_rule("r1")
+        # local state is intact: the rule is still known and detections
+        # from the (still live) service-side registration are processed
+        assert "r1" in engine.rules
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert engine.stats["instances"] == 1
+        # once the service recovers, deregistration completes cleanly
+        failing[0] = False
+        engine.deregister_rule("r1")
+        assert "r1" not in engine.rules
+        with pytest.raises(EngineError):
+            engine.deregister_rule("r1")
+        deployment.stream.emit(E("ping", {"n": "2"}))
+        assert engine.stats["instances"] == 1
+
+
+class TestPartialActionReporting:
+    """Regression: a mid-loop action failure used to discard the count
+    of per-tuple requests that really executed."""
+
+    RULE = f"""
+    <eca:rule {ECA} id="partial">
+      <eca:event><ping/></eca:event>
+      <eca:query><q xmlns="{PAIRS_LANG}">two tuples</q></eca:query>
+      <eca:action>
+        <eca:opaque language="flaky-act">do {{X}}</eca:opaque>
+      </eca:action>
+    </eca:rule>
+    """
+
+    def make(self, fail_on):
+        actions = FlakyActionService(fail_on=fail_on)
+        deployment, engine = make_world([
+            (LanguageDescriptor(PAIRS_LANG, "query", "pairs"),
+             PairsService()),
+            (LanguageDescriptor(FLAKY_ACT, "action", "flaky-act"), actions),
+        ])
+        engine.register_rule(self.RULE)
+        return deployment, engine, actions
+
+    def test_partial_count_preserved_on_instance_and_stats(self):
+        deployment, engine, actions = self.make(fail_on={2})
+        deployment.stream.emit(E("ping"))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert instance.actions_executed == 1       # first tuple did run
+        assert engine.stats["actions"] == 1
+        assert instance.to_xml().get("actions") == "1"
+
+    def test_failed_tuples_parked_and_replayed(self):
+        deployment, engine, actions = self.make(fail_on={2})
+        deployment.stream.emit(E("ping"))
+        assert engine.grh.stats["dead_letters"] == 1
+        (letter,) = engine.grh.resilience.dead_letters
+        assert letter.kind == "action"
+        assert len(letter.bindings) == 1            # only the failed tuple
+        # the backend recovers; replay executes exactly the missing tuple
+        summary = engine.replay_dead_letters()
+        assert summary == {"replayed": 1, "succeeded": 1, "failed": 0,
+                           "actions": 1}
+        assert engine.stats["actions"] == 2
+        assert actions.calls == 3
+        assert engine.grh.stats["dead_letters"] == 0
+
+    def test_still_failing_replay_reparks(self):
+        deployment, engine, actions = self.make(fail_on={2, 3})
+        deployment.stream.emit(E("ping"))
+        summary = engine.replay_dead_letters()
+        assert summary["failed"] == 1
+        assert engine.grh.stats["dead_letters"] == 1
+
+
+class TestDetectionReplay:
+    RULE = f"""
+    <eca:rule {ECA} id="flaky">
+      <eca:event><ping n="{{N}}"/></eca:event>
+      <eca:query><q xmlns="{FLAKY_Q}">whatever</q></eca:query>
+      <eca:action><out q="{{Q}}"/></eca:action>
+    </eca:rule>
+    """
+
+    def make(self):
+        service = FlakyQueryService(failing=True)
+        deployment, engine = make_world([
+            (LanguageDescriptor(FLAKY_Q, "query", "flaky-q"), service)])
+        engine.register_rule(self.RULE)
+        return deployment, engine, service
+
+    def test_failed_detection_is_parked(self):
+        deployment, engine, service = self.make()
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        (letter,) = engine.grh.resilience.dead_letters
+        assert letter.kind == "detection"
+        assert "query backend down" in letter.error
+
+    def test_replay_after_recovery_completes_the_rule(self):
+        deployment, engine, service = self.make()
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        service.failing = False
+        summary = engine.replay_dead_letters()
+        assert summary["replayed"] == 1 and summary["succeeded"] == 1
+        statuses = [instance.status for instance in engine.instances]
+        assert statuses == ["failed", "completed"]  # audit trail kept
+        assert engine.grh.stats["dead_letters"] == 0
+
+    def test_replay_while_still_failing_reparks(self):
+        deployment, engine, service = self.make()
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        summary = engine.replay_dead_letters()
+        assert summary["failed"] == 1
+        assert engine.grh.stats["dead_letters"] == 1
+        # recovery after the second park still converges
+        service.failing = False
+        summary = engine.replay_dead_letters()
+        assert summary["succeeded"] == 1
+        assert engine.grh.stats["dead_letters"] == 0
+
+    def test_successful_instances_are_not_parked(self):
+        deployment, engine, service = self.make()
+        service.failing = False
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert engine.stats["completed"] == 1
+        assert engine.grh.stats["dead_letters"] == 0

@@ -186,6 +186,16 @@ class TestUnawareAdaptation:
         with pytest.raises(GRHError, match="eca:variable"):
             grh.evaluate_query("r::q1", spec, Relation.unit())
 
+    def test_crlf_plain_text_lines_bind_stripped(self):
+        # HTTP services answer with \r\n line endings; bound values must
+        # not keep the \r (it would poison joins against clean values)
+        grh, _ = self.setup_grh({"q": "Golf\r\nPassat\r\n"})
+        spec = ComponentSpec("query", "urn:exist", opaque="q", bind_to="Car")
+        result = grh.evaluate_query("r::q1", spec, Relation.unit())
+        assert {binding["Car"] for binding in result} == {"Golf", "Passat"}
+        joined = result.join(Relation([{"Car": "Golf"}]))
+        assert len(joined) == 1
+
     def test_fake_aware_log_answers_response(self):
         # Fig. 10: the response IS a log:answers structure
         answers = relation_to_answers(Relation([{"Avail": "Polo",

@@ -52,6 +52,20 @@ def flaky_rule():
     """
 
 
+def unaware_flaky_rule():
+    """Same shape, but the flaky language is framework-unaware (opaque
+    component, result bound to $Q)."""
+    return f"""
+    <eca:rule {ECA} id="flaky-rule">
+      <eca:event><ping n="{{N}}"/></eca:event>
+      <eca:variable name="Q">
+        <eca:query><eca:opaque language="flaky">whatever</eca:opaque></eca:query>
+      </eca:variable>
+      <eca:action><out q="{{Q}}"/></eca:action>
+    </eca:rule>
+    """
+
+
 @pytest.fixture()
 def world():
     deployment = standard_deployment()
@@ -167,6 +181,59 @@ class TestActionFailures:
         assert instance.actions_executed == 1  # first action did run
 
 
+def http_world(flaky_service, resilience=None, aware=True):
+    """A hybrid deployment with the flaky query service behind real HTTP."""
+    from repro.grh import GenericRequestHandler, LanguageRegistry
+    from repro.services import (ActionExecutionService, AtomicEventService,
+                                HttpServiceServer, HybridTransport)
+    from repro.actions import ACTION_NS, ActionRuntime
+    from repro.events import ATOMIC_NS, EventStream
+
+    registry = LanguageRegistry()
+    grh = GenericRequestHandler(registry, HybridTransport(timeout=2.0),
+                                resilience=resilience)
+    stream = EventStream()
+    runtime = ActionRuntime()
+    atomic = AtomicEventService(grh.notify)
+    atomic.attach(stream)
+    grh.add_service(LanguageDescriptor(ATOMIC_NS, "event", "atomic"),
+                    atomic)
+    grh.add_service(LanguageDescriptor(ACTION_NS, "action", "actions"),
+                    ActionExecutionService(runtime))
+    if aware:
+        server = HttpServiceServer(aware_handler=flaky_service.handle)
+    else:
+        server = HttpServiceServer(opaque_handler=flaky_service.execute)
+    grh.add_remote_language(
+        LanguageDescriptor(FLAKY_LANG, "query", "flaky",
+                           framework_aware=aware), server.start())
+    engine = ECAEngine(grh)
+    engine.register_rule(flaky_rule() if aware else unaware_flaky_rule())
+    return server, stream, grh, engine
+
+
+class FailNTimesService:
+    """Crashes (HTTP 500 over the wire) for the first ``fail`` calls."""
+
+    def __init__(self, fail):
+        self.fail = fail
+        self.calls = 0
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.calls <= self.fail:
+            raise RuntimeError("transient outage (simulated)")
+
+    def handle(self, message):
+        self._maybe_fail()
+        from repro.bindings import relation_to_answers
+        return relation_to_answers(Relation([{"Q": "fine"}]))
+
+    def execute(self, query):
+        self._maybe_fail()
+        return "fine\r\n"  # CRLF on purpose: must bind stripped
+
+
 class TestTransportFailures:
     def test_unreachable_http_service_fails_instance(self):
         from repro.grh import GenericRequestHandler, LanguageRegistry
@@ -196,3 +263,99 @@ class TestTransportFailures:
         (instance,) = engine.instances
         assert instance.status == "failed"
         assert "unreachable" in instance.error
+
+
+class TestHttpFlakyServices:
+    """The flaky scenarios over real localhost HTTP (HybridTransport):
+    retry policies and circuit breakers against a remote service that
+    fails N times and then recovers."""
+
+    def test_fails_twice_then_recovers_under_retry(self):
+        from repro.grh import ResilienceManager, RetryPolicy
+        manager = ResilienceManager(retry=RetryPolicy(max_attempts=3),
+                                    sleep=lambda s: None)
+        service = FailNTimesService(fail=2)
+        server, stream, grh, engine = http_world(service, manager)
+        try:
+            stream.emit(E("ping", {"n": "1"}))
+        finally:
+            server.stop()
+        (instance,) = engine.instances
+        assert instance.status == "completed"   # no failed instance
+        assert service.calls == 3
+        assert grh.stats["retries"] == 2
+
+    def test_same_service_fails_without_retries(self):
+        service = FailNTimesService(fail=2)
+        server, stream, grh, engine = http_world(service)
+        try:
+            stream.emit(E("ping", {"n": "1"}))
+        finally:
+            server.stop()
+        (instance,) = engine.instances
+        assert instance.status == "failed"
+        assert service.calls == 1
+
+    def test_unaware_http_service_retried_and_crlf_stripped(self):
+        from repro.grh import ResilienceManager, RetryPolicy
+        manager = ResilienceManager(retry=RetryPolicy(max_attempts=3),
+                                    sleep=lambda s: None)
+        service = FailNTimesService(fail=2)
+        server, stream, grh, engine = http_world(service, manager,
+                                                 aware=False)
+        try:
+            stream.emit(E("ping", {"n": "1"}))
+        finally:
+            server.stop()
+        (instance,) = engine.instances
+        assert instance.status == "completed"
+        assert service.calls == 3
+        # the CRLF response line bound clean, so the {Q} action template
+        # rendered without a trailing \r
+        (_, final) = instance.trace[-1]
+        assert all(binding["Q"] == "fine" for binding in final)
+
+    def test_breaker_opens_then_half_open_recovery_over_http(self):
+        from repro.grh import BreakerPolicy, GRHError, ResilienceManager
+
+        class Clock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        manager = ResilienceManager(
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=30.0),
+            clock=clock, sleep=lambda s: None)
+        service = FailNTimesService(fail=1)
+        server, stream, grh, engine = http_world(service, manager)
+        try:
+            stream.emit(E("ping", {"n": "1"}))      # fails, breaker opens
+            stream.emit(E("ping", {"n": "2"}))      # shed: service not hit
+            assert service.calls == 1
+            assert engine.instances[1].status == "failed"
+            assert "circuit open" in engine.instances[1].error
+            clock.now = 31.0                        # past reset_timeout
+            stream.emit(E("ping", {"n": "3"}))      # half-open probe: ok
+        finally:
+            server.stop()
+        statuses = [instance.status for instance in engine.instances]
+        assert statuses == ["failed", "failed", "completed"]
+        assert grh.stats["breaker_opens"] == 1
+        assert grh.stats["breaker_rejections"] == 1
+
+    def test_failed_http_detections_replayable(self):
+        from repro.grh import ResilienceManager
+        service = FailNTimesService(fail=1)
+        server, stream, grh, engine = http_world(
+            service, ResilienceManager(sleep=lambda s: None))
+        try:
+            stream.emit(E("ping", {"n": "1"}))
+            assert engine.instances[0].status == "failed"
+            assert grh.stats["dead_letters"] == 1
+            summary = engine.replay_dead_letters()
+        finally:
+            server.stop()
+        assert summary["succeeded"] == 1
+        assert engine.instances[-1].status == "completed"

@@ -85,6 +85,62 @@ class TestHttpTransport:
                 HttpTransport().fetch(url, "q")
 
 
+class TestHttpServiceServerLifecycle:
+    def test_stop_before_start_is_safe(self):
+        server = HttpServiceServer(aware_handler=lambda m: m)
+        server.stop()  # must not deadlock waiting on serve_forever
+
+    def test_double_stop_is_idempotent(self):
+        server = HttpServiceServer(aware_handler=lambda m: m)
+        server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op, not an error
+
+    def test_context_manager_still_works(self):
+        server = HttpServiceServer(aware_handler=lambda m: m)
+        with server as url:
+            assert url.startswith("http://")
+        server.stop()  # and an extra stop after __exit__ is fine
+
+
+class TestPerRequestTimeouts:
+    def test_http_send_accepts_timeout_override(self):
+        def handler(message):
+            return parse("<ok/>")
+
+        with HttpServiceServer(aware_handler=handler) as url:
+            transport = HttpTransport(timeout=10.0)
+            response = transport.send(url, parse("<x/>"), timeout=2.0)
+            assert response.name.local == "ok"
+
+    def test_in_process_accepts_and_ignores_timeout(self):
+        transport = InProcessTransport()
+        transport.bind("svc:x", lambda m: parse("<ok/>"))
+        transport.bind_opaque("svc:o", lambda q: "v")
+        assert transport.send("svc:x", parse("<x/>"),
+                              timeout=0.01).name.local == "ok"
+        assert transport.fetch("svc:o", "q", timeout=0.01) == "v"
+
+    def test_hybrid_routes_timeout_through(self):
+        from repro.services import HybridTransport
+        recorded = []
+
+        class SpyHttp:
+            def send(self, address, message, timeout=None):
+                recorded.append(("send", timeout))
+                return parse("<ok/>")
+
+            def fetch(self, address, query, timeout=None):
+                recorded.append(("fetch", timeout))
+                return "v"
+
+        hybrid = HybridTransport()
+        hybrid.http = SpyHttp()
+        hybrid.send("http://x/", parse("<x/>"), timeout=1.25)
+        hybrid.fetch("http://x/", "q", timeout=0.75)
+        assert recorded == [("send", 1.25), ("fetch", 0.75)]
+
+
 class TestWireEquivalence:
     """DESIGN.md §5: identical canonical bytes over both transports."""
 
