@@ -1,0 +1,209 @@
+"""BENCH-D1: what does the write-ahead journal cost on the happy path?
+
+The durability layer writes three records per detection — ``det`` on
+arrival, one ``exec`` intent per action carrying every tuple key, and
+``done`` at completion — so its buffered-mode overhead must stay small.
+The acceptance bound pins **< 5%** end-to-end for ``sync="none"``
+(buffered appends, no fsync) against a journal-off engine, measured
+over the paper's running example: the travel-booking rule of Figs.
+7-11 (booking event → Datalog ownership query → SPARQL fleet query →
+offer action), the scenario the paper itself evaluates.
+
+Two synthetic workloads are *reported* but not pinned, so the worst
+case stays visible:
+
+* ``MINIMAL_RULE`` — one tuple, one action, no query stage: the floor
+  of pipeline work per detection, hence the ceiling of the overhead
+  ratio (three journal records against a single dispatch);
+* ``FANOUT_RULE`` — a query fans each event into ``FANOUT`` action
+  executions: exercises the per-tuple key/dedup cost.
+
+The fsync'd modes are also reported only: their cost is the disk's
+fsync latency, not CPU work this codebase controls.  ``sync="commit"``
+groups one fsync per completed detection; ``sync="always"`` pays one
+per record.
+
+Measurement: this class of machine shows several percent of timing
+drift between back-to-back blocks, which a sequential min-of-repeats
+comparison reads as journaling cost.  The acceptance test therefore
+interleaves the two engines one emit at a time, timestamps every emit,
+and compares the *medians* of the two per-emit samples: scheduler
+spikes land on single samples (the median ignores them) and thermal
+drift hits both engines equally (the ratio cancels it).
+"""
+
+import itertools
+import statistics
+import time
+
+from repro.actions import ACTION_NS
+from repro.core import ECAEngine
+from repro.domain import TRAVEL_NS, booking_event, fleet_graph
+from repro.durability import DurabilityManager
+from repro.services import (DATALOG_LANG, SPARQL_LANG,
+                            standard_deployment)
+from repro.xmlmodel import E, ECA_NS
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+ACT = f'xmlns:act="{ACTION_NS}"'
+TRAVEL = f'xmlns:travel="{TRAVEL_NS}"'
+FLEET_PREFIX = "http://example.org/fleet#"
+
+#: the knowledge base of the paper's running example (Sec. 2)
+DATALOG_PROGRAM = """
+    owns("John Doe", "Golf"). owns("John Doe", "Passat").
+    owns("Jane Roe", "Clio").
+    class("Clio", "A"). class("Golf", "B"). class("Polo", "B").
+    class("Passat", "C"). class("Espace", "D").
+    owned_class(P, K) :- owns(P, C), class(C, K).
+"""
+
+#: the running example: offer a matching rental car on a booking
+PAPER_RULE = f"""
+<eca:rule {ECA} id="offers">
+  <eca:event>
+    <travel:booking {TRAVEL} person="{{Person}}" to="{{To}}"/>
+  </eca:event>
+  <eca:query>
+    <dl:query xmlns:dl="{DATALOG_LANG}">owned_class("{{Person}}", Class)</dl:query>
+  </eca:query>
+  <eca:query>
+    <sp:select xmlns:sp="{SPARQL_LANG}">
+      SELECT ?Avail ?Class WHERE {{
+        ?c fleet:location '{{To}}' ;
+           fleet:model ?Avail ; fleet:carClass ?Class .
+      }}
+    </sp:select>
+  </eca:query>
+  <eca:action>
+    <act:send {ACT} to="offers"><offer car="{{Avail}}"/></act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+#: the degenerate workload: one tuple, one action, no query stage
+MINIMAL_RULE = f"""
+<eca:rule {ECA} id="bench">
+  <eca:event><tick n="{{N}}"/></eca:event>
+  <eca:action>
+    <act:send {ACT} to="sink"><tock n="{{N}}"/></act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+#: a query stage fans each event out into FANOUT action executions
+FANOUT = 6
+ROUTES = " ".join(f'route("hub", "r{i}").' for i in range(1, FANOUT + 1))
+FANOUT_RULE = f"""
+<eca:rule {ECA} id="bench">
+  <eca:event><tick n="{{N}}"/></eca:event>
+  <eca:query>
+    <dl:query xmlns:dl="{DATALOG_LANG}">route("hub", Dest)</dl:query>
+  </eca:query>
+  <eca:action>
+    <act:send {ACT} to="sink"><tock n="{{N}}" dest="{{Dest}}"/></act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+
+def build(tmp_path=None, sync="none", rule=MINIMAL_RULE, program=""):
+    """A wired engine emitting tick events; durable when ``tmp_path``
+    is given."""
+    deployment = standard_deployment(datalog_program=program)
+    durability = None
+    if tmp_path is not None:
+        durability = DurabilityManager(str(tmp_path), sync=sync,
+                                       checkpoint_interval=10 ** 9)
+    engine = ECAEngine(deployment.grh, keep_instances=False,
+                       durability=durability)
+    engine.register_rule(rule)
+    counter = itertools.count()
+
+    def emit():
+        deployment.stream.emit(E("tick", {"n": str(next(counter))}))
+
+    return emit
+
+
+def build_paper(tmp_path=None, sync="none"):
+    """The running example's world: fleet graph, knowledge base, rule."""
+    deployment = standard_deployment(graph=fleet_graph(),
+                                     datalog_program=DATALOG_PROGRAM)
+    deployment.sparql.prefixes["fleet"] = FLEET_PREFIX
+    durability = None
+    if tmp_path is not None:
+        durability = DurabilityManager(str(tmp_path), sync=sync,
+                                       checkpoint_interval=10 ** 9)
+    engine = ECAEngine(deployment.grh, keep_instances=False,
+                       durability=durability)
+    engine.register_rule(PAPER_RULE)
+
+    def emit():
+        deployment.stream.emit(booking_event())
+
+    return emit
+
+
+def interleaved_overhead(baseline, durable, *, warmup=150, pairs=600):
+    """Median-of-interleaved-samples overhead (see module docstring)."""
+    for _ in range(warmup):
+        baseline()
+        durable()
+    clock = time.perf_counter_ns
+    base_ns, durable_ns = [], []
+    for _ in range(pairs):
+        t0 = clock()
+        baseline()
+        t1 = clock()
+        durable()
+        t2 = clock()
+        base_ns.append(t1 - t0)
+        durable_ns.append(t2 - t1)
+    base = statistics.median(base_ns)
+    return statistics.median(durable_ns) / base - 1.0, base
+
+
+class TestDurabilityOverhead:
+    def test_1_journal_off(self, benchmark):
+        benchmark(build())
+
+    def test_2_journal_buffered(self, benchmark, tmp_path):
+        benchmark(build(tmp_path / "none", sync="none"))
+
+    def test_3_journal_group_commit(self, benchmark, tmp_path):
+        benchmark(build(tmp_path / "commit", sync="commit"))
+
+    def test_4_journal_fsync_always(self, benchmark, tmp_path):
+        benchmark(build(tmp_path / "always", sync="always"))
+
+    def test_5_fanout_journal_off(self, benchmark):
+        benchmark(build(rule=FANOUT_RULE, program=ROUTES))
+
+    def test_6_fanout_journal_buffered(self, benchmark, tmp_path):
+        benchmark(build(tmp_path / "fanout", sync="none",
+                        rule=FANOUT_RULE, program=ROUTES))
+
+    def test_7_paper_journal_off(self, benchmark):
+        benchmark(build_paper())
+
+    def test_8_paper_journal_buffered(self, benchmark, tmp_path):
+        benchmark(build_paper(tmp_path / "paper", sync="none"))
+
+
+class TestAcceptanceBound:
+    def test_buffered_journal_overhead_under_five_percent(self, tmp_path):
+        """Buffered journaling must cost < 5% of the paper's running
+        example (booking → ownership query → fleet query → offer)."""
+        baseline = build_paper()
+        durable = build_paper(tmp_path / "wal", sync="none")
+        overhead, base_ns = interleaved_overhead(baseline, durable)
+        assert overhead < 0.05, (
+            f"buffered journaling costs {overhead:.2%} "
+            f"(baseline {base_ns / 1e3:.0f}us per booking)")
+
+    def test_journal_off_is_truly_off(self, tmp_path):
+        """The default constructor writes nothing to disk."""
+        import os
+        build()  # journal-off engine
+        assert list(os.scandir(tmp_path)) == []

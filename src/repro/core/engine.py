@@ -24,16 +24,18 @@ tables of Figs. 6(2), 8(3), 9(4) and 11 fall out of this trace.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..bindings import Relation
 from ..conditions import TEST_NS, TestExpression
 from ..grh import (ActionExecutionError, Detection, GenericRequestHandler,
                    GRHError)
-from ..xmlmodel import Element
-from .markup import parse_rule
+from ..xmlmodel import Element, serialize
+from .markup import parse_rule, rule_to_xml
 from .model import ECARule
 from .validation import RuleValidationError, validate_rule
 
@@ -109,13 +111,59 @@ class _RegisteredRule:
     event_component_id: str
 
 
+class _DetectionQueue:
+    """Priority-bucketed FIFO of pending detections.
+
+    One deque per priority level plus a max-heap of the non-empty
+    levels: ``push``/``pop`` are O(log P) in the number of *distinct*
+    priorities, instead of the O(n) scan per pop that made large
+    batched detection floods quadratic.  FIFO order within a level is
+    preserved (the paper's priorities only order *across* levels).
+    """
+
+    __slots__ = ("_buckets", "_heap", "_size")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, deque] = {}
+        self._heap: list[int] = []
+        self._size = 0
+
+    def push(self, priority: int, detection: Detection) -> None:
+        bucket = self._buckets.get(priority)
+        if bucket is None:
+            bucket = self._buckets[priority] = deque()
+        if not bucket:
+            # invariant: the heap holds each non-empty level exactly once
+            heapq.heappush(self._heap, -priority)
+        bucket.append(detection)
+        self._size += 1
+
+    def pop(self) -> Detection:
+        if not self._size:
+            raise IndexError("pop from empty detection queue")
+        priority = -self._heap[0]
+        bucket = self._buckets[priority]
+        detection = bucket.popleft()
+        if not bucket:
+            heapq.heappop(self._heap)
+        self._size -= 1
+        return detection
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+
 class ECAEngine:
     """Evaluates registered ECA rules over detections from the GRH."""
 
     def __init__(self, grh: GenericRequestHandler, validate: bool = True,
                  evaluate_tests_locally: bool = True,
                  keep_instances: bool = True,
-                 max_kept_instances: int | None = None) -> None:
+                 max_kept_instances: int | None = None,
+                 durability=None) -> None:
         self.grh = grh
         self.validate = validate
         self.evaluate_tests_locally = evaluate_tests_locally
@@ -123,23 +171,113 @@ class ECAEngine:
         #: retention cap for finished instances (None = unbounded); the
         #: oldest are dropped first so a long-running engine stays flat
         self.max_kept_instances = max_kept_instances
+        #: a :class:`repro.durability.DurabilityManager`, or ``None``
+        #: (the default — no journaling, the seed behavior).  For
+        #: resuming an existing durability directory use
+        #: :meth:`ECAEngine.recover`, which also rebuilds the rule table
+        #: and re-drives unfinished work.
+        self.durability = durability
         self.rules: dict[str, _RegisteredRule] = {}
         self.instances: list[RuleInstance] = []
         self._by_component: dict[str, str] = {}
         self._instance_counter = itertools.count(1)
-        self._pending: deque[Detection] = deque()
+        self._pending = _DetectionQueue()
         self._draining = False
+        self._instance_observers: list[Callable[[RuleInstance], None]] = []
         self.stats = {"detections": 0, "instances": 0, "completed": 0,
                       "dead": 0, "failed": 0, "actions": 0}
+        if durability is not None:
+            # continue counters and stats where the journal left off
+            self._instance_counter = itertools.count(
+                durability.first_instance_id())
+            for key, value in durability.recovered_stats.items():
+                if key in self.stats:
+                    self.stats[key] = value
+            durability.attach(self)
         grh.on_detection(self._on_detection)
+
+    # -- crash recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(cls, grh: GenericRequestHandler, directory: str, *,
+                repository=None, sync: str = "always",
+                checkpoint_interval: int = 1000, replay: bool = True,
+                manager=None, **engine_options) -> "ECAEngine":
+        """Rebuild an engine from a durability directory after a crash.
+
+        Folds ``checkpoint.json`` + ``wal.log`` (see
+        ``repro.durability``), then:
+
+        1. re-registers every journaled rule — loaded from *repository*
+           (the authoritative Semantic-Web store) when it holds the
+           rule, else re-parsed from the journaled ECA-ML source — with
+           *idempotent* event registration, so a detection service that
+           survived the crash and still holds the registration is not
+           an error;
+        2. restores the dead-letter queue exactly as journaled;
+        3. re-drives every journaled-but-unfinished detection under its
+           original instance id, skipping action executions whose
+           idempotency keys were journaled (exactly-once effects);
+        4. compacts: takes a checkpoint so the next crash recovers from
+           a short journal.
+
+        Pass ``replay=False`` to inspect recovered state without
+        re-driving work (step 3 and 4 are skipped); pass a pre-built
+        ``manager`` to control journalling details (crash-injection
+        tests use this).
+        """
+        if manager is None:
+            from ..durability import DurabilityManager
+            manager = DurabilityManager(
+                directory, sync=sync,
+                checkpoint_interval=checkpoint_interval)
+        engine = cls(grh, durability=manager, **engine_options)
+        for rule_id, source in manager.rule_sources.items():
+            rule = None
+            if repository is not None:
+                try:
+                    rule = repository.load(rule_id)
+                except Exception:
+                    rule = None
+            if rule is None:
+                rule = parse_rule(source)
+            engine._register_recovered(rule)
+        grh.resilience.dead_letters.restore(manager.restored_letters)
+        if replay:
+            engine._replay_in_flight()
+            manager.checkpoint()
+        return engine
+
+    def _replay_in_flight(self) -> None:
+        """Re-drive detections that were journaled but never finished.
+
+        Detections whose dead letter was parked before the crash are
+        closed as failed instead — their remediation already sits in
+        the queue, and re-driving them would park a duplicate letter.
+        """
+        from ..durability.codec import decode_detection
+        manager = self.durability
+        for det_id, entry in list(manager.in_flight.items()):
+            if entry.parked:
+                manager.detection_done(det_id, "failed")
+                continue
+            detection = decode_detection(entry.data)
+            self._pending.push(self._priority_of(detection), detection)
+        self._drain()
 
     # -- rule lifecycle ------------------------------------------------------
 
-    def register_rule(self, rule: ECARule | Element | str) -> str:
+    def register_rule(self, rule: ECARule | Element | str,
+                      idempotent: bool = False) -> str:
         """Register a rule; its event component is routed to its service.
 
         Accepts a parsed :class:`ECARule`, an ECA-ML element, or markup
         text.  Returns the rule id.
+
+        ``idempotent=True`` tolerates a detection service that already
+        holds the event registration (it survived an engine crash that
+        lost the rule before journaling) — setup code re-run after
+        recovery should pass it.
         """
         if not isinstance(rule, ECARule):
             rule = parse_rule(rule)
@@ -148,10 +286,54 @@ class ECAEngine:
         if self.validate:
             validate_rule(rule)
         component_id = f"{rule.rule_id}::event"
-        self.grh.register_event_component(component_id, rule.event)
+        self.grh.register_event_component(component_id, rule.event,
+                                          idempotent=idempotent)
         self.rules[rule.rule_id] = _RegisteredRule(rule, component_id)
         self._by_component[component_id] = rule.rule_id
+        if self.durability is not None:
+            source = rule.source if rule.source is not None \
+                else rule_to_xml(rule)
+            self.durability.record_rule_registered(rule.rule_id,
+                                                   serialize(source))
+            if not self._draining:
+                self.durability.maybe_checkpoint()
         return rule.rule_id
+
+    def register_and_store(self, rule: ECARule | Element | str,
+                           repository) -> str:
+        """Store a rule in a repository and register it, atomically.
+
+        Storing first and registering second would leave the rule
+        persisted but inert if the service-side event registration
+        fails; this helper rolls the repository insert back on *any*
+        registration failure, so repository and engine never disagree.
+        Returns the rule id.
+        """
+        if not isinstance(rule, ECARule):
+            rule = parse_rule(rule)
+        repository.store(rule)
+        try:
+            return self.register_rule(rule)
+        except BaseException:
+            # roll back the triple insert — including on validation
+            # errors and engine-duplicate errors, not only GRH failures
+            repository.remove(rule.rule_id)
+            raise
+
+    def _register_recovered(self, rule: ECARule) -> None:
+        """Re-wire one recovered rule without journaling it again.
+
+        The event component is re-registered *idempotently*: a surviving
+        detection service that still holds the registration answers
+        "already registered", which recovery treats as success.
+        """
+        if rule.rule_id in self.rules:
+            return
+        component_id = f"{rule.rule_id}::event"
+        self.grh.register_event_component(component_id, rule.event,
+                                          idempotent=True)
+        self.rules[rule.rule_id] = _RegisteredRule(rule, component_id)
+        self._by_component[component_id] = rule.rule_id
 
     def deregister_rule(self, rule_id: str) -> None:
         if rule_id not in self.rules:
@@ -165,6 +347,10 @@ class ECAEngine:
                                             registered.rule.event)
         self.rules.pop(rule_id)
         self._by_component.pop(registered.event_component_id, None)
+        if self.durability is not None:
+            self.durability.record_rule_deregistered(rule_id)
+            if not self._draining:
+                self.durability.maybe_checkpoint()
 
     # -- detection handling (Fig. 6) --------------------------------------------
 
@@ -176,16 +362,31 @@ class ECAEngine:
         after the current instance finishes instead of recursing.  Among
         queued detections, higher-priority rules go first (FIFO within a
         priority level).
+
+        A durable engine journals the detection before queueing it and
+        drops at-least-once redelivery (a detection id it has already
+        journaled) — "exactly-once detection replay".
         """
-        self._pending.append(detection)
+        if self.durability is not None:
+            detection = self.durability.admit(detection)
+            if detection is None:
+                return  # duplicate delivery of a known detection id
+        self._pending.push(self._priority_of(detection), detection)
+        self._drain()
+
+    def _drain(self) -> None:
         if self._draining:
             return
         self._draining = True
         try:
             while self._pending:
-                self._handle(self._pop_highest_priority())
+                self._handle(self._pending.pop())
         finally:
             self._draining = False
+        if self.durability is not None:
+            # compaction point: the queue is empty, so the snapshot has
+            # no half-processed detection to misrepresent
+            self.durability.maybe_checkpoint()
 
     def batch(self):
         """Context manager deferring detection processing until exit.
@@ -212,28 +413,12 @@ class ECAEngine:
             try:
                 yield
             finally:
+                # drain exactly once, even when an exception escapes the
+                # block — queued detections must not be stranded
                 self._draining = False
-                while self._pending:
-                    self._draining = True
-                    try:
-                        self._handle(self._pop_highest_priority())
-                    finally:
-                        self._draining = False
+                self._drain()
 
         return _batch()
-
-    def _pop_highest_priority(self) -> Detection:
-        best_index = 0
-        best_priority = self._priority_of(self._pending[0])
-        for index in range(1, len(self._pending)):
-            priority = self._priority_of(self._pending[index])
-            if priority > best_priority:
-                best_index = index
-                best_priority = priority
-        self._pending.rotate(-best_index)
-        detection = self._pending.popleft()
-        self._pending.rotate(best_index)
-        return detection
 
     def _priority_of(self, detection: Detection) -> int:
         rule_id = self._by_component.get(detection.component_id)
@@ -242,16 +427,29 @@ class ECAEngine:
         return self.rules[rule_id].rule.priority
 
     def _handle(self, detection: Detection) -> None:
+        durability = self.durability
         rule_id = self._by_component.get(detection.component_id)
         if rule_id is None:
-            return  # a rule deregistered while detections were in flight
+            # a rule deregistered while detections were in flight
+            if durability is not None and detection.detection_id is not None:
+                durability.detection_done(detection.detection_id, "dropped")
+            return
         self.stats["detections"] += 1
         rule = self.rules[rule_id].rule
+        if durability is not None:
+            # a crash-replayed detection reuses its journaled instance
+            # id so idempotency keys stay stable across the replay
+            instance_id = durability.instance_for(detection,
+                                                  self._instance_counter)
+            durability.current_detection = detection.detection_id
+            durability.current_instance = instance_id
+        else:
+            instance_id = next(self._instance_counter)
         # "The ECA engine creates one or more instances of the rule with
         # appropriate variable bindings according to the number of answer
         # elements in the message" — one instance per detection message,
         # holding all its answer tuples.
-        instance = RuleInstance(next(self._instance_counter), rule_id,
+        instance = RuleInstance(instance_id, rule_id,
                                 detection.bindings,
                                 triggering_events=detection.events)
         instance.record("event", detection.bindings)
@@ -262,6 +460,8 @@ class ECAEngine:
                     len(self.instances) > self.max_kept_instances:
                 del self.instances[:len(self.instances)
                                    - self.max_kept_instances]
+        for observer in self._instance_observers:
+            observer(instance)
         failure = self._evaluate(rule, instance)
         if failure is not None and not isinstance(failure,
                                                   ActionExecutionError):
@@ -269,6 +469,10 @@ class ECAEngine:
             # failures are dead-lettered per-tuple by the GRH instead
             # (replaying the whole detection would re-run executed actions)
             self.grh.dead_letter_detection(detection, failure)
+        if durability is not None:
+            durability.current_detection = None
+            durability.current_instance = None
+            durability.detection_done(detection.detection_id, instance.status)
 
     # -- instance evaluation (Figs. 7-11) ----------------------------------------------
 
@@ -301,8 +505,12 @@ class ECAEngine:
                     return
             for index, action in enumerate(rule.actions):
                 component_id = f"{rule.rule_id}::action-{index}"
+                guard = None
+                if self.durability is not None:
+                    guard = self.durability.action_guard(
+                        instance.instance_id, index)
                 executed = self.grh.execute_action(component_id, action,
-                                                   relation)
+                                                   relation, guard=guard)
                 instance.actions_executed += executed
                 self.stats["actions"] += executed
             instance.record("action", relation)
@@ -360,13 +568,36 @@ class ECAEngine:
                 summary["actions"] += executed
                 self.stats["actions"] += executed
             else:
-                failed_before = self.stats["failed"]
-                self._on_detection(letter.detection)
-                if self.stats["failed"] > failed_before:
+                # track the replayed instance itself: diffing the global
+                # ``failed`` counter misattributed a *chained* rule's
+                # failure (triggered during this replay) to the letter
+                # even when the letter's own rule completed fine
+                replayed = self._replay_detection(letter.detection)
+                if replayed is not None and replayed.status == "failed":
                     summary["failed"] += 1
                 else:
                     summary["succeeded"] += 1
         return summary
+
+    def _replay_detection(self, detection: Detection) -> RuleInstance | None:
+        """Re-drive one parked detection; returns *its* instance (not a
+        chained one), or ``None`` if no rule matched it anymore."""
+        if self.durability is not None and detection.detection_id is not None:
+            # the detection was marked done when its letter was parked;
+            # an intentional replay must pass the duplicate filter
+            self.durability.forget(detection.detection_id)
+        captured: list[RuleInstance] = []
+
+        def observe(instance: RuleInstance) -> None:
+            if not captured:
+                captured.append(instance)
+
+        self._instance_observers.append(observe)
+        try:
+            self._on_detection(detection)
+        finally:
+            self._instance_observers.remove(observe)
+        return captured[0] if captured else None
 
     # -- introspection ---------------------------------------------------------------------
 

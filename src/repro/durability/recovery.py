@@ -1,0 +1,184 @@
+"""Rebuilding engine state from checkpoint + journal.
+
+:func:`read_state` folds the last checkpoint (if any) and every intact
+journal record of the current epoch into a :class:`RecoveredState`.
+The heavy lifting — re-registering rules through the GRH, restoring the
+dead-letter queue, re-driving in-flight detections — is done by
+:meth:`repro.core.ECAEngine.recover`, which starts from this state.
+
+Replay semantics (PROTOCOL.md §7):
+
+* a detection with a ``done`` record is finished — redelivery of its id
+  is dropped, it is never re-driven;
+* a detection with a ``det`` record but no ``done`` record is
+  *in flight* — it is re-driven on recovery under its journaled
+  instance id; every idempotency key its ``exec`` intent records
+  journaled is re-dispatched under the same wire ``dedup`` key, which
+  the service-side memory suppresses when the original dispatch landed;
+* an in-flight detection linked to a parked dead letter (the crash hit
+  the narrow window between the park and the ``done`` record) is marked
+  failed instead of re-driven — its remediation already lives in the
+  dead-letter queue, and re-driving it would park a duplicate letter.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..grh.resilience import DeadLetter
+from ..xmlmodel import parse
+from .checkpoint import CHECKPOINT_NAME, Checkpointer
+from .journal import JOURNAL_NAME, JournalReader
+
+__all__ = ["RecoveredState", "InFlightRecord", "read_state"]
+
+
+@dataclass
+class InFlightRecord:
+    """One journaled-but-unfinished detection."""
+
+    #: the codec's JSON encoding of the detection (``codec.py``)
+    data: dict
+    instance_id: int | None = None
+    #: a dead letter for this detection/instance was parked before the
+    #: crash; recovery must not re-drive it (duplicate letter otherwise)
+    parked: bool = False
+
+
+@dataclass
+class RecoveredState:
+    """Everything recovery needs, folded from checkpoint + journal."""
+
+    rules: dict[str, str] = field(default_factory=dict)
+    next_detection: int = 1
+    max_instance: int = 0
+    done: "OrderedDict[str, str]" = field(default_factory=OrderedDict)
+    in_flight: "OrderedDict[str, InFlightRecord]" = \
+        field(default_factory=OrderedDict)
+    executed: dict[int, set[tuple[int, str]]] = field(default_factory=dict)
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    epoch: int = 0
+    #: every ``(instance, action, tuple_key)`` whose dispatch outcome
+    #: the journal cannot vouch for — all journaled keys of instances
+    #: without a ``done`` record (the ``done`` record is what proves an
+    #: instance's dispatches all resolved)
+    uncertain: set[tuple[int, int, str]] = field(default_factory=set)
+    #: a torn/corrupt journal tail was discarded while reading
+    journal_truncated: bool = False
+    #: the journal's epoch predates the checkpoint (crash between
+    #: checkpoint rename and journal truncation); it was ignored
+    stale_journal: bool = False
+
+
+def read_state(directory: str) -> RecoveredState:
+    """Fold ``checkpoint.json`` + ``wal.log`` into a recovered state."""
+    state = RecoveredState()
+    checkpoint = Checkpointer(os.path.join(directory, CHECKPOINT_NAME)).load()
+    if checkpoint is not None:
+        _apply_checkpoint(state, checkpoint)
+    reader = JournalReader(os.path.join(directory, JOURNAL_NAME))
+    records = list(reader.records())
+    state.journal_truncated = reader.truncated
+    if reader.epoch is not None and reader.epoch < state.epoch:
+        state.stale_journal = True
+        return state
+    for record in records:
+        _apply_record(state, record)
+    # keys still in the executed map belong to instances whose done
+    # record never made it: each is re-dispatched under dedup on replay
+    state.uncertain = {(inst, action, key)
+                       for inst, keys in state.executed.items()
+                       for action, key in keys}
+    return state
+
+
+def _apply_checkpoint(state: RecoveredState, checkpoint: dict) -> None:
+    state.epoch = int(checkpoint.get("epoch", 0))
+    state.rules = dict(checkpoint.get("rules", {}))
+    state.next_detection = int(checkpoint.get("next_detection", 1))
+    state.max_instance = int(checkpoint.get("max_instance", 0))
+    state.done = OrderedDict(
+        (det_id, status) for det_id, status in checkpoint.get("done", []))
+    for entry in checkpoint.get("in_flight", []):
+        state.in_flight[entry["id"]] = InFlightRecord(
+            entry["d"], entry.get("inst"), bool(entry.get("parked")))
+    for inst, action, key in checkpoint.get("executed", []):
+        state.executed.setdefault(int(inst), set()).add((int(action), key))
+        state.max_instance = max(state.max_instance, int(inst))
+    for letter_xml in checkpoint.get("dlq", []):
+        state.dead_letters.append(DeadLetter.from_xml(parse(letter_xml)))
+    state.stats = dict(checkpoint.get("stats", {}))
+
+
+def _apply_record(state: RecoveredState, record: dict) -> None:
+    kind = record.get("t")
+    if kind == "rule-add":
+        state.rules[record["rule"]] = record["src"]
+    elif kind == "rule-del":
+        state.rules.pop(record["rule"], None)
+    elif kind == "det":
+        det_id = record["id"]
+        if det_id not in state.done:
+            state.in_flight[det_id] = InFlightRecord(record["d"])
+        _advance_detection_counter(state, det_id)
+    elif kind == "exec":
+        # instance ids are journaled through exec/done records only —
+        # an instance without either left no durable footprint and its
+        # id is safe to re-mint (see DurabilityManager.instance_for)
+        instance_id = int(record["inst"])
+        action_index = int(record["a"])
+        keys = state.executed.setdefault(instance_id, set())
+        for key in record["k"]:
+            keys.add((action_index, key))
+            _count_stat(state, "actions")
+        state.max_instance = max(state.max_instance, instance_id)
+        entry = state.in_flight.get(record.get("id"))
+        if entry is not None:
+            entry.instance_id = instance_id
+    elif kind == "done":
+        det_id, status = record["id"], record["s"]
+        entry = state.in_flight.pop(det_id, None)
+        instance_id = record.get("inst")
+        if instance_id is None and entry is not None:
+            instance_id = entry.instance_id
+        if instance_id is not None:
+            state.executed.pop(int(instance_id), None)
+            state.max_instance = max(state.max_instance, int(instance_id))
+        state.done[det_id] = status
+        if status != "dropped":
+            _count_stat(state, "detections")
+            _count_stat(state, "instances")
+            _count_stat(state, status)
+    elif kind == "park":
+        state.dead_letters.append(
+            DeadLetter.from_xml(parse(record["xml"])))
+        linked = record.get("det")
+        if linked is not None and linked in state.in_flight:
+            state.in_flight[linked].parked = True
+        instance_id = record.get("inst")
+        if instance_id is not None:
+            for entry in state.in_flight.values():
+                if entry.instance_id == instance_id:
+                    entry.parked = True
+    elif kind == "forget":
+        state.done.pop(record["id"], None)
+    elif kind == "drain":
+        del state.dead_letters[:int(record["n"])]
+    # unknown kinds are skipped: newer writers stay readable by being
+    # additive, and a reader never hard-fails on a single odd record
+
+
+def _advance_detection_counter(state: RecoveredState, det_id: str) -> None:
+    if det_id.startswith("engine:"):
+        try:
+            state.next_detection = max(state.next_detection,
+                                       int(det_id[len("engine:"):]) + 1)
+        except ValueError:
+            pass
+
+
+def _count_stat(state: RecoveredState, name: str) -> None:
+    state.stats[name] = state.stats.get(name, 0) + 1

@@ -166,14 +166,27 @@ class GenericRequestHandler:
     # -- event components (Figs. 5/6) ---------------------------------------------------
 
     def register_event_component(self, component_id: str,
-                                 spec: ComponentSpec) -> None:
+                                 spec: ComponentSpec,
+                                 idempotent: bool = False) -> None:
+        """Route an event component to its detection service.
+
+        With ``idempotent=True`` a service answering that the component
+        id is *already registered* counts as success — recovery re-wires
+        rules into services that survived the engine crash and still
+        hold the registration (PROTOCOL.md §7).
+        """
         if spec.family != "event":
             raise GRHError("not an event component")
         if spec.content is None:
             raise GRHError("event components cannot be opaque")
         descriptor = self._descriptor_for(spec)
-        self._send(descriptor, Request("register-event", component_id,
-                                       spec.content, Relation.unit()))
+        try:
+            self._send(descriptor, Request("register-event", component_id,
+                                           spec.content, Relation.unit()))
+        except GRHError as exc:
+            if idempotent and "already registered" in str(exc):
+                return
+            raise
 
     def unregister_event_component(self, component_id: str,
                                    spec: ComponentSpec) -> None:
@@ -329,23 +342,37 @@ class GenericRequestHandler:
     # -- action components (Sec. 4.5) ------------------------------------------------------------
 
     def execute_action(self, component_id: str, spec: ComponentSpec,
-                       bindings: Relation) -> int:
+                       bindings: Relation, guard=None) -> int:
         """Execute the action once per tuple; returns the execution count.
 
         A mid-loop failure raises :class:`ActionExecutionError` carrying
         the count of tuples that *did* execute (so the engine's audit
         trail stays truthful) and parks the failed tuple plus every
         not-yet-attempted tuple in the dead letter queue for replay.
+
+        ``guard`` is the durability layer's exactly-once hook: before
+        anything is dispatched, ``guard.begin(tuples)`` journals every
+        tuple's idempotency key in one intent record and returns the
+        wire ``dedup`` key per tuple (``None`` marks a duplicate tuple,
+        which is skipped — one effect per distinct tuple; it neither
+        re-executes nor counts in the return value).
         """
         descriptor = self._descriptor_for(spec)
         content = spec.content if spec.content is not None \
             else _opaque_element(spec)
         count = 0
         tuples = list(bindings)
+        dedups = guard.begin(tuples) if guard is not None else None
         for index, binding in enumerate(tuples):
+            dedup = None
+            if dedups is not None:
+                dedup = dedups[index]
+                if dedup is None:
+                    continue
             try:
                 self._send(descriptor, Request("action", component_id,
-                                               content, Relation([binding])))
+                                               content, Relation([binding]),
+                                               dedup=dedup))
             except GRHError as exc:
                 remaining = Relation(tuples[index:])
                 self.resilience.dead_letters.append(DeadLetter(

@@ -29,7 +29,7 @@ from ..xmlmodel import Element, LOG_NS, QName, Text
 __all__ = ["Request", "Detection", "request_to_xml", "xml_to_request",
            "detection_to_xml", "xml_to_detection", "ok_message",
            "error_message", "is_error", "error_text", "dead_letter_to_xml",
-           "MessageError", "REQUEST_KINDS"]
+           "xml_to_dead_letter", "MessageError", "REQUEST_KINDS"]
 
 REQUEST_KINDS = ("register-event", "unregister-event", "query", "action",
                  "test")
@@ -50,12 +50,21 @@ class MessageError(ValueError):
 
 @dataclass(frozen=True)
 class Request:
-    """One request from the engine/GRH to a component service."""
+    """One request from the engine/GRH to a component service.
+
+    ``dedup`` is an optional idempotency key (the ``dedup`` attribute on
+    the wire), stamped on per-tuple action requests by a durable engine.
+    A service that honours it answers ``log:ok`` without re-executing a
+    key it has already completed, closing the last crash-replay
+    ambiguity window (PROTOCOL.md §7); services that ignore it degrade
+    to at-least-once for that one window.
+    """
 
     kind: str
     component_id: str
     content: Element | None
     bindings: Relation
+    dedup: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -68,6 +77,12 @@ class Detection:
 
     Besides the bindings, the message carries "the event sequence that
     matched the pattern" (Fig. 6 (1)) as the constituent payloads.
+
+    ``detection_id`` is a service-assigned, per-service-monotonic
+    identifier carried on the wire (the ``detection-id`` attribute).  A
+    durable engine uses it to deduplicate at-least-once redelivery; an
+    engine without durability ignores it.  ``None`` means the service
+    did not stamp one (the engine assigns a local id if it needs one).
     """
 
     component_id: str
@@ -75,12 +90,15 @@ class Detection:
     end: float
     bindings: Relation
     events: tuple[Element, ...] = ()
+    detection_id: str | None = None
 
 
 def request_to_xml(request: Request) -> Element:
-    element = Element(_REQUEST, {QName(None, "kind"): request.kind,
-                                 QName(None, "id"): request.component_id},
-                      nsdecls={"log": LOG_NS})
+    attributes = {QName(None, "kind"): request.kind,
+                  QName(None, "id"): request.component_id}
+    if request.dedup is not None:
+        attributes[QName(None, "dedup")] = request.dedup
+    element = Element(_REQUEST, attributes, nsdecls={"log": LOG_NS})
     if request.content is not None:
         wrapper = Element(_COMPONENT)
         wrapper.append(request.content.copy())
@@ -107,17 +125,19 @@ def xml_to_request(element: Element) -> Request:
     try:
         bindings = (answers_to_relation(answers) if answers is not None
                     else Relation.unit())
-        return Request(kind, component_id, content, bindings)
+        return Request(kind, component_id, content, bindings,
+                       dedup=element.get("dedup"))
     except MarkupError as exc:
         raise MessageError(str(exc)) from exc
 
 
 def detection_to_xml(detection: Detection) -> Element:
-    element = Element(_DETECTION,
-                      {QName(None, "id"): detection.component_id,
-                       QName(None, "start"): _number(detection.start),
-                       QName(None, "end"): _number(detection.end)},
-                      nsdecls={"log": LOG_NS})
+    attributes = {QName(None, "id"): detection.component_id,
+                  QName(None, "start"): _number(detection.start),
+                  QName(None, "end"): _number(detection.end)}
+    if detection.detection_id is not None:
+        attributes[QName(None, "detection-id")] = detection.detection_id
+    element = Element(_DETECTION, attributes, nsdecls={"log": LOG_NS})
     element.append(relation_to_answers(detection.bindings))
     if detection.events:
         wrapper = Element(_EVENTS)
@@ -150,7 +170,8 @@ def xml_to_detection(element: Element) -> Detection:
     events: tuple[Element, ...] = ()
     if events_wrapper is not None:
         events = tuple(child.copy() for child in events_wrapper.elements())
-    return Detection(component_id, start, end, bindings, events)
+    return Detection(component_id, start, end, bindings, events,
+                     detection_id=element.get("detection-id"))
 
 
 def _number(value: float) -> str:
@@ -184,6 +205,35 @@ def dead_letter_to_xml(kind: str, error: str, attempts: int,
     if payload is not None:
         element.append(payload.copy())
     return element
+
+
+def xml_to_dead_letter(element: Element) -> tuple[str, str, int,
+                                                  Element | None]:
+    """Parse ``log:deadletter`` back into ``(kind, error, attempts,
+    payload)``.
+
+    The inverse of :func:`dead_letter_to_xml`; the durable dead-letter
+    store journals letters as markup and rebuilds them on recovery via
+    :meth:`repro.grh.resilience.DeadLetter.from_xml`.
+    """
+    if element.name != _DEADLETTER:
+        raise MessageError(
+            f"expected log:deadletter, got {element.name.clark}")
+    kind = element.get("kind")
+    if kind not in ("detection", "action"):
+        raise MessageError(f"unknown dead letter kind {kind!r}")
+    try:
+        attempts = int(element.get("attempts", "1"))
+    except ValueError as exc:
+        raise MessageError("invalid dead letter attempts") from exc
+    error_element = element.find(_ERROR)
+    error = error_element.text() if error_element is not None else ""
+    payload = None
+    for child in element.elements():
+        if child.name != _ERROR:
+            payload = child.copy()
+            break
+    return kind, error, attempts, payload
 
 
 def is_error(element: Element) -> bool:

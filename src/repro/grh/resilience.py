@@ -33,7 +33,7 @@ import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, TYPE_CHECKING
+from typing import Callable, Iterable, Iterator, TYPE_CHECKING
 
 from .messages import Detection, Request, dead_letter_to_xml, request_to_xml
 
@@ -214,28 +214,88 @@ class DeadLetter:
         return dead_letter_to_xml(self.kind, self.error, self.attempts,
                                   payload)
 
+    @classmethod
+    def from_xml(cls, element: "Element") -> "DeadLetter":
+        """Rebuild a letter from its ``log:deadletter`` markup.
+
+        The inverse of :meth:`to_xml`, used by the durability layer to
+        restore the queue on recovery.  ``enqueued_at`` is not carried
+        on the wire and restores as 0.0; for action letters the
+        component spec is reconstructed from the request payload (an
+        ``eca:opaque`` wrapper round-trips to an opaque spec, anything
+        else to a markup spec in the payload's namespace).
+        """
+        from ..xmlmodel import ECA_NS, QName
+        from .component import ComponentSpec
+        from .messages import (xml_to_dead_letter, xml_to_detection,
+                               xml_to_request)
+        kind, error, attempts, payload = xml_to_dead_letter(element)
+        if kind == "detection":
+            detection = (xml_to_detection(payload)
+                         if payload is not None else None)
+            return cls(kind="detection", error=error, attempts=attempts,
+                       detection=detection)
+        if payload is None:
+            raise GRHError("action dead letter carries no request payload")
+        request = xml_to_request(payload)
+        content = request.content
+        if content is None:
+            raise GRHError("action dead letter request has no component")
+        if content.name == QName(ECA_NS, "opaque"):
+            spec = ComponentSpec("action", content.get("language", ""),
+                                 opaque=content.text())
+        else:
+            spec = ComponentSpec("action", content.name.uri or "",
+                                 content=content)
+        return cls(kind="action", error=error, attempts=attempts,
+                   component_id=request.component_id, spec=spec,
+                   content=content, bindings=request.bindings)
+
 
 class DeadLetterQueue:
-    """Bounded FIFO of :class:`DeadLetter`; oldest dropped when full."""
+    """Bounded FIFO of :class:`DeadLetter`; oldest dropped when full.
+
+    ``on_append``/``on_drain`` are observer hooks the durability layer
+    installs to journal queue mutations (a drop on overflow is reported
+    as a front drain of one, which is what it is).  :meth:`restore`
+    refills the queue on recovery *without* firing the hooks — the
+    letters are already journaled.
+    """
 
     def __init__(self, max_size: int = 1000) -> None:
         self.max_size = max_size
         self._letters: deque[DeadLetter] = deque()
         self.dropped = 0
+        self.on_append: Callable[[DeadLetter], None] | None = None
+        self.on_drain: Callable[[int], None] | None = None
 
     def append(self, letter: DeadLetter) -> None:
         self._letters.append(letter)
+        if self.on_append is not None:
+            self.on_append(letter)
         while len(self._letters) > self.max_size:
             self._letters.popleft()
             self.dropped += 1
+            if self.on_drain is not None:
+                self.on_drain(1)
 
     def drain(self, limit: int | None = None) -> list[DeadLetter]:
         """Remove and return up to ``limit`` letters (all by default)."""
         count = len(self._letters) if limit is None else min(
             limit, len(self._letters))
-        return [self._letters.popleft() for _ in range(count)]
+        letters = [self._letters.popleft() for _ in range(count)]
+        if letters and self.on_drain is not None:
+            self.on_drain(len(letters))
+        return letters
+
+    def restore(self, letters: Iterable[DeadLetter]) -> None:
+        """Refill from recovered letters, bypassing the journal hooks."""
+        for letter in letters:
+            self._letters.append(letter)
 
     def clear(self) -> None:
+        if self._letters and self.on_drain is not None:
+            self.on_drain(len(self._letters))
         self._letters.clear()
 
     def __len__(self) -> int:

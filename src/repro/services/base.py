@@ -23,10 +23,35 @@ class ServiceError(RuntimeError):
 
 
 class LanguageService:
-    """Dispatches ``log:request`` messages to per-kind hooks."""
+    """Dispatches ``log:request`` messages to per-kind hooks.
+
+    Action requests carrying a ``dedup`` idempotency key are executed at
+    most once per key: a repeated key answers ``log:ok`` without calling
+    the :meth:`action` hook again.  A durable engine stamps these keys
+    so that crash-replay cannot double-execute an effect even when the
+    journal cannot tell whether the original dispatch completed
+    (PROTOCOL.md §7).  The memory is a bounded FIFO of recent keys.
+    """
 
     #: human-readable name used in error messages
     service_name = "service"
+    #: how many completed action idempotency keys to remember
+    dedup_memory = 10_000
+
+    def _action_key_seen(self, key: str) -> bool:
+        seen = getattr(self, "_completed_actions", None)
+        return seen is not None and key in seen
+
+    def _action_key_done(self, key: str) -> None:
+        seen = getattr(self, "_completed_actions", None)
+        if seen is None:
+            # lazily created: subclasses are not required to call
+            # super().__init__()
+            from collections import OrderedDict
+            seen = self._completed_actions = OrderedDict()
+        seen[key] = True
+        while len(seen) > self.dedup_memory:
+            seen.popitem(last=False)
 
     def handle(self, message: Element) -> Element:
         try:
@@ -51,7 +76,12 @@ class LanguageService:
             if request.kind == "test":
                 return relation_to_answers(self.test(request))
             if request.kind == "action":
+                if request.dedup is not None and \
+                        self._action_key_seen(request.dedup):
+                    return ok_message()
                 self.action(request)
+                if request.dedup is not None:
+                    self._action_key_done(request.dedup)
                 return ok_message()
             return error_message(
                 f"{self.service_name}: unsupported request kind "

@@ -10,6 +10,8 @@ occurrence interval and the variable bindings.
 
 from __future__ import annotations
 
+import itertools
+import time
 from typing import Callable
 
 from ..events import (Detector, Event, EventStream, parse_atomic,
@@ -23,14 +25,41 @@ __all__ = ["EventDetectionService", "AtomicEventService", "SnoopService",
            "XChangeService"]
 
 
+#: distinguishes service objects within one process; combined with the
+#: process boot time below it makes detection-id namespaces unique
+#: across both fresh deployments and process restarts
+_incarnations = itertools.count(1)
+_BOOT = f"{time.time_ns():x}"
+
+
 class EventDetectionService(LanguageService):
     """Shared base of the three event-language services."""
 
     service_name = "event-detection"
 
-    def __init__(self, notify: Callable[[Element], None]) -> None:
+    def __init__(self, notify: Callable[[Element], None], *,
+                 incarnation: str | None = None) -> None:
         self._notify = notify
         self._detectors: dict[str, Detector] = {}
+        #: per-service monotonic detection sequence; stamped on every
+        #: log:detection as ``detection-id`` so a durable engine can
+        #: deduplicate at-least-once redelivery (PROTOCOL.md §7).
+        #: Ids are namespaced by an *incarnation* nonce: a recovered
+        #: engine remembers completed ids, so a restarted service that
+        #: restarted its sequence would otherwise collide with them and
+        #: have its fresh detections dropped as redelivery.  A service
+        #: that really does survive an engine crash (the paper's
+        #: autonomous-service model) keeps its object and therefore its
+        #: namespace; pass ``incarnation=""`` for bare deterministic ids
+        #: when a test controls the service lifetime itself.
+        if incarnation is None:
+            incarnation = f"{_BOOT}.{next(_incarnations)}"
+        self._id_prefix = (f"{self.service_name}:{incarnation}:"
+                           if incarnation else f"{self.service_name}:")
+        self._detection_seq = itertools.count(1)
+
+    def _next_detection_id(self) -> str:
+        return self._id_prefix + str(next(self._detection_seq))
 
     # -- language-specific parsing -------------------------------------------
 
@@ -68,7 +97,8 @@ class EventDetectionService(LanguageService):
                     component_id, occurrence.start, occurrence.end,
                     occurrence.bindings,
                     tuple(constituent.payload
-                          for constituent in occurrence.constituents))))
+                          for constituent in occurrence.constituents),
+                    detection_id=self._next_detection_id())))
 
     def poll(self, now: float) -> None:
         """Drive time-based operators (snoop:periodic)."""
@@ -76,7 +106,8 @@ class EventDetectionService(LanguageService):
             for occurrence in detector.poll(now):
                 self._notify(detection_to_xml(Detection(
                     component_id, occurrence.start, occurrence.end,
-                    occurrence.bindings)))
+                    occurrence.bindings,
+                    detection_id=self._next_detection_id())))
 
     @property
     def registered_ids(self) -> list[str]:

@@ -1,0 +1,220 @@
+"""Engine robustness: batch edge cases, atomic store+register, replay
+attribution, and the priority-bucketed detection queue."""
+
+import pytest
+
+from repro.actions import ACTION_NS
+from repro.core import (ECAEngine, EngineError, RuleRepository,
+                        RuleValidationError)
+from repro.core.engine import _DetectionQueue
+from repro.grh import Detection
+from repro.grh.resilience import DeadLetter
+from repro.bindings import Binding, Relation
+from repro.services import standard_deployment
+from repro.xmlmodel import E, ECA_NS
+
+ECA = f'xmlns:eca="{ECA_NS}"'
+ACT = f'xmlns:act="{ACTION_NS}"'
+
+
+def send_rule(rule_id="r1", event="ping", recipient="out", priority=None):
+    attr = f' priority="{priority}"' if priority is not None else ""
+    return f"""
+    <eca:rule {ECA} id="{rule_id}"{attr}>
+      <eca:event><{event} n="{{N}}"/></eca:event>
+      <eca:action>
+        <act:send {ACT} to="{recipient}"><pong n="{{N}}"/></act:send>
+      </eca:action>
+    </eca:rule>
+    """
+
+
+def failing_rule(rule_id="bad", event="boom"):
+    return f"""
+    <eca:rule {ECA} id="{rule_id}">
+      <eca:event><{event} n="{{N}}"/></eca:event>
+      <eca:action>
+        <act:insert {ACT} document="missing" at="/x"><y/></act:insert>
+      </eca:action>
+    </eca:rule>
+    """
+
+
+@pytest.fixture()
+def world():
+    deployment = standard_deployment()
+    return deployment, ECAEngine(deployment.grh)
+
+
+class TestBatchEdgeCases:
+    def test_exception_escaping_batch_still_drains_exactly_once(self, world):
+        deployment, engine = world
+        engine.register_rule(send_rule())
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine.batch():
+                deployment.stream.emit(E("ping", {"n": "1"}))
+                assert engine.stats["instances"] == 0  # deferred
+                raise RuntimeError("boom")
+        # the queued detection was evaluated despite the exception
+        assert engine.stats["instances"] == 1
+        assert len(deployment.runtime.messages("out")) == 1
+        assert engine._draining is False
+
+    def test_nested_batch_defers_to_the_outermost(self, world):
+        deployment, engine = world
+        engine.register_rule(send_rule())
+        with engine.batch():
+            with engine.batch():
+                deployment.stream.emit(E("ping", {"n": "1"}))
+            # the inner exit must not drain: the outer batch is open
+            assert engine.stats["instances"] == 0
+            deployment.stream.emit(E("ping", {"n": "2"}))
+        assert engine.stats["instances"] == 2
+        assert engine._draining is False
+
+    def test_emission_after_failed_batch_still_works(self, world):
+        deployment, engine = world
+        engine.register_rule(send_rule())
+        with pytest.raises(ValueError):
+            with engine.batch():
+                raise ValueError()
+        deployment.stream.emit(E("ping", {"n": "3"}))
+        assert engine.stats["instances"] == 1
+
+
+class TestRegisterAndStore:
+    def test_success_registers_and_persists(self, world):
+        _, engine = world
+        repository = RuleRepository()
+        assert engine.register_and_store(send_rule(), repository) == "r1"
+        assert "r1" in engine.rules
+        assert repository.rule_ids() == ["r1"]
+
+    def test_validation_failure_rolls_back_the_store(self, world):
+        _, engine = world
+        repository = RuleRepository()
+        bad = f"""
+        <eca:rule {ECA} id="bad">
+          <eca:event><ping/></eca:event>
+          <eca:action><pong n="{{Unbound}}"/></eca:action>
+        </eca:rule>"""
+        with pytest.raises(RuleValidationError):
+            engine.register_and_store(bad, repository)
+        assert repository.rule_ids() == []
+        assert "bad" not in engine.rules
+
+    def test_duplicate_registration_rolls_back_the_store(self, world):
+        _, engine = world
+        repository = RuleRepository()
+        engine.register_rule(send_rule())
+        with pytest.raises(EngineError, match="already registered"):
+            engine.register_and_store(send_rule(), repository)
+        assert repository.rule_ids() == []
+
+    def test_service_failure_rolls_back_the_store(self, world):
+        from repro.grh import GRHError
+        _, engine = world
+        repository = RuleRepository()
+
+        def unreachable(component_id, spec, idempotent=False):
+            raise GRHError("event service unreachable")
+
+        engine.grh.register_event_component = unreachable
+        with pytest.raises(GRHError, match="unreachable"):
+            engine.register_and_store(send_rule(), repository)
+        assert repository.rule_ids() == []
+        assert "r1" not in engine.rules
+
+
+class TestReplayAttribution:
+    def test_chained_failure_is_not_charged_to_the_replayed_letter(
+            self, world):
+        """A detection letter whose own rule succeeds on replay counts
+        as succeeded, even when an instance it *chains into* fails."""
+        deployment, engine = world
+        engine.register_rule(f"""
+        <eca:rule {ECA} id="chainer">
+          <eca:event><ping n="{{N}}"/></eca:event>
+          <eca:action>
+            <act:raise {ACT}><boom n="{{N}}"/></act:raise>
+          </eca:action>
+        </eca:rule>""")
+        engine.register_rule(failing_rule())
+        detection = Detection("chainer::event", 0.0, 0.0,
+                              Relation([Binding({"N": "1"})]), ())
+        deployment.grh.resilience.dead_letters.append(DeadLetter(
+            kind="detection", error="injected", detection=detection))
+        summary = engine.replay_dead_letters()
+        # the chainer completed; only the chained 'bad' instance failed
+        assert summary["replayed"] == 1
+        assert summary["succeeded"] == 1
+        assert summary["failed"] == 0
+        assert engine.stats["failed"] == 1  # the chained instance, globally
+        statuses = {i.rule_id: i.status for i in engine.instances}
+        assert statuses == {"chainer": "completed", "bad": "failed"}
+
+    def test_letter_whose_own_rule_fails_counts_failed(self, world):
+        deployment, engine = world
+        engine.register_rule(failing_rule())
+        detection = Detection("bad::event", 0.0, 0.0,
+                              Relation([Binding({"N": "1"})]), ())
+        deployment.grh.resilience.dead_letters.append(DeadLetter(
+            kind="detection", error="injected", detection=detection))
+        summary = engine.replay_dead_letters()
+        assert summary["failed"] == 1
+        assert summary["succeeded"] == 0
+
+    def test_letter_for_deregistered_rule_counts_succeeded(self, world):
+        deployment, engine = world
+        detection = Detection("gone::event", 0.0, 0.0,
+                              Relation([Binding({"N": "1"})]), ())
+        deployment.grh.resilience.dead_letters.append(DeadLetter(
+            kind="detection", error="injected", detection=detection))
+        summary = engine.replay_dead_letters()
+        assert summary == {"replayed": 1, "succeeded": 1, "failed": 0,
+                           "actions": 0}
+
+
+class TestDetectionQueue:
+    def test_priority_order_with_fifo_within_level(self):
+        queue = _DetectionQueue()
+        order = [(0, "a"), (5, "b"), (0, "c"), (9, "d"), (5, "e")]
+        for priority, tag in order:
+            queue.push(priority, tag)
+        assert len(queue) == 5
+        popped = [queue.pop() for _ in range(len(queue))]
+        assert popped == ["d", "b", "e", "a", "c"]
+        assert not queue
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            _DetectionQueue().pop()
+
+    def test_interleaved_push_pop_keeps_heap_consistent(self):
+        queue = _DetectionQueue()
+        queue.push(1, "a")
+        queue.push(2, "b")
+        assert queue.pop() == "b"
+        queue.push(2, "c")
+        queue.push(0, "d")
+        assert [queue.pop() for _ in range(3)] == ["c", "a", "d"]
+
+    def test_negative_priorities_sort_below_default(self):
+        queue = _DetectionQueue()
+        queue.push(-3, "low")
+        queue.push(0, "mid")
+        queue.push(3, "high")
+        assert [queue.pop() for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_batched_emission_processes_by_priority(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        for rule_id, priority in (("p1", 1), ("p5", 5), ("p3", 3)):
+            engine.register_rule(send_rule(rule_id, event=f"ev{priority}",
+                                           recipient=rule_id,
+                                           priority=priority))
+        with engine.batch():
+            deployment.stream.emit(E("ev1", {"n": "1"}))
+            deployment.stream.emit(E("ev3", {"n": "1"}))
+            deployment.stream.emit(E("ev5", {"n": "1"}))
+        assert [i.rule_id for i in engine.instances] == ["p5", "p3", "p1"]

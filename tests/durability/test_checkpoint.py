@@ -1,0 +1,49 @@
+"""Checkpoint atomicity and versioning."""
+
+import os
+
+import pytest
+
+from repro.durability import CHECKPOINT_NAME, Checkpointer
+
+
+@pytest.fixture()
+def checkpointer(tmp_path):
+    return Checkpointer(str(tmp_path / CHECKPOINT_NAME))
+
+
+class TestCheckpointer:
+    def test_roundtrip(self, checkpointer):
+        checkpointer.write({"epoch": 2, "rules": {"r1": "<rule/>"}})
+        state = checkpointer.load()
+        assert state["epoch"] == 2
+        assert state["rules"] == {"r1": "<rule/>"}
+        assert checkpointer.taken == 1
+
+    def test_load_without_checkpoint_is_none(self, checkpointer):
+        assert checkpointer.load() is None
+
+    def test_no_tmp_file_left_behind(self, checkpointer):
+        checkpointer.write({"epoch": 1})
+        assert not os.path.exists(checkpointer.path + ".tmp")
+
+    def test_rewrite_replaces_atomically(self, checkpointer):
+        checkpointer.write({"epoch": 1})
+        checkpointer.write({"epoch": 2})
+        assert checkpointer.load()["epoch"] == 2
+        assert checkpointer.taken == 2
+
+    def test_version_mismatch_rejected(self, checkpointer):
+        checkpointer.write({"epoch": 1})
+        import json
+        state = json.load(open(checkpointer.path))
+        state["version"] = 99
+        json.dump(state, open(checkpointer.path, "w"))
+        with pytest.raises(ValueError, match="version"):
+            checkpointer.load()
+
+    def test_abandoned_tmp_file_is_ignored_by_load(self, checkpointer):
+        # a crash between tmp write and rename leaves only the tmp file;
+        # the checkpoint itself must read as absent
+        open(checkpointer.path + ".tmp", "w").write("{garbage")
+        assert checkpointer.load() is None

@@ -1,0 +1,285 @@
+"""Recovery semantics: rule rebuild, dedupe, DLQ restore, exactly-once."""
+
+import os
+
+import pytest
+
+from repro.core import ECAEngine, RuleRepository
+from repro.durability import (CHECKPOINT_NAME, DurabilityManager,
+                              JOURNAL_NAME, read_state)
+from repro.services import standard_deployment
+from repro.xmlmodel import E, parse, serialize
+
+from .harness import BAD_RULE, OK_RULE, CrashWorld, CrashingJournal, RULES
+
+
+@pytest.fixture()
+def directory(tmp_path):
+    return str(tmp_path / "durable")
+
+
+def crash_at(directory, fuse, script, rules=RULES, tear=0):
+    """Run ``script`` against a fresh world, crashing at journal write
+    ``fuse``; returns the (detached) world."""
+    from repro.durability import SimulatedCrash
+    world = CrashWorld(directory)
+    try:
+        journal = CrashingJournal(os.path.join(directory, JOURNAL_NAME),
+                                  fuse=fuse, tear=tear, sync="none")
+        world.boot(journal=journal)
+        world.setup_rules(rules)
+        world.run_script(script)
+    except SimulatedCrash:
+        world.crash()
+        return world
+    raise AssertionError("scenario finished without crashing")
+
+
+class TestReadState:
+    def test_empty_directory_reads_as_fresh(self, directory):
+        os.makedirs(directory)
+        state = read_state(directory)
+        assert state.rules == {}
+        assert state.next_detection == 1
+        assert not state.in_flight and not state.done
+        assert state.epoch == 0
+
+    def test_journal_off_is_the_default(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        assert engine.durability is None
+        engine.register_rule(OK_RULE)
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        assert engine.stats["completed"] == 1
+
+
+class TestRuleRebuild:
+    def test_rules_reload_from_journaled_source(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.crash()
+        world.boot()
+        assert sorted(world.engine.rules) == ["bad", "ok"]
+        # the surviving event service was not double-registered
+        assert sorted(world.atomic.registered_ids) == ["bad::event",
+                                                       "ok::event"]
+
+    def test_repository_is_authoritative_when_present(self, directory):
+        deployment = standard_deployment()
+        manager = DurabilityManager(directory, sync="none")
+        engine = ECAEngine(deployment.grh, durability=manager)
+        repository = RuleRepository()
+        engine.register_and_store(OK_RULE, repository)
+        manager.close()
+
+        fresh = standard_deployment()
+        recovered = ECAEngine.recover(fresh.grh, directory,
+                                      repository=repository)
+        assert sorted(recovered.rules) == ["ok"]
+        fresh.stream.emit(E("ping", {"n": "9"}))
+        assert recovered.stats["completed"] == 1
+
+    def test_deregistered_rules_stay_gone(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.engine.deregister_rule("bad")
+        world.crash()
+        world.boot()
+        assert sorted(world.engine.rules) == ["ok"]
+
+
+class TestDetectionDedupe:
+    def test_duplicate_delivery_is_dropped(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("ping", {"n": "1"}),))
+        assert len(world.captured) == 1
+        world.redeliver()
+        world.redeliver()
+        assert world.effects() == {"out": ['<pong n="1"/>']}
+        assert world.engine.stats["instances"] == 1
+
+    def test_dedupe_survives_recovery(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("ping", {"n": "1"}),))
+        world.crash()
+        world.boot()
+        world.setup_rules()
+        world.redeliver()
+        assert world.effects() == {"out": ['<pong n="1"/>']}
+
+    def test_engine_assigns_ids_to_unstamped_detections(self, directory):
+        from repro.grh.messages import xml_to_detection
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("ping", {"n": "1"}),))
+        raw = parse(world.captured[0])
+        raw.attributes.pop(next(a for a in raw.attributes
+                                if a.local == "detection-id"))
+        anonymous = xml_to_detection(raw)
+        assert anonymous.detection_id is None
+        world._notify(raw)   # same payload, no id: the engine stamps one
+        assert world.engine.stats["instances"] == 2
+        assert world.engine.durability.next_detection == 2
+
+
+class TestInFlightReplay:
+    def test_incomplete_detection_is_redriven(self, directory):
+        # writes: epoch, rule-add, det — the crash hits the exec record,
+        # so the detection is journaled but no effect was dispatched
+        world = crash_at(directory, fuse=3, script=(E("ping", {"n": "1"}),),
+                         rules=(OK_RULE,))
+        assert world.effects() == {}
+        world.boot()
+        world.engine._replay_in_flight()
+        assert world.effects() == {"out": ['<pong n="1"/>']}
+
+    def test_journaled_exec_keys_are_not_reexecuted(self, directory):
+        # a two-tuple detection, crash during the second tuple's
+        # dispatch: the intent record covers both keys, the first tuple
+        # really executed, the second never ran; recovery re-dispatches
+        # both under their journaled wire keys and the service-side
+        # dedup memory suppresses the first — each effect lands exactly
+        # once
+        from repro.bindings import Binding, Relation
+        from repro.durability import SimulatedCrash
+        from repro.grh.messages import Detection, detection_to_xml
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules((OK_RULE,))
+        real_action = world.actions.action
+        calls = {"n": 0}
+
+        def crashing_action(request):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise SimulatedCrash("second dispatch")
+            real_action(request)
+
+        world.actions.action = crashing_action
+        detection = Detection("ok::event", 0.0, 0.0,
+                              Relation([Binding({"N": "1"}),
+                                        Binding({"N": "2"})]), (),
+                              detection_id="manual:1")
+        world.captured.append(serialize(detection_to_xml(detection)))
+        with pytest.raises(SimulatedCrash):
+            world._notify(detection_to_xml(detection))
+        world.crash()
+        # the first tuple's effect landed before the crash
+        assert world.effects() == {"out": ['<pong n="1"/>']}
+        world.boot()
+        world.engine._replay_in_flight()
+        world.redeliver()
+        assert world.effects() == {"out": ['<pong n="1"/>',
+                                           '<pong n="2"/>']}
+
+    def test_parked_in_flight_closes_as_failed_without_duplicate_letter(
+            self, directory):
+        # BAD_RULE parks an action letter, then the crash hits the done
+        # record (writes: epoch, rule-add, det, exec, park): recovery
+        # must keep the letter and NOT re-drive
+        world = crash_at(directory, fuse=5,
+                         script=(E("boom", {"n": "1"}),), rules=(BAD_RULE,))
+        world.boot()
+        world.engine._replay_in_flight()
+        assert len(world.grh.resilience.dead_letters) == 1
+        manager = world.engine.durability
+        assert manager.done.get("atomic-event-matcher:1") == "failed"
+
+
+class TestDeadLetterDurability:
+    def test_queue_restores_across_recovery(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("boom", {"n": "1"}), E("boom", {"n": "2"})))
+        before = world.dead_letters()
+        assert len(before) == 2
+        world.crash()
+        world.boot()
+        assert world.dead_letters() == before
+
+    def test_restored_action_letters_replay(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("boom", {"n": "7"}),))
+        world.crash()
+        world.boot()
+        # the missing document appears: replay can now succeed
+        world.runtime.register_document("missing", parse("<x/>"))
+        summary = world.engine.replay_dead_letters()
+        assert summary == {"replayed": 1, "succeeded": 1, "failed": 0,
+                           "actions": 1}
+        assert len(world.grh.resilience.dead_letters) == 0
+        assert serialize(world.runtime.documents["missing"]) == \
+            '<x><y n="7"/></x>'
+
+    def test_drained_letters_stay_drained(self, directory):
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("boom", {"n": "1"}),))
+        world.runtime.register_document("missing", parse("<x/>"))
+        world.engine.replay_dead_letters()
+        world.crash()
+        world.boot()
+        assert world.dead_letters() == []
+
+
+class TestCheckpointing:
+    def test_auto_checkpoint_compacts_the_journal(self, directory):
+        world = CrashWorld(directory)
+        world.boot(checkpoint_interval=5)
+        world.setup_rules()
+        script = tuple(E("ping", {"n": str(n)}) for n in range(1, 9))
+        world.run_script(script)
+        manager = world.engine.durability
+        assert manager.checkpointer.taken >= 1
+        assert manager.epoch >= 1
+        # the journal was truncated: pre-checkpoint records (e.g. the
+        # rule registrations) now live only in the checkpoint
+        from repro.durability import JournalReader
+        records = list(JournalReader(
+            os.path.join(directory, JOURNAL_NAME)).records())
+        assert not any(record["t"] == "rule-add" for record in records)
+        world.crash()
+        world.boot()
+        assert sorted(world.engine.rules) == ["bad", "ok"]
+        assert world.engine.stats["completed"] == 8
+
+    def test_stale_journal_is_ignored(self, directory):
+        # crash window between checkpoint rename and journal restart:
+        # the journal's records are already folded into the checkpoint
+        world = CrashWorld(directory)
+        world.boot()
+        world.setup_rules()
+        world.run_script((E("ping", {"n": "1"}),))
+        manager = world.engine.durability
+        manager.epoch += 1
+        manager.checkpointer.write(manager.snapshot())
+        world.crash()   # journal restart never happened
+        state = read_state(directory)
+        assert state.stale_journal
+        world.boot()
+        world.setup_rules()
+        world.redeliver()
+        assert world.effects() == {"out": ['<pong n="1"/>']}
+        assert world.engine.stats["completed"] == 1
+
+    def test_recovery_takes_a_compacting_checkpoint(self, directory):
+        deployment = standard_deployment()
+        manager = DurabilityManager(directory, sync="none")
+        engine = ECAEngine(deployment.grh, durability=manager)
+        engine.register_rule(OK_RULE)
+        deployment.stream.emit(E("ping", {"n": "1"}))
+        manager.close()
+        fresh = standard_deployment()
+        ECAEngine.recover(fresh.grh, directory)
+        assert os.path.exists(os.path.join(directory, CHECKPOINT_NAME))
