@@ -20,6 +20,7 @@ Subpackages
 ``services``    component-language services and transports
 ``domain``      the travel / car-rental application domain
 ``baseline``    monolithic single-language engine (benchmark baseline)
+``obs``         observability: tracing, metrics, context propagation
 """
 
 __version__ = "1.0.0"
@@ -30,6 +31,7 @@ from .core import (ECAEngine, ECARule, RuleInstance, RuleRepository,
                    validate_rule)
 from .grh import (ComponentSpec, GenericRequestHandler, LanguageDescriptor,
                   LanguageRegistry)
+from .obs import MetricsRegistry, Observability
 from .services import Deployment, standard_deployment
 
 __all__ = [
@@ -40,4 +42,5 @@ __all__ = [
     "ComponentSpec",
     "Binding", "Relation", "Uri",
     "Deployment", "standard_deployment",
+    "Observability", "MetricsRegistry",
 ]

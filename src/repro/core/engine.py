@@ -163,7 +163,8 @@ class ECAEngine:
                  evaluate_tests_locally: bool = True,
                  keep_instances: bool = True,
                  max_kept_instances: int | None = None,
-                 durability=None) -> None:
+                 max_instances_per_rule: int | None = None,
+                 durability=None, observability=None) -> None:
         self.grh = grh
         self.validate = validate
         self.evaluate_tests_locally = evaluate_tests_locally
@@ -171,21 +172,34 @@ class ECAEngine:
         #: retention cap for finished instances (None = unbounded); the
         #: oldest are dropped first so a long-running engine stays flat
         self.max_kept_instances = max_kept_instances
+        #: per-rule retention cap for :meth:`instances_of` (None =
+        #: unbounded); evicted instances still count in ``stats`` and
+        #: in the metrics derived from it
+        self.max_instances_per_rule = max_instances_per_rule
         #: a :class:`repro.durability.DurabilityManager`, or ``None``
         #: (the default — no journaling, the seed behavior).  For
         #: resuming an existing durability directory use
         #: :meth:`ECAEngine.recover`, which also rebuilds the rule table
         #: and re-drives unfinished work.
         self.durability = durability
+        #: a :class:`repro.obs.Observability`, or ``None`` (the default
+        #: — no tracing, no metrics, near-zero overhead).  ``_obs`` is
+        #: the hot-path handle: ``None`` unless observability is both
+        #: present and enabled, so instrumentation costs one ``is not
+        #: None`` check per site when off.
+        self.observability = observability
+        self._obs = observability if (observability is not None
+                                      and observability.enabled) else None
         self.rules: dict[str, _RegisteredRule] = {}
         self.instances: list[RuleInstance] = []
+        self._instances_by_rule: dict[str, deque] = {}
         self._by_component: dict[str, str] = {}
         self._instance_counter = itertools.count(1)
         self._pending = _DetectionQueue()
         self._draining = False
         self._instance_observers: list[Callable[[RuleInstance], None]] = []
         self.stats = {"detections": 0, "instances": 0, "completed": 0,
-                      "dead": 0, "failed": 0, "actions": 0}
+                      "dead": 0, "failed": 0, "actions": 0, "evicted": 0}
         if durability is not None:
             # continue counters and stats where the journal left off
             self._instance_counter = itertools.count(
@@ -194,6 +208,8 @@ class ECAEngine:
                 if key in self.stats:
                     self.stats[key] = value
             durability.attach(self)
+        if self._obs is not None:
+            self._obs.install(self)
         grh.on_detection(self._on_detection)
 
     # -- crash recovery ------------------------------------------------------
@@ -455,14 +471,28 @@ class ECAEngine:
         instance.record("event", detection.bindings)
         self.stats["instances"] += 1
         if self.keep_instances:
-            self.instances.append(instance)
-            if self.max_kept_instances is not None and \
-                    len(self.instances) > self.max_kept_instances:
-                del self.instances[:len(self.instances)
-                                   - self.max_kept_instances]
+            self._retain(instance)
         for observer in self._instance_observers:
             observer(instance)
-        failure = self._evaluate(rule, instance)
+        obs = self._obs
+        root_span = None
+        if obs is not None:
+            # the rule instance is the trace root; the event phase is a
+            # closed child carrying the detection that started it all
+            root_span = obs.tracer.begin(
+                "rule", {"rule": rule_id, "instance": instance_id},
+                parent=None)
+            event_span = obs.begin_phase("event", detection.component_id)
+            event_span.set_attribute("tuples", len(detection.bindings))
+            obs.end_phase("event", event_span)
+        try:
+            failure = self._evaluate(rule, instance)
+        finally:
+            if root_span is not None:
+                root_span.set_attribute("status", instance.status)
+                obs.tracer.finish(
+                    root_span,
+                    status="error" if instance.status == "failed" else "ok")
         if failure is not None and not isinstance(failure,
                                                   ActionExecutionError):
             # park the detection for replay_dead_letters(); action-phase
@@ -474,21 +504,63 @@ class ECAEngine:
             durability.current_instance = None
             durability.detection_done(detection.detection_id, instance.status)
 
+    def _retain(self, instance: RuleInstance) -> None:
+        """Keep an instance for introspection, enforcing both caps.
+
+        The global list and the per-rule buckets are subsequences of the
+        same creation order, so the globally oldest instance is always
+        the front of its own rule's bucket — eviction stays O(evicted).
+        """
+        self.instances.append(instance)
+        bucket = self._instances_by_rule.get(instance.rule_id)
+        if bucket is None:
+            bucket = self._instances_by_rule[instance.rule_id] = deque()
+        bucket.append(instance)
+        evicted = 0
+        if self.max_instances_per_rule is not None and \
+                len(bucket) > self.max_instances_per_rule:
+            oldest = bucket.popleft()
+            try:
+                self.instances.remove(oldest)
+            except ValueError:
+                pass
+            evicted += 1
+        if self.max_kept_instances is not None and \
+                len(self.instances) > self.max_kept_instances:
+            overflow = len(self.instances) - self.max_kept_instances
+            for old in self.instances[:overflow]:
+                old_bucket = self._instances_by_rule.get(old.rule_id)
+                if old_bucket and old_bucket[0] is old:
+                    old_bucket.popleft()
+            del self.instances[:overflow]
+            evicted += overflow
+        if evicted:
+            self.stats["evicted"] += evicted
+
     # -- instance evaluation (Figs. 7-11) ----------------------------------------------
 
     def _evaluate(self, rule: ECARule,
                   instance: RuleInstance) -> GRHError | None:
+        obs = self._obs
         relation = instance.relation
         try:
             for index, query in enumerate(rule.queries):
                 component_id = f"{rule.rule_id}::query-{index}"
-                contribution = self.grh.evaluate_query(component_id, query,
-                                                       relation)
-                if query.bind_to is not None:
-                    # functional components arrive pre-extended by the GRH
-                    relation = contribution
-                else:
-                    relation = relation.join(contribution)
+                span = obs.begin_phase("query", component_id) \
+                    if obs is not None else None
+                try:
+                    contribution = self.grh.evaluate_query(component_id,
+                                                           query, relation)
+                    if query.bind_to is not None:
+                        # functional components arrive pre-extended by
+                        # the GRH
+                        relation = contribution
+                    else:
+                        relation = relation.join(contribution)
+                finally:
+                    if span is not None:
+                        span.set_attribute("tuples", len(relation))
+                        obs.end_phase("query", span)
                 label = (f"query {index + 1}"
                          + (f" (→ ${query.bind_to})" if query.bind_to else ""))
                 instance.record(label, relation)
@@ -497,7 +569,14 @@ class ECAEngine:
                     self.stats["dead"] += 1
                     return
             if rule.test is not None:
-                relation = self._run_test(rule, relation)
+                span = obs.begin_phase("test", f"{rule.rule_id}::test") \
+                    if obs is not None else None
+                try:
+                    relation = self._run_test(rule, relation)
+                finally:
+                    if span is not None:
+                        span.set_attribute("tuples", len(relation))
+                        obs.end_phase("test", span)
                 instance.record("test", relation)
                 if not relation:
                     instance.status = "dead"
@@ -509,8 +588,14 @@ class ECAEngine:
                 if self.durability is not None:
                     guard = self.durability.action_guard(
                         instance.instance_id, index)
-                executed = self.grh.execute_action(component_id, action,
-                                                   relation, guard=guard)
+                span = obs.begin_phase("action", component_id) \
+                    if obs is not None else None
+                try:
+                    executed = self.grh.execute_action(component_id, action,
+                                                       relation, guard=guard)
+                finally:
+                    if span is not None:
+                        obs.end_phase("action", span)
                 instance.actions_executed += executed
                 self.stats["actions"] += executed
             instance.record("action", relation)
@@ -602,5 +687,16 @@ class ECAEngine:
     # -- introspection ---------------------------------------------------------------------
 
     def instances_of(self, rule_id: str) -> list[RuleInstance]:
+        """Retained instances of one rule, oldest first.
+
+        Served from a per-rule index (O(answer) instead of a scan over
+        every retained instance); bounded by ``max_instances_per_rule``
+        when set.
+        """
+        bucket = self._instances_by_rule.get(rule_id)
+        if bucket is not None:
+            return list(bucket)
+        # instances appended by code that bypasses _retain (tests,
+        # monitoring shims) still show up via the slow path
         return [instance for instance in self.instances
                 if instance.rule_id == rule_id]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from typing import Iterator
 
@@ -86,6 +87,9 @@ class Journal:
         self.sync = sync
         self.epoch = epoch
         self.appended = 0
+        #: observability hook: called with the duration (seconds) of
+        #: every flush+fsync; ``None`` (default) costs nothing
+        self.on_fsync = None
         self._file = None
         self._open_for_append()
 
@@ -151,13 +155,20 @@ class Journal:
         """
         if self.sync == "none":
             return
-        self._file.flush()
         if self.sync == "commit":
-            os.fsync(self._file.fileno())
+            self._fsync()
+        else:
+            self._file.flush()
 
     def _fsync(self) -> None:
+        if self.on_fsync is None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            return
+        started = time.perf_counter()
         self._file.flush()
         os.fsync(self._file.fileno())
+        self.on_fsync(time.perf_counter() - started)
 
 
 class JournalReader:

@@ -26,6 +26,7 @@ import os
 from collections import OrderedDict
 from dataclasses import replace
 from json.encoder import encode_basestring_ascii as _esc
+from time import perf_counter as _perf_counter
 
 from ..grh.messages import Detection
 from ..xmlmodel import serialize
@@ -151,6 +152,9 @@ class DurabilityManager:
         self.engine = None
         self.current_detection: str | None = None
         self.current_instance: int | None = None
+        #: observability hook: called with each checkpoint's duration
+        #: in seconds; ``None`` (default) costs nothing
+        self.checkpoint_observer = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -284,10 +288,14 @@ class DurabilityManager:
 
     def checkpoint(self) -> None:
         """Snapshot everything, bump the epoch, truncate the journal."""
+        observer = self.checkpoint_observer
+        started = _perf_counter() if observer is not None else 0.0
         self.epoch += 1
         self.checkpointer.write(self.snapshot())
         self.journal.restart(self.epoch)
         self.records_since_checkpoint = 0
+        if observer is not None:
+            observer(_perf_counter() - started)
 
     def snapshot(self) -> dict:
         in_flight = [{"id": det_id, "d": entry.data,

@@ -28,6 +28,9 @@ from typing import Callable
 from ..bindings import (Binding, BindingError, Relation, answer_to_binding,
                         answers_to_relation, results_from_answer,
                         value_to_text)
+from ..obs.metrics import Counter
+from ..obs.trace import (SPANS_QNAME, pop_span_sink, push_span_sink,
+                         xml_to_span_dicts)
 from ..xmlmodel import Element, LOG_NS, QName, XMLSyntaxError, parse
 from .component import ComponentSpec
 from .messages import (Detection, MessageError, Request, detection_to_xml,
@@ -41,6 +44,7 @@ __all__ = ["GenericRequestHandler", "GRHError"]
 
 _ANSWERS = QName(LOG_NS, "answers")
 _ANSWER = QName(LOG_NS, "answer")
+_TRACEPARENT_ATTR = QName(None, "traceparent")
 
 
 class GenericRequestHandler:
@@ -58,7 +62,15 @@ class GenericRequestHandler:
             else ResilienceManager()
         self._detection_callbacks: list[Callable[[Detection], None]] = []
         self._endpoints: dict[str, str] = {}
-        self.request_count = 0
+        #: lock-protected counters (repro.obs.metrics.Counter): dispatch
+        #: may be driven from several threads at once, and a plain
+        #: ``int += 1`` loses increments under contention
+        self._requests = Counter()
+        self._cache_hits = Counter()
+        #: a :class:`repro.obs.Observability`, installed by the engine;
+        #: ``None`` (the default) means no tracing and no traceparent
+        #: stamping — the seed behavior
+        self.observability = None
         #: Memoize identical substituted queries to unaware services.
         #: Off by default: it assumes the remote data does not change
         #: within a rule evaluation (safe for the per-instance lifetime,
@@ -66,7 +78,20 @@ class GenericRequestHandler:
         #: effectively read-only sources).
         self.cache_opaque_requests = cache_opaque_requests
         self._opaque_cache: dict[tuple[str, str], str] = {}
-        self.cache_hits = 0
+        #: per-address memo of transport.dispatches_inline(): an inline
+        #: (same-thread) service sees the span sink, so trace context
+        #: need not be stamped into its envelope
+        self._inline_cache: dict[str, bool] = {}
+
+    @property
+    def request_count(self) -> int:
+        """Requests mediated so far (thread-safe counter)."""
+        return self._requests.value
+
+    @property
+    def cache_hits(self) -> int:
+        """Opaque-cache hits so far (thread-safe counter)."""
+        return self._cache_hits.value
 
     def clear_opaque_cache(self) -> None:
         self._opaque_cache.clear()
@@ -131,12 +156,34 @@ class GenericRequestHandler:
 
     def _send(self, descriptor: LanguageDescriptor,
               request: Request) -> Element:
-        self.request_count += 1
+        self._requests.inc()
         address = self._address_of(descriptor)
+        obs = self.observability
+        span = None
         payload = request_to_xml(request)
+        if obs is not None:
+            # the request span's identity rides in the envelope; an
+            # observability-aware service across a process boundary
+            # answers with a log:spans annotation that _strip_spans()
+            # adopts into this trace.  stamped onto the payload element
+            # directly — the Request object itself needs no copy
+            span = obs.tracer.begin("grh.request",
+                                    {"kind": request.kind,
+                                     "component": request.component_id,
+                                     "language": descriptor.name})
+            inline = self._inline_cache.get(address)
+            if inline is None:
+                inline = self._probe_inline(address)
+            if not inline and span.traceparent is not None:
+                payload.attributes[_TRACEPARENT_ATTR] = span.traceparent
         timeout = self.resilience.timeout_for(descriptor)
 
         def attempt_once() -> Element:
+            # a sink catches server-side span records from co-located
+            # services without them riding the serialized response; a
+            # real remote service annotates the response instead and is
+            # handled by _strip_spans below
+            sink = push_span_sink() if obs is not None else None
             try:
                 if timeout is not None:
                     response = self.transport.send(address, payload,
@@ -149,19 +196,70 @@ class GenericRequestHandler:
                 # a crash on the other side of the transport is a service
                 # failure: transient, retryable, counted by the breaker
                 raise TransientServiceFailure(str(exc)) from exc
+            finally:
+                if sink is not None:
+                    pop_span_sink()
+            if obs is not None:
+                if sink:
+                    obs.tracer.adopt_children(span, sink)
+                self._strip_spans(response, obs)
             if is_error(response):
                 # a clean log:error from a healthy service: not transient
                 raise ServiceReportedError(error_text(response))
             return response
 
         try:
-            return self.resilience.call(address, descriptor, attempt_once)
+            result = self.resilience.call(address, descriptor, attempt_once)
         except TransientServiceFailure as exc:
+            if span is not None:
+                obs.tracer.finish(span, status="error")
+                obs.observe_request(request.kind, span)
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
         except ServiceReportedError as exc:
+            if span is not None:
+                obs.tracer.finish(span, status="error")
+                obs.observe_request(request.kind, span)
             raise GRHError(f"service {descriptor.name!r} reported: "
                            f"{exc}") from exc
+        except GRHError:
+            if span is not None:
+                obs.tracer.finish(span, status="error")
+                obs.observe_request(request.kind, span)
+            raise
+        if span is not None:
+            obs.tracer.finish(span)
+            obs.observe_request(request.kind, span)
+        return result
+
+    def _probe_inline(self, address: str) -> bool:
+        """Memoize whether ``address`` is dispatched synchronously on
+        this thread (transport-declared).  Inline services read trace
+        context from the span sink, so the envelope stays unstamped;
+        everything else — or a transport with no opinion — gets the
+        ``traceparent`` attribute."""
+        probe = getattr(self.transport, "dispatches_inline", None)
+        inline = bool(probe(address)) if probe is not None else False
+        self._inline_cache[address] = inline
+        return inline
+
+    @staticmethod
+    def _strip_spans(response: Element, obs) -> None:
+        """Pop a ``log:spans`` annotation off a response and adopt its
+        server-side spans into the local tracer.
+
+        Services append the annotation last, so only the final child is
+        inspected — no scan over (possibly large) answer lists.
+        """
+        children = response.children
+        if not children:
+            return
+        last = children[-1]
+        if not isinstance(last, Element) or last.name != SPANS_QNAME:
+            return
+        response.remove(last)
+        for record in xml_to_span_dicts(last):
+            obs.tracer.adopt(record)
 
     # -- event components (Figs. 5/6) ---------------------------------------------------
 
@@ -252,14 +350,14 @@ class GenericRequestHandler:
             if self.cache_opaque_requests:
                 key = (address, query)
                 if key in self._opaque_cache:
-                    self.cache_hits += 1
+                    self._cache_hits.inc()
                     raw = self._opaque_cache[key]
                 else:
-                    self.request_count += 1
+                    self._requests.inc()
                     raw = self._fetch(descriptor, address, query)
                     self._opaque_cache[key] = raw
             else:
-                self.request_count += 1
+                self._requests.inc()
                 raw = self._fetch(descriptor, address, query)
             out.extend(self._bind_raw_results(raw, binding, spec))
         return Relation(out)
@@ -267,6 +365,14 @@ class GenericRequestHandler:
     def _fetch(self, descriptor: LanguageDescriptor, address: str,
                query: str) -> str:
         timeout = self.resilience.timeout_for(descriptor)
+        obs = self.observability
+        # framework-unaware services speak their own query language, not
+        # the log: protocol — no envelope, so no traceparent to carry;
+        # the round-trip is still measured client-side
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("grh.fetch",
+                                    {"language": descriptor.name})
 
         def attempt_once() -> str:
             try:
@@ -280,10 +386,22 @@ class GenericRequestHandler:
                 raise TransientServiceFailure(str(exc)) from exc
 
         try:
-            return self.resilience.call(address, descriptor, attempt_once)
+            result = self.resilience.call(address, descriptor, attempt_once)
         except TransientServiceFailure as exc:
+            if span is not None:
+                obs.tracer.finish(span, status="error")
+                obs.observe_request("fetch", span)
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
+        except GRHError:
+            if span is not None:
+                obs.tracer.finish(span, status="error")
+                obs.observe_request("fetch", span)
+            raise
+        if span is not None:
+            obs.tracer.finish(span)
+            obs.observe_request("fetch", span)
+        return result
 
     def _bind_raw_results(self, raw: str, binding: Binding,
                           spec: ComponentSpec) -> list[Binding]:

@@ -58,6 +58,13 @@ class Request:
     key it has already completed, closing the last crash-replay
     ambiguity window (PROTOCOL.md §7); services that ignore it degrade
     to at-least-once for that one window.
+
+    ``traceparent`` is the optional trace-context of the GRH request
+    span that issued this request (the ``traceparent`` attribute on the
+    wire, PROTOCOL.md §8).  A service that understands it annotates its
+    response with a ``log:spans`` element so its server-side spans
+    stitch into the originating rule instance's trace; services that
+    ignore it lose nothing — the attribute is advisory.
     """
 
     kind: str
@@ -65,6 +72,7 @@ class Request:
     content: Element | None
     bindings: Relation
     dedup: str | None = None
+    traceparent: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -98,6 +106,8 @@ def request_to_xml(request: Request) -> Element:
                   QName(None, "id"): request.component_id}
     if request.dedup is not None:
         attributes[QName(None, "dedup")] = request.dedup
+    if request.traceparent is not None:
+        attributes[QName(None, "traceparent")] = request.traceparent
     element = Element(_REQUEST, attributes, nsdecls={"log": LOG_NS})
     if request.content is not None:
         wrapper = Element(_COMPONENT)
@@ -126,7 +136,8 @@ def xml_to_request(element: Element) -> Request:
         bindings = (answers_to_relation(answers) if answers is not None
                     else Relation.unit())
         return Request(kind, component_id, content, bindings,
-                       dedup=element.get("dedup"))
+                       dedup=element.get("dedup"),
+                       traceparent=element.get("traceparent"))
     except MarkupError as exc:
         raise MessageError(str(exc)) from exc
 

@@ -29,6 +29,7 @@ opts in) and never trips the breaker.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from collections import deque
@@ -335,6 +336,10 @@ class ResilienceManager:
         self.breaker_opens = 0
         self.breaker_rejections = 0
         self._per_service: dict[str, dict[str, int]] = {}
+        #: guards the counters, per-service tallies and breaker state:
+        #: the GRH may be dispatched from several threads at once, and
+        #: plain ``int += 1`` loses increments under contention
+        self._lock = threading.Lock()
 
     # -- policy resolution ---------------------------------------------------
 
@@ -355,7 +360,9 @@ class ResilienceManager:
             return None
         breaker = self._breakers.get(address)
         if breaker is None:
-            breaker = self._breakers[address] = CircuitBreaker(policy)
+            with self._lock:
+                breaker = self._breakers.setdefault(
+                    address, CircuitBreaker(policy))
         return breaker
 
     # -- the retry loop ------------------------------------------------------
@@ -375,42 +382,51 @@ class ResilienceManager:
         breaker = self.breaker_for(address, descriptor)
         # happy path: a closed breaker admits everything — skip the
         # clock read (allow() only needs the time to leave "open")
-        if breaker is not None and breaker.state != "closed" and \
-                not breaker.allow(self.clock()):
-            self.breaker_rejections += 1
-            raise CircuitOpenError(
-                f"circuit open for service {descriptor.name!r} at "
-                f"{address!r}; retry after "
-                f"{breaker.retry_after(self.clock()):.3g}s")
+        if breaker is not None and breaker.state != "closed":
+            with self._lock:
+                admitted = breaker.allow(self.clock())
+                if not admitted:
+                    self.breaker_rejections += 1
+            if not admitted:
+                raise CircuitOpenError(
+                    f"circuit open for service {descriptor.name!r} at "
+                    f"{address!r}; retry after "
+                    f"{breaker.retry_after(self.clock()):.3g}s")
         attempt = 1
         while True:
-            self.attempts += 1
+            with self._lock:
+                self.attempts += 1
             try:
                 result = attempt_once()
             except TransientServiceFailure:
-                if breaker is not None and \
-                        breaker.record_failure(self.clock()):
-                    self.breaker_opens += 1
-                self._record(address, ok=False)
+                with self._lock:
+                    if breaker is not None and \
+                            breaker.record_failure(self.clock()):
+                        self.breaker_opens += 1
+                    self._record(address, ok=False)
                 shed = breaker is not None and breaker.state == "open"
                 if attempt >= policy.max_attempts or shed:
                     raise
             except ServiceReportedError:
-                self._record(address, ok=False)
+                with self._lock:
+                    self._record(address, ok=False)
                 if attempt >= policy.max_attempts or \
                         not policy.retry_on_service_errors:
                     raise
             else:
-                if breaker is not None and (breaker.failures
-                                            or breaker.state != "closed"):
-                    breaker.record_success()
-                self._record(address, ok=True)
+                with self._lock:
+                    if breaker is not None and (breaker.failures
+                                                or breaker.state != "closed"):
+                        breaker.record_success()
+                    self._record(address, ok=True)
                 return result
-            self.retries += 1
+            with self._lock:
+                self.retries += 1
             self.sleep(policy.delay_for(attempt, address))
             attempt += 1
 
     def _record(self, address: str, ok: bool) -> None:
+        """Tally one outcome; the caller holds ``self._lock``."""
         try:
             counts = self._per_service[address]
         except KeyError:
@@ -424,18 +440,25 @@ class ResilienceManager:
         """Counters for ``grh.stats``: retries, breaker activity, dead
         letters and per-service failure rates."""
         services = {}
-        for address, counts in self._per_service.items():
+        with self._lock:
+            per_service = {address: dict(counts) for address, counts
+                           in self._per_service.items()}
+            breakers = {address: breaker.state
+                        for address, breaker in self._breakers.items()}
+            retries, attempts = self.retries, self.attempts
+            opens = self.breaker_opens
+            rejections = self.breaker_rejections
+        for address, counts in per_service.items():
             total = counts["successes"] + counts["failures"]
             services[address] = dict(counts,
                                      failure_rate=counts["failures"] / total
                                      if total else 0.0)
         return {
-            "retries": self.retries,
-            "attempts": self.attempts,
-            "breaker_opens": self.breaker_opens,
-            "breaker_rejections": self.breaker_rejections,
-            "breakers": {address: breaker.state
-                         for address, breaker in self._breakers.items()},
+            "retries": retries,
+            "attempts": attempts,
+            "breaker_opens": opens,
+            "breaker_rejections": rejections,
+            "breakers": breakers,
             "dead_letters": len(self.dead_letters),
             "dead_letters_dropped": self.dead_letters.dropped,
             "services": services,

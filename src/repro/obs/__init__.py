@@ -1,0 +1,33 @@
+"""Observability for the ECA engine: tracing, metrics, propagation.
+
+The paper's engine evaluates each rule instance as a pipeline of
+heterogeneous component calls mediated by the Generic Request Handler;
+this package makes that pipeline visible:
+
+* :mod:`repro.obs.trace` — spans and tracers: every rule instance is a
+  root span with child spans per component phase and per GRH request,
+  including server-side spans stitched back from remote services via
+  the envelope-carried ``traceparent`` (PROTOCOL.md §8);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket latency
+  histograms with Prometheus text exposition;
+* :mod:`repro.obs.config` — the :class:`Observability` object that owns
+  both and wires them into an engine
+  (``ECAEngine(..., observability=Observability())``).
+
+Everything is off by default and costs nothing when off.
+"""
+
+from .config import Observability
+from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .trace import (JsonlExporter, NOOP_TRACER, NoopSpan, NoopTracer,
+                    RingBufferExporter, Span, Tracer, format_traceparent,
+                    parse_traceparent, render_trace, span_to_dict,
+                    spans_to_xml, xml_to_span_dicts)
+
+__all__ = ["Observability", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "DEFAULT_BUCKETS", "Span", "Tracer",
+           "NoopSpan", "NoopTracer", "NOOP_TRACER", "RingBufferExporter",
+           "JsonlExporter", "format_traceparent", "parse_traceparent",
+           "render_trace", "span_to_dict", "spans_to_xml",
+           "xml_to_span_dicts"]

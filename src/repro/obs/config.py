@@ -1,0 +1,258 @@
+"""The one observability switch: config, wiring, and trace lookup.
+
+An :class:`Observability` object owns a tracer (ring buffer and optional
+JSONL file exporters) and a metrics registry, and knows how to wire them
+into a running engine: ``ECAEngine(..., observability=obs)`` calls
+:meth:`Observability.install`, which hooks the GRH, the resilience
+manager, and the durability layer of *that* engine.
+
+Everything is off by default — an engine constructed without an
+``observability`` argument carries no instrumentation beyond a handful
+of ``is not None`` checks, and ``Observability(enabled=False)`` exposes
+no-op instruments so user code holding the handle keeps working.
+
+Metric taxonomy (all scrapeable via ``render_prometheus()`` or the
+``/metrics`` route of :class:`~repro.services.HttpServiceServer`):
+
+========================================  =========  =======================
+name                                      kind       source
+========================================  =========  =======================
+``eca_detections_total``                  counter    engine stats
+``eca_rule_instances_total``              counter    engine stats
+``eca_instances_total{status}``           counter    engine stats
+``eca_actions_total``                     counter    engine stats
+``eca_instances_evicted_total``           counter    engine stats
+``eca_kept_instances``                    gauge      engine retention
+``eca_registered_rules``                  gauge      engine rule table
+``eca_phase_latency_seconds{phase}``      histogram  engine hot path
+``eca_grh_requests_total``                counter    GRH
+``eca_grh_cache_hits_total``              counter    GRH opaque cache
+``eca_grh_request_latency_seconds{kind}`` histogram  GRH hot path
+``eca_retries_total``                     counter    resilience
+``eca_attempts_total``                    counter    resilience
+``eca_breaker_opens_total``               counter    resilience
+``eca_breaker_rejections_total``          counter    resilience
+``eca_breaker_state{endpoint}``           gauge      0 closed, 0.5 half, 1 open
+``eca_service_requests_total{endpoint,outcome}``  counter  resilience
+``eca_dead_letters``                      gauge      dead letter queue
+``eca_dead_letters_dropped_total``        counter    dead letter queue
+``eca_journal_records_total``             counter    durability journal
+``eca_journal_fsync_seconds``             histogram  durability hot path
+``eca_checkpoint_seconds``                histogram  durability hot path
+========================================  =========  =======================
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import (JsonlExporter, NOOP_TRACER, RingBufferExporter, Span,
+                    Tracer, render_trace)
+
+__all__ = ["Observability"]
+
+#: the component phases of one rule instance, in evaluation order
+PHASES = ("event", "query", "test", "action")
+#: span names per phase, prebuilt off the hot path
+_PHASE_SPAN_NAMES = {phase: "phase:" + phase for phase in PHASES}
+
+#: request kinds the GRH dispatches (plus the opaque per-tuple fetch)
+REQUEST_KINDS = ("register-event", "unregister-event", "query", "test",
+                 "action", "fetch")
+
+_BREAKER_STATE_VALUE = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
+
+class Observability:
+    """Configuration and wiring for tracing + metrics of one engine.
+
+    ``trace_buffer`` bounds the in-memory span ring; ``trace_jsonl``
+    additionally streams every finished span to a JSONL file.  Pass
+    ``metrics=`` to share one registry between several engines (their
+    counters then aggregate into one exposition).
+    """
+
+    def __init__(self, enabled: bool = True, trace_buffer: int = 4096,
+                 trace_jsonl: str | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ring: RingBufferExporter | None = None
+        self.jsonl: JsonlExporter | None = None
+        if not enabled:
+            self.tracer = NOOP_TRACER
+            self._phase_hist = {}
+            self._grh_hist = {}
+            return
+        if tracer is None:
+            self.ring = RingBufferExporter(trace_buffer)
+            exporters = [self.ring]
+            if trace_jsonl is not None:
+                self.jsonl = JsonlExporter(trace_jsonl)
+                exporters.append(self.jsonl)
+            tracer = Tracer(exporters)
+        self.tracer = tracer
+        phase_family = self.metrics.histogram(
+            "eca_phase_latency_seconds",
+            "Rule-instance component phase latency", labels=("phase",))
+        self._phase_hist = {phase: phase_family.labels(phase)
+                            for phase in PHASES}
+        grh_family = self.metrics.histogram(
+            "eca_grh_request_latency_seconds",
+            "GRH request round-trip latency", labels=("kind",))
+        self._grh_hist = {kind: grh_family.labels(kind)
+                          for kind in REQUEST_KINDS}
+
+    # -- hot-path helpers --------------------------------------------------
+
+    def begin_phase(self, phase: str, component_id: str) -> Span:
+        """Start the child span for one component phase."""
+        return self.tracer.begin(_PHASE_SPAN_NAMES.get(phase) or
+                                 "phase:" + phase,
+                                 {"component": component_id})
+
+    def end_phase(self, phase: str, span: Span) -> None:
+        """Finish a phase span and feed its latency histogram."""
+        self.tracer.finish(span)
+        histogram = self._phase_hist.get(phase)
+        if histogram is not None:
+            histogram.observe(span.ended_at - span.started_at)
+
+    def observe_request(self, kind: str, span: Span) -> None:
+        """Feed one finished GRH request span into the latency family."""
+        histogram = self._grh_hist.get(kind)
+        if histogram is None:
+            histogram = self._grh_hist[kind] = self.metrics.histogram(
+                "eca_grh_request_latency_seconds",
+                labels=("kind",)).labels(kind)
+        histogram.observe(span.ended_at - span.started_at)
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self, engine) -> None:
+        """Hook this observability into one engine and its GRH stack.
+
+        Called by ``ECAEngine.__init__``; idempotent per engine, and
+        re-installation (e.g. after crash recovery builds a fresh
+        engine over the same GRH) re-binds the scrape-time callbacks to
+        the new objects.
+        """
+        if not self.enabled:
+            return
+        metrics = self.metrics
+        stats = engine.stats
+        metrics.counter("eca_detections_total",
+                        "Detections accepted by the engine",
+                        callback=lambda: stats["detections"])
+        metrics.counter("eca_rule_instances_total",
+                        "Rule instances created",
+                        callback=lambda: stats["instances"])
+        metrics.counter(
+            "eca_instances_total", "Finished rule instances by status",
+            labels=("status",),
+            callback=lambda: {"completed": stats["completed"],
+                              "dead": stats["dead"],
+                              "failed": stats["failed"]})
+        metrics.counter("eca_actions_total", "Action executions",
+                        callback=lambda: stats["actions"])
+        metrics.counter("eca_instances_evicted_total",
+                        "Instances dropped by the retention caps",
+                        callback=lambda: stats.get("evicted", 0))
+        metrics.gauge("eca_kept_instances",
+                      "Instances currently retained for introspection",
+                      callback=lambda: len(engine.instances))
+        metrics.gauge("eca_registered_rules", "Registered rules",
+                      callback=lambda: len(engine.rules))
+
+        grh = engine.grh
+        grh.observability = self
+        metrics.counter("eca_grh_requests_total",
+                        "Requests mediated by the GRH",
+                        callback=lambda: grh.request_count)
+        metrics.counter("eca_grh_cache_hits_total",
+                        "Opaque-request cache hits",
+                        callback=lambda: grh.cache_hits)
+
+        resilience = grh.resilience
+        metrics.counter("eca_retries_total", "Service request retries",
+                        callback=lambda: resilience.retries)
+        metrics.counter("eca_attempts_total", "Service request attempts",
+                        callback=lambda: resilience.attempts)
+        metrics.counter("eca_breaker_opens_total", "Circuit breaker opens",
+                        callback=lambda: resilience.breaker_opens)
+        metrics.counter("eca_breaker_rejections_total",
+                        "Requests shed by open breakers",
+                        callback=lambda: resilience.breaker_rejections)
+        metrics.gauge(
+            "eca_breaker_state",
+            "Breaker state per endpoint (0 closed, 0.5 half-open, 1 open)",
+            labels=("endpoint",),
+            callback=lambda: {
+                address: _BREAKER_STATE_VALUE.get(breaker.state, 1.0)
+                for address, breaker in resilience._breakers.items()})
+        metrics.counter(
+            "eca_service_requests_total",
+            "Per-endpoint request outcomes", labels=("endpoint", "outcome"),
+            callback=lambda: {
+                (address, outcome): count
+                for address, counts in resilience._per_service.items()
+                for outcome, count in counts.items()})
+        queue = resilience.dead_letters
+        metrics.gauge("eca_dead_letters", "Dead letters awaiting replay",
+                      callback=lambda: len(queue))
+        metrics.counter("eca_dead_letters_dropped_total",
+                        "Dead letters dropped on queue overflow",
+                        callback=lambda: queue.dropped)
+
+        durability = engine.durability
+        if durability is not None:
+            journal = durability.journal
+            metrics.counter("eca_journal_records_total",
+                            "Records appended to the write-ahead journal",
+                            callback=lambda: journal.appended)
+            metrics.gauge("eca_in_flight_detections",
+                          "Journaled detections not yet completed",
+                          callback=lambda: len(durability.in_flight))
+            journal.on_fsync = self.metrics.histogram(
+                "eca_journal_fsync_seconds",
+                "Journal fsync latency").observe
+            durability.checkpoint_observer = self.metrics.histogram(
+                "eca_checkpoint_seconds",
+                "Checkpoint write duration").observe
+
+    # -- trace lookup ------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids retained in the ring buffer, oldest first."""
+        return self.ring.trace_ids() if self.ring is not None else []
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return self.ring.trace(trace_id) if self.ring is not None else []
+
+    def trace_of_instance(self, instance_id: int) -> list[Span]:
+        """The spans of the trace whose root is the given rule instance."""
+        if self.ring is None:
+            return []
+        for span in self.ring.spans():
+            if span.name == "rule" and \
+                    span.attributes.get("instance") == instance_id:
+                return self.ring.trace(span.trace_id)
+        return []
+
+    def render(self, trace_id: str | None = None) -> str:
+        """Render one trace as an indented tree (latest when no id)."""
+        if self.ring is None:
+            return ""
+        if trace_id is None:
+            ids = self.ring.trace_ids()
+            if not ids:
+                return ""
+            trace_id = ids[-1]
+        return render_trace(self.ring.trace(trace_id))
+
+    def render_prometheus(self) -> str:
+        return self.metrics.render_prometheus()
+
+    def close(self) -> None:
+        if self.jsonl is not None:
+            self.jsonl.close()

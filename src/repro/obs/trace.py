@@ -1,0 +1,491 @@
+"""The tracing core: spans, tracers, exporters, ``traceparent``.
+
+A *span* is one timed unit of work — a rule instance, one component
+phase, one GRH request, one remote service invocation.  Spans form a
+tree: the rule instance is the root, component phases are its children,
+each GRH request is a child of the phase that issued it, and a remote
+service's server-side span is a child of the GRH request that reached
+it.  The tree is keyed by a *trace id* shared by every span of one rule
+evaluation, so a trace can be reassembled even when its spans were
+recorded by different processes.
+
+Propagation uses a W3C-style ``traceparent`` string
+(``00-<32 hex trace id>-<16 hex span id>-01``) carried in the
+``log:request`` envelope (PROTOCOL.md §8); a remote service that
+receives one answers with a ``log:spans`` annotation holding its own
+server-side spans, which the GRH *adopts* into the originating tracer —
+that is what stitches an HTTP round-trip into one trace.  A service
+co-located with the engine skips both the envelope and the markup: it
+drops its span record into the dispatching GRH's thread-local *span
+sink* instead (same stitched result, none of the serialization cost).
+
+Timing is monotonic (``time.perf_counter``); cross-process spans carry
+their own duration, measured on the remote clock, and are anchored at
+adoption time on the local one.
+
+Everything here is allocation-light: spans use ``__slots__``, ids come
+from one ``os.urandom`` seed plus a counter (no per-span entropy), and
+the disabled path is a :class:`NoopTracer` whose spans are a shared
+singleton.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+from ..xmlmodel import Element, LOG_NS, QName
+
+__all__ = ["Span", "Tracer", "NoopSpan", "NoopTracer", "NOOP_TRACER",
+           "RingBufferExporter", "JsonlExporter", "format_traceparent",
+           "parse_traceparent", "span_to_dict", "spans_to_xml",
+           "xml_to_span_dicts", "render_trace", "SPANS_QNAME",
+           "push_span_sink", "pop_span_sink", "current_span_sink",
+           "next_annotation_id"]
+
+SPANS_QNAME = QName(LOG_NS, "spans")
+_SPAN = QName(LOG_NS, "span")
+
+
+# -- traceparent ---------------------------------------------------------------
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """The wire form of a span's identity (W3C trace-context style)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> tuple[str, str] | None:
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` string, or
+    ``None`` for anything malformed (propagation is best-effort: a bad
+    header never fails the request it rode in on)."""
+    if not value:
+        return None
+    parts = value.split("-")
+    if len(parts) != 4:
+        return None
+    _, trace_id, span_id, _ = parts
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    return trace_id, span_id
+
+
+# -- spans ---------------------------------------------------------------------
+
+class Span:
+    """One timed unit of work inside a trace."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "started_at",
+                 "ended_at", "status", "attributes", "remote", "_token")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str | None, started_at: float,
+                 attributes: dict | None = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = started_at
+        self.ended_at: float | None = None
+        self.status = "ok"
+        self.attributes = attributes if attributes is not None else {}
+        #: recorded by another process and adopted here (its timestamps
+        #: are anchored locally; only the duration is authoritative)
+        self.remote = False
+        self._token = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to now, while still open)."""
+        end = self.ended_at if self.ended_at is not None \
+            else time.perf_counter()
+        return end - self.started_at
+
+    @property
+    def traceparent(self) -> str:
+        return format_traceparent(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f}ms" if self.ended_at is not None \
+            else "open"
+        return f"<Span {self.name!r} {state} trace={self.trace_id[:8]}…>"
+
+
+class NoopSpan:
+    """The disabled tracer's span: every operation is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    attributes: dict = {}
+    duration = 0.0
+    #: ``None`` so callers never stamp a traceparent from a noop span
+    traceparent = None
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+NOOP_SPAN = NoopSpan()
+
+
+# -- tracers -------------------------------------------------------------------
+
+class Tracer:
+    """Creates spans, tracks the active one, exports finished ones.
+
+    The active span is thread-local: concurrent GRH dispatches each see
+    their own ancestry.  ``begin`` makes the new span current and
+    ``finish`` restores its predecessor, so straight-line code gets
+    correct parent/child links without passing spans around.
+    """
+
+    def __init__(self, exporters: Iterable = (),
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._exporters = list(exporters)
+        # bound export methods, looped on every finish — hot path
+        self._exports = [exporter.export for exporter in self._exporters]
+        self.clock = clock
+        # ids: one 64-bit random seed, then a counter — unique within
+        # and (by the seed) across processes, no per-span entropy cost
+        self._seed = int.from_bytes(os.urandom(8), "big")
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.started = 0
+        self.finished = 0
+
+    # -- id generation -----------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        return f"{(self._seed ^ next(self._ids)) & 0xFFFFFFFFFFFFFFFF:016x}"
+
+    def _next_trace_id(self) -> str:
+        return f"{self._seed:016x}{next(self._ids):016x}"
+
+    # -- current span ------------------------------------------------------
+
+    def current(self) -> Span | None:
+        return getattr(self._local, "span", None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, name: str, attributes: dict | None = None,
+              parent: Span | None | object = ...) -> Span:
+        """Start a span and make it current.
+
+        ``parent`` defaults to the current span; pass ``None`` to force
+        a new root (a new trace id).
+        """
+        if parent is ...:
+            parent = getattr(self._local, "span", None)
+        if parent is None:
+            trace_id = self._next_trace_id()
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(name, trace_id, self._next_span_id(), parent_id,
+                    self.clock(), attributes)
+        span._token = parent
+        self._local.span = span
+        self.started += 1
+        return span
+
+    def finish(self, span: Span, status: str | None = None) -> None:
+        """End a span, restore its predecessor as current, export it."""
+        span.ended_at = self.clock()
+        if status is not None:
+            span.status = status
+        self._local.span = span._token
+        span._token = None
+        self.finished += 1
+        for export in self._exports:
+            export(span)
+
+    def adopt(self, span_dict: dict) -> Span | None:
+        """Import a finished span recorded by another process.
+
+        The remote clock is unrelated to ours, so the span is anchored
+        at adoption time and only its duration is kept.  Returns the
+        adopted span (also exported), or ``None`` for malformed input.
+        """
+        try:
+            duration = float(span_dict.get("duration", 0.0))
+            now = self.clock()
+            span = Span(str(span_dict["name"]), str(span_dict["trace"]),
+                        str(span_dict["id"]), span_dict.get("parent"),
+                        now - duration,
+                        dict(span_dict.get("attributes") or {}))
+        except (KeyError, TypeError, ValueError):
+            return None
+        span.ended_at = span.started_at + duration
+        span.status = str(span_dict.get("status", "ok"))
+        span.remote = True
+        self.finished += 1
+        for export in self._exports:
+            export(span)
+        return span
+
+    def adopt_children(self, parent: Span, records: Iterable[tuple]) -> None:
+        """Import span-sink records from co-located services, anchored
+        as children of ``parent`` (the GRH request span that dispatched
+        them).  Each record is ``(name, service, status, duration)``."""
+        now = self.clock()
+        for name, service, status, duration in records:
+            span = Span(name, parent.trace_id, self._next_span_id(),
+                        parent.span_id, now - duration,
+                        {"service": service})
+            span.ended_at = now
+            span.status = status
+            span.remote = True
+            self.finished += 1
+            for export in self._exports:
+                export(span)
+
+
+class NoopTracer:
+    """API-compatible tracer that records nothing.
+
+    :class:`~repro.obs.Observability` exposes it when disabled, so user
+    code holding an observability handle can call ``tracer.begin`` /
+    ``tracer.finish`` unconditionally at near-zero cost.
+    """
+
+    def current(self) -> None:
+        return None
+
+    def begin(self, name: str, attributes: dict | None = None,
+              parent=...) -> NoopSpan:
+        return NOOP_SPAN
+
+    def finish(self, span, status: str | None = None) -> None:
+        pass
+
+    def adopt(self, span_dict: dict) -> None:
+        return None
+
+    def adopt_children(self, parent, records) -> None:
+        return None
+
+
+NOOP_TRACER = NoopTracer()
+
+
+# -- exporters -----------------------------------------------------------------
+
+def span_to_dict(span: Span) -> dict:
+    """The span's portable form (JSONL lines, ``log:spans`` markup)."""
+    record = {"trace": span.trace_id, "id": span.span_id,
+              "parent": span.parent_id, "name": span.name,
+              "status": span.status, "duration": span.duration}
+    if span.attributes:
+        record["attributes"] = span.attributes
+    if span.remote:
+        record["remote"] = True
+    return record
+
+
+class RingBufferExporter:
+    """Keeps the last ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        # hot path: a bounded deque append is atomic under the GIL, so
+        # exporting is the bare append, no lock and no Python frame —
+        # readers below still take the lock to snapshot the ring
+        self.export = self._spans.append
+
+    def export(self, span: Span) -> None:  # shadowed in __init__
+        self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every retained span of one trace, oldest-finished first."""
+        with self._lock:
+            return [span for span in self._spans
+                    if span.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids, oldest first."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for span in self._spans:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class JsonlExporter:
+    """Appends one JSON line per finished span to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span_to_dict(span), separators=(",", ":"))
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+# -- trace rendering -----------------------------------------------------------
+
+def render_trace(spans: list[Span]) -> str:
+    """An indented tree of one trace's spans, durations in ms.
+
+    Spans whose parent was not retained (ring-buffer eviction) render as
+    extra roots rather than disappearing.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        key = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(key, []).append(span)
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        flags = " remote" if span.remote else ""
+        status = "" if span.status == "ok" else f" [{span.status}]"
+        attrs = ""
+        if span.attributes:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in
+                                   sorted(span.attributes.items()))
+        lines.append(f"{'  ' * depth}{span.name} "
+                     f"{span.duration * 1e3:.3f}ms{status}{flags}{attrs}")
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# -- server-side span hand-off -------------------------------------------------
+#
+# A traced service returns its span record to the caller one of two
+# ways.  Across a process boundary the record rides the response as a
+# ``log:spans`` annotation (below).  But most deployments co-locate
+# several services with the engine behind an in-process transport that
+# still serializes every envelope for protocol fidelity — there, pushing
+# the annotation through the serializer and parser would dominate the
+# cost of tracing.  So the dispatching GRH opens a *span sink* on its
+# own thread for the duration of the transport call; a service that sees
+# the sink (same process, same thread — in-process transports dispatch
+# synchronously) drops a minimal ``(name, service, status, duration)``
+# tuple straight in and skips parsing, ids and markup entirely — the
+# GRH turns the tuples into child spans of its own request span with
+# :meth:`Tracer.adopt_children`.  A real remote service never sees the
+# caller's sink and annotates as usual.
+
+_SINKS = threading.local()
+
+#: annotation span ids: same seed-plus-counter scheme as the tracer's
+_annotation_seed = int.from_bytes(os.urandom(8), "big")
+_annotation_ids = itertools.count(1)
+
+
+def next_annotation_id() -> str:
+    """A span id for a server-side annotation (no per-span entropy)."""
+    return f"{(_annotation_seed ^ next(_annotation_ids)) & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def push_span_sink() -> list:
+    """Open a collection point for span records from co-located services
+    dispatched synchronously on this thread.  Pairs with
+    :func:`pop_span_sink` (sinks nest: cascaded dispatches each get
+    their own)."""
+    stack = getattr(_SINKS, "stack", None)
+    if stack is None:
+        stack = _SINKS.stack = []
+    sink: list = []
+    stack.append(sink)
+    return sink
+
+
+def pop_span_sink() -> None:
+    _SINKS.stack.pop()
+
+
+def current_span_sink() -> list | None:
+    """The innermost open sink on this thread, or ``None`` (the caller
+    is in another process/thread — annotate the response instead)."""
+    stack = getattr(_SINKS, "stack", None)
+    return stack[-1] if stack else None
+
+
+# -- log:spans markup ----------------------------------------------------------
+
+def spans_to_xml(span_dicts: Iterable[dict]) -> Element:
+    """``log:spans`` — server-side spans annotated onto a response."""
+    wrapper = Element(SPANS_QNAME, nsdecls={"log": LOG_NS})
+    for record in span_dicts:
+        attributes = {QName(None, "trace"): str(record["trace"]),
+                      QName(None, "id"): str(record["id"]),
+                      QName(None, "name"): str(record["name"]),
+                      QName(None, "status"): str(record.get("status", "ok")),
+                      QName(None, "duration"):
+                      repr(float(record.get("duration", 0.0)))}
+        if record.get("parent"):
+            attributes[QName(None, "parent")] = str(record["parent"])
+        if record.get("attributes"):
+            attributes[QName(None, "attrs")] = json.dumps(
+                record["attributes"], separators=(",", ":"))
+        wrapper.append(Element(_SPAN, attributes))
+    return wrapper
+
+
+def xml_to_span_dicts(element: Element) -> list[dict]:
+    """Parse a ``log:spans`` annotation; malformed entries are skipped
+    (observability must never fail the request it is annotating)."""
+    records: list[dict] = []
+    for child in element.findall(_SPAN):
+        trace = child.get("trace")
+        span_id = child.get("id")
+        name = child.get("name")
+        if not trace or not span_id or not name:
+            continue
+        record = {"trace": trace, "id": span_id, "name": name,
+                  "parent": child.get("parent"),
+                  "status": child.get("status", "ok"), "remote": True}
+        try:
+            record["duration"] = float(child.get("duration", "0"))
+        except ValueError:
+            record["duration"] = 0.0
+        attrs = child.get("attrs")
+        if attrs:
+            try:
+                record["attributes"] = json.loads(attrs)
+            except ValueError:
+                pass
+        records.append(record)
+    return records

@@ -10,9 +10,13 @@ the service boundary.
 
 from __future__ import annotations
 
+import time
+
 from ..bindings import Relation, relation_to_answers
-from ..grh.messages import (MessageError, Request, error_message, ok_message,
-                            xml_to_request)
+from ..grh.messages import (MessageError, Request, error_message, is_error,
+                            ok_message, xml_to_request)
+from ..obs.trace import (current_span_sink, next_annotation_id,
+                         parse_traceparent, spans_to_xml)
 from ..xmlmodel import Element
 
 __all__ = ["LanguageService", "ServiceError"]
@@ -58,6 +62,38 @@ class LanguageService:
             request = xml_to_request(message)
         except MessageError as exc:
             return error_message(f"{self.service_name}: {exc}")
+        sink = current_span_sink()
+        if sink is not None:
+            # co-located traced caller (same thread): time the dispatch
+            # and hand a minimal record straight to the dispatching GRH,
+            # which anchors it under its own request span — no envelope
+            # work, no ids, no markup
+            started = time.perf_counter()
+            response = self._dispatch(request)
+            sink.append(("service:" + request.kind, self.service_name,
+                         "error" if is_error(response) else "ok",
+                         time.perf_counter() - started))
+            return response
+        context = parse_traceparent(request.traceparent) \
+            if request.traceparent is not None else None
+        if context is None:
+            return self._dispatch(request)
+        # a remote tracing caller: time the dispatch and annotate the
+        # response with this service's server-side span, parented under
+        # the GRH request span named by the traceparent — the caller's
+        # tracer adopts it, stitching the round-trip into one trace
+        # (PROTOCOL.md §8)
+        started = time.perf_counter()
+        response = self._dispatch(request)
+        response.append(spans_to_xml([{
+            "trace": context[0], "id": next_annotation_id(),
+            "parent": context[1], "name": "service:" + request.kind,
+            "status": "error" if is_error(response) else "ok",
+            "duration": time.perf_counter() - started,
+            "attributes": {"service": self.service_name}}]))
+        return response
+
+    def _dispatch(self, request: Request) -> Element:
         try:
             if request.kind == "register-event":
                 self.register_event(request)

@@ -42,6 +42,12 @@ class TransportError(RuntimeError):
 class InProcessTransport:
     """Directly invokes handlers registered under string addresses."""
 
+    def dispatches_inline(self, address: str) -> bool:
+        """Handlers run synchronously on the caller's thread, so they
+        see the caller's thread-local state (e.g. the GRH's span sink) —
+        trace context need not ride the envelope (PROTOCOL.md §8)."""
+        return True
+
     def __init__(self, serialize_messages: bool = True) -> None:
         self.serialize_messages = serialize_messages
         self._aware: dict[str, AwareHandler] = {}
@@ -76,10 +82,15 @@ class InProcessTransport:
 
 
 class _ServiceHTTPHandler(BaseHTTPRequestHandler):
-    """Serves one service: POST = aware protocol, GET ?query= = opaque."""
+    """Serves one service: POST = aware protocol, GET ?query= = opaque.
+
+    When the server was built with a metrics registry, ``GET /metrics``
+    answers its Prometheus text exposition (scrape endpoint).
+    """
 
     aware_handler: AwareHandler | None = None
     opaque_handler: OpaqueHandler | None = None
+    metrics_registry = None
 
     def log_message(self, format: str, *args) -> None:  # silence stderr
         pass
@@ -103,10 +114,24 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def do_GET(self) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        if parsed.path == "/metrics" and self.metrics_registry is not None:
+            try:
+                payload = self.metrics_registry.render_prometheus() \
+                    .encode("utf-8")
+            except Exception as exc:
+                self.send_error(500, str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
         if self.opaque_handler is None:
             self.send_error(405, "service has no opaque interface")
             return
-        parsed = urllib.parse.urlparse(self.path)
         params = urllib.parse.parse_qs(parsed.query)
         query = params.get("query", [""])[0]
         try:
@@ -125,12 +150,17 @@ class HttpServiceServer:
     """Hosts one service on a localhost HTTP port (own thread)."""
 
     def __init__(self, aware_handler: AwareHandler | None = None,
-                 opaque_handler: OpaqueHandler | None = None) -> None:
+                 opaque_handler: OpaqueHandler | None = None,
+                 metrics=None) -> None:
+        # ``metrics`` is a MetricsRegistry (or anything with a
+        # ``render_prometheus()`` method); when given, the server also
+        # answers ``GET /metrics``
         handler_class = type("BoundHandler", (_ServiceHTTPHandler,),
                              {"aware_handler": staticmethod(aware_handler)
                               if aware_handler else None,
                               "opaque_handler": staticmethod(opaque_handler)
-                              if opaque_handler else None})
+                              if opaque_handler else None,
+                              "metrics_registry": metrics})
         class _QuietServer(ThreadingHTTPServer):
             def handle_error(self, request, client_address):
                 # a client that timed out and hung up mid-response is
@@ -188,6 +218,9 @@ class HybridTransport:
     @staticmethod
     def _is_http(address: str) -> bool:
         return address.startswith("http://") or address.startswith("https://")
+
+    def dispatches_inline(self, address: str) -> bool:
+        return not self._is_http(address)
 
     def bind(self, address: str, handler: AwareHandler) -> str:
         return self.local.bind(address, handler)

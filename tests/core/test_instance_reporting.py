@@ -1,0 +1,94 @@
+"""RuleInstance introspection: trace_table() and to_xml() reports."""
+
+from repro.bindings import Relation
+from repro.core.engine import RuleInstance
+from repro.xmlmodel import LOG_NS, QName, parse, serialize
+
+
+def make_instance():
+    instance = RuleInstance(7, "offers", Relation.unit())
+    instance.record("event", Relation([{"Person": "John Doe",
+                                        "To": "Paris"}]))
+    instance.record("query 1", Relation([
+        {"Person": "John Doe", "To": "Paris", "Class": "B"},
+        {"Person": "John Doe", "To": "Paris", "Class": "C"}]))
+    instance.record("test", Relation([
+        {"Person": "John Doe", "To": "Paris", "Class": "B"}]))
+    instance.record("action", Relation([
+        {"Person": "John Doe", "To": "Paris", "Class": "B"}]))
+    instance.status = "completed"
+    instance.actions_executed = 1
+    return instance
+
+
+class TestTraceTable:
+    def test_stages_render_in_evaluation_order(self):
+        text = make_instance().trace_table()
+        positions = [text.index(f"-- after {stage} --")
+                     for stage in ("event", "query 1", "test", "action")]
+        assert positions == sorted(positions)
+
+    def test_relations_render_as_tables(self):
+        text = make_instance().trace_table()
+        assert "John Doe" in text
+        assert "Person" in text and "Class" in text
+
+    def test_empty_relation_stage_renders(self):
+        # a dead instance's last stage has no tuples; the block must
+        # still appear rather than vanish from the audit trail
+        instance = RuleInstance(1, "r", Relation.unit())
+        instance.record("event", Relation([{"X": 1}]))
+        instance.record("query 1", Relation([]))
+        text = instance.trace_table()
+        assert "-- after query 1 --" in text
+        assert text.index("-- after event --") < \
+            text.index("-- after query 1 --")
+
+    def test_no_stages_no_text(self):
+        assert RuleInstance(1, "r", Relation.unit()).trace_table() == ""
+
+
+class TestToXml:
+    def test_report_attributes(self):
+        report = make_instance().to_xml()
+        assert report.name == QName(LOG_NS, "instance")
+        assert report.get("id") == "7"
+        assert report.get("rule") == "offers"
+        assert report.get("status") == "completed"
+        assert report.get("actions") == "1"
+
+    def test_stage_order_and_names(self):
+        report = make_instance().to_xml()
+        stages = report.findall(QName(LOG_NS, "stage"))
+        assert [stage.get("name") for stage in stages] == \
+            ["event", "query 1", "test", "action"]
+
+    def test_stage_answers_are_sorted_relations(self):
+        report = make_instance().to_xml()
+        stages = report.findall(QName(LOG_NS, "stage"))
+        query_stage = stages[1]
+        (answers,) = query_stage.findall(QName(LOG_NS, "answers"))
+        assert len(answers.findall(QName(LOG_NS, "answer"))) == 2
+
+    def test_empty_relation_stage_has_empty_answers(self):
+        instance = RuleInstance(1, "r", Relation.unit())
+        instance.record("query 1", Relation([]))
+        report = instance.to_xml()
+        (stage,) = report.findall(QName(LOG_NS, "stage"))
+        (answers,) = stage.findall(QName(LOG_NS, "answers"))
+        assert answers.findall(QName(LOG_NS, "answer")) == []
+
+    def test_error_and_events_sections(self):
+        instance = RuleInstance(2, "r", Relation.unit())
+        instance.status = "failed"
+        instance.error = "service on fire"
+        instance.triggering_events = (parse("<booking person='Jane'/>"),)
+        report = instance.to_xml()
+        (error,) = report.findall(QName(LOG_NS, "error"))
+        assert error.text() == "service on fire"
+        (events,) = report.findall(QName(LOG_NS, "events"))
+        assert events.children[0].get("person") == "Jane"
+
+    def test_report_round_trips_through_markup(self):
+        report = make_instance().to_xml()
+        assert parse(serialize(report)) == report

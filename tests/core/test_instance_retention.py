@@ -1,0 +1,136 @@
+"""Per-rule and global instance retention caps, and eviction accounting."""
+
+from repro.core import ECAEngine
+from repro.domain import TRAVEL_NS, booking_event
+from repro.obs import Observability
+from repro.services import standard_deployment
+
+ECA = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
+ACT = 'xmlns:act="http://www.semwebtech.org/languages/2006/actions"'
+
+
+def rule(rule_id: str) -> str:
+    return f"""
+<eca:rule {ECA} id="{rule_id}">
+  <eca:event>
+    <travel:booking xmlns:travel="{TRAVEL_NS}" person="{{Person}}"/>
+  </eca:event>
+  <eca:action>
+    <act:send {ACT} to="sink"><seen p="{{Person}}"/></act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+
+def build(**engine_options):
+    deployment = standard_deployment()
+    engine = ECAEngine(deployment.grh, **engine_options)
+    return engine, deployment.stream
+
+
+class TestPerRuleCap:
+    def test_cap_bounds_instances_of(self):
+        engine, stream = build(max_instances_per_rule=3)
+        engine.register_rule(rule("a"))
+        for _ in range(10):
+            stream.emit(booking_event())
+        kept = engine.instances_of("a")
+        assert len(kept) == 3
+        # newest survive, oldest are dropped first
+        assert [instance.instance_id for instance in kept] == [8, 9, 10]
+        assert len(engine.instances) == 3
+
+    def test_caps_are_per_rule_not_global(self):
+        engine, stream = build(max_instances_per_rule=2)
+        engine.register_rule(rule("a"))
+        engine.register_rule(rule("b"))
+        for _ in range(5):
+            stream.emit(booking_event())   # each booking triggers both
+        assert len(engine.instances_of("a")) == 2
+        assert len(engine.instances_of("b")) == 2
+        assert len(engine.instances) == 4
+
+    def test_evicted_instances_still_count_in_stats(self):
+        engine, stream = build(max_instances_per_rule=2)
+        engine.register_rule(rule("a"))
+        for _ in range(7):
+            stream.emit(booking_event())
+        assert engine.stats["instances"] == 7
+        assert engine.stats["completed"] == 7
+        assert engine.stats["evicted"] == 5
+
+    def test_evictions_surface_in_metrics(self):
+        obs = Observability()
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh, max_instances_per_rule=1,
+                           observability=obs)
+        engine.register_rule(rule("a"))
+        for _ in range(4):
+            deployment.stream.emit(booking_event())
+        text = obs.render_prometheus()
+        assert "eca_instances_evicted_total 3" in text
+        assert "eca_rule_instances_total 4" in text
+        assert "eca_kept_instances 1" in text
+
+
+class TestGlobalCap:
+    def test_global_cap_still_enforced(self):
+        engine, stream = build(max_kept_instances=4)
+        engine.register_rule(rule("a"))
+        for _ in range(9):
+            stream.emit(booking_event())
+        assert len(engine.instances) == 4
+        assert engine.stats["evicted"] == 5
+
+    def test_global_eviction_keeps_per_rule_index_consistent(self):
+        engine, stream = build(max_kept_instances=3)
+        engine.register_rule(rule("a"))
+        engine.register_rule(rule("b"))
+        for _ in range(4):
+            stream.emit(booking_event())
+        # 8 instances created, 3 retained; the per-rule views must
+        # agree exactly with the global list
+        assert len(engine.instances) == 3
+        per_rule = engine.instances_of("a") + engine.instances_of("b")
+        assert sorted(instance.instance_id for instance in per_rule) == \
+            sorted(instance.instance_id for instance in engine.instances)
+
+    def test_both_caps_together(self):
+        engine, stream = build(max_kept_instances=5,
+                               max_instances_per_rule=2)
+        engine.register_rule(rule("a"))
+        engine.register_rule(rule("b"))
+        for _ in range(6):
+            stream.emit(booking_event())
+        assert len(engine.instances_of("a")) <= 2
+        assert len(engine.instances_of("b")) <= 2
+        assert len(engine.instances) <= 5
+        assert engine.stats["instances"] == 12
+
+
+class TestUnbounded:
+    def test_default_keeps_everything(self):
+        engine, stream = build()
+        engine.register_rule(rule("a"))
+        for _ in range(5):
+            stream.emit(booking_event())
+        assert len(engine.instances) == 5
+        assert engine.stats["evicted"] == 0
+
+    def test_keep_instances_false_keeps_nothing(self):
+        engine, stream = build(keep_instances=False)
+        engine.register_rule(rule("a"))
+        stream.emit(booking_event())
+        assert engine.instances == []
+        assert engine.instances_of("a") == []
+        assert engine.stats["instances"] == 1
+
+    def test_instances_of_falls_back_without_index(self):
+        # code that appends to engine.instances directly (monitoring
+        # shims, old tests) still gets answers from the slow path
+        from repro.bindings import Relation
+        from repro.core.engine import RuleInstance
+        engine, _ = build()
+        engine.instances.append(RuleInstance(99, "ghost", Relation.unit()))
+        (found,) = engine.instances_of("ghost")
+        assert found.instance_id == 99

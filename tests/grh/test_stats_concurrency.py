@@ -1,0 +1,120 @@
+"""GRH stats under concurrent dispatch: no lost counter increments.
+
+The GRH's mediation counters were plain ``int += 1`` — safe under the
+engine's single-threaded drain, but the GRH is also dispatched directly
+(monitoring shims, multi-threaded deployments), where unlocked
+increments silently lose counts.  They are now lock-protected
+:class:`repro.obs.Counter` instances, shared with the metrics registry.
+"""
+
+import threading
+
+from repro.bindings import Relation, relation_to_answers
+from repro.grh import (ComponentSpec, GenericRequestHandler,
+                       LanguageDescriptor, LanguageRegistry, RetryPolicy,
+                       xml_to_request)
+from repro.grh.resilience import TransientServiceFailure
+from repro.services import InProcessTransport
+
+
+def run_threads(worker, count=8):
+    threads = [threading.Thread(target=worker) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class _EchoService:
+    def handle(self, message):
+        xml_to_request(message)
+        return relation_to_answers(Relation([{"X": 1}]))
+
+
+class TestConcurrentDispatch:
+    def test_request_count_is_exact(self):
+        grh = GenericRequestHandler(LanguageRegistry(), InProcessTransport())
+        grh.add_service(LanguageDescriptor("urn:ql", "query", "ql"),
+                        _EchoService())
+        spec = ComponentSpec("query", "urn:ql", opaque="q")
+        per_thread, threads = 200, 8
+
+        def worker():
+            for _ in range(per_thread):
+                grh.evaluate_query("r::q0", spec, Relation.unit())
+
+        run_threads(worker, threads)
+        assert grh.request_count == per_thread * threads
+        assert grh.stats["requests"] == per_thread * threads
+        assert grh.stats["attempts"] == per_thread * threads
+
+    def test_opaque_cache_hits_are_exact(self):
+        grh = GenericRequestHandler(LanguageRegistry(), InProcessTransport(),
+                                    cache_opaque_requests=True)
+        transport_calls = []
+        grh.transport.bind_opaque("svc:exist",
+                                  lambda q: (transport_calls.append(q),
+                                             "<r/>")[1])
+        grh.add_remote_language(
+            LanguageDescriptor("urn:exist", "query", "exist-like",
+                               framework_aware=False), "svc:exist")
+        spec = ComponentSpec("query", "exist-like", opaque="static query",
+                             bind_to="V")
+        per_thread, threads = 100, 8
+
+        def worker():
+            for _ in range(per_thread):
+                grh.evaluate_query("r::q0", spec, Relation.unit())
+
+        # prime the cache so every threaded evaluation is a hit
+        grh.evaluate_query("r::q0", spec, Relation.unit())
+        run_threads(worker, threads)
+        assert grh.cache_hits == per_thread * threads
+        # a cache hit is not a mediated request: only the priming miss
+        # reached the service
+        assert grh.request_count == 1
+        assert len(transport_calls) == 1
+
+    def test_resilience_counters_under_concurrent_retries(self):
+        flaky_state = threading.local()
+
+        class _Flaky:
+            def handle(self, message):
+                # first attempt per request fails, the retry succeeds
+                if not getattr(flaky_state, "failed", False):
+                    flaky_state.failed = True
+                    raise TransientServiceFailure("flap")
+                flaky_state.failed = False
+                return relation_to_answers(Relation([{"X": 1}]))
+
+        grh = GenericRequestHandler(
+            LanguageRegistry(),
+            InProcessTransport(serialize_messages=False))
+        grh.resilience.sleep = lambda seconds: None
+        grh.add_service(
+            LanguageDescriptor("urn:flaky", "query", "flaky",
+                               retry=RetryPolicy(max_attempts=2,
+                                                 base_delay=0.0)),
+            _Flaky())
+        spec = ComponentSpec("query", "urn:flaky", opaque="q")
+        per_thread, threads = 50, 8
+
+        def worker():
+            for _ in range(per_thread):
+                grh.evaluate_query("r::q0", spec, Relation.unit())
+
+        run_threads(worker, threads)
+        total = per_thread * threads
+        stats = grh.stats
+        assert stats["retries"] == total
+        assert stats["attempts"] == 2 * total
+        assert stats["services"]["svc:flaky"]["failures"] == total
+        assert stats["services"]["svc:flaky"]["successes"] == total
+
+    def test_counters_are_read_only_properties(self):
+        import pytest
+        grh = GenericRequestHandler(LanguageRegistry(), InProcessTransport())
+        with pytest.raises(AttributeError):
+            grh.request_count = 5
+        with pytest.raises(AttributeError):
+            grh.cache_hits = 5

@@ -1,0 +1,182 @@
+"""The metrics registry: instruments, labels, callbacks, exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                       MetricsRegistry)
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        cumulative, total_sum, count = histogram.snapshot()
+        assert cumulative == [1, 3, 4]      # le=0.1, le=1.0, +Inf
+        assert count == 4
+        assert total_sum == pytest.approx(6.05)
+
+    def test_histogram_boundary_lands_in_its_bucket(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.1)              # le means <=
+        cumulative, _, _ = histogram.snapshot()
+        assert cumulative[0] == 1
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_counter_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestRegistry:
+    def test_labelled_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", labels=("kind",))
+        family.labels("query").inc()
+        family.labels("query").inc()
+        family.labels("action").inc()
+        assert family.labels("query").value == 2
+        assert family.labels("action").value == 1
+
+    def test_label_arity_is_checked(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", labels=("kind",))
+        with pytest.raises(ValueError, match="label value"):
+            family.labels("a", "b")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "has space", "1starts_with_digit", "dash-ed"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total")
+        assert registry.counter("c_total") is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("c_total")
+
+    def test_reregistration_rebinds_callback(self):
+        # a recovered engine re-installs over the same registry: the
+        # scrape must read the *new* engine's state
+        registry = MetricsRegistry()
+        registry.counter("c_total", callback=lambda: 1)
+        registry.counter("c_total", callback=lambda: 2)
+        assert "c_total 2" in registry.render_prometheus()
+
+
+class TestExposition:
+    def test_plain_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs processed").inc(3)
+        registry.gauge("queue_depth").set(7)
+        text = registry.render_prometheus()
+        assert "# HELP jobs_total Jobs processed" in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_labelled_samples(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", labels=("kind",))
+        family.labels("query").inc(2)
+        text = registry.render_prometheus()
+        assert 'req_total{kind="query"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g", labels=("path",))
+        family.labels('a"b\\c\nd').set(1)
+        assert 'g{path="a\\"b\\\\c\\nd"} 1' in registry.render_prometheus()
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render_prometheus()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_count 2" in text
+        assert "latency_seconds_sum 0.55" in text
+
+    def test_labelled_histogram_family(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", labels=("phase",),
+                                    buckets=(1.0,))
+        family.labels("query").observe(0.5)
+        text = registry.render_prometheus()
+        assert 'lat_seconds_bucket{phase="query",le="1.0"} 1' in text
+        assert 'lat_seconds_count{phase="query"} 1' in text
+
+    def test_scalar_callback(self):
+        registry = MetricsRegistry()
+        registry.counter("detections_total", callback=lambda: 42)
+        assert "detections_total 42" in registry.render_prometheus()
+
+    def test_dict_callback_with_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("outcomes_total", labels=("endpoint", "outcome"),
+                         callback=lambda: {("svc:a", "ok"): 3,
+                                           ("svc:b", "fail"): 1})
+        text = registry.render_prometheus()
+        assert 'outcomes_total{endpoint="svc:a",outcome="ok"} 3' in text
+        assert 'outcomes_total{endpoint="svc:b",outcome="fail"} 1' in text
+
+    def test_scalar_key_dict_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("state", labels=("endpoint",),
+                       callback=lambda: {"svc:a": 0.5})
+        assert 'state{endpoint="svc:a"} 0.5' in registry.render_prometheus()
+
+    def test_failing_callback_never_fails_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("bad_total", callback=lambda: 1 / 0)
+        registry.counter("good_total", callback=lambda: 1)
+        text = registry.render_prometheus()
+        assert "good_total 1" in text
+        samples = [line for line in text.splitlines()
+                   if not line.startswith("#")]
+        assert not any(line.startswith("bad_total") for line in samples)
+
+    def test_default_buckets_cover_micro_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(0.0001)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(10.0)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
