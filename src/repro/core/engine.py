@@ -200,6 +200,13 @@ class ECAEngine:
         self._instance_observers: list[Callable[[RuleInstance], None]] = []
         self.stats = {"detections": 0, "instances": 0, "completed": 0,
                       "dead": 0, "failed": 0, "actions": 0, "evicted": 0}
+        #: readiness for ``GET /readyz`` (repro.obs.ops.admin): a fresh
+        #: engine — or one resuming a directory with nothing in flight —
+        #: is ready immediately; an engine built over journaled
+        #: unfinished work is NOT ready until :meth:`recover` has
+        #: replayed it, so load balancers hold traffic while
+        #: exactly-once replay is still pending
+        self.ready = durability is None or not durability.in_flight
         if durability is not None:
             # continue counters and stats where the journal left off
             self._instance_counter = itertools.count(
@@ -248,6 +255,12 @@ class ECAEngine:
                 directory, sync=sync,
                 checkpoint_interval=checkpoint_interval)
         engine = cls(grh, durability=manager, **engine_options)
+        log = engine._obs.log if engine._obs is not None else None
+        if log is not None:
+            log.info("engine.recovery.started", directory=directory,
+                     rules=len(manager.rule_sources),
+                     in_flight=len(manager.in_flight),
+                     dead_letters=len(manager.restored_letters))
         for rule_id, source in manager.rule_sources.items():
             rule = None
             if repository is not None:
@@ -262,6 +275,14 @@ class ECAEngine:
         if replay:
             engine._replay_in_flight()
             manager.checkpoint()
+            # replay re-drove (or closed) everything journaled: the
+            # engine can now take live traffic without risking double
+            # effects — /readyz flips 503 → 200 here
+            engine.ready = True
+            if log is not None:
+                log.info("engine.recovery.completed",
+                         rules=len(engine.rules),
+                         instances=engine.stats["instances"])
         return engine
 
     def _replay_in_flight(self) -> None:
@@ -490,6 +511,17 @@ class ECAEngine:
         finally:
             if root_span is not None:
                 root_span.set_attribute("status", instance.status)
+                log = obs.log
+                if log is not None:
+                    # emitted before the root finishes so the record
+                    # carries the instance's trace/span/rule context
+                    emit = log.warning if instance.status == "failed" \
+                        else log.info
+                    emit("engine.instance.finished",
+                         status=instance.status,
+                         actions=instance.actions_executed,
+                         **({"error": instance.error}
+                            if instance.error else {}))
                 obs.tracer.finish(
                     root_span,
                     status="error" if instance.status == "failed" else "ok")

@@ -322,5 +322,24 @@ class DurabilityManager:
             "stats": stats,
         }
 
+    # -- introspection -------------------------------------------------------
+
+    def journal_status(self) -> dict:
+        """Operational snapshot of the journal, for ``/introspect/journal``
+        and the ``/readyz`` writability check."""
+        journal = self.journal
+        return {
+            "directory": self.directory,
+            "sync": journal.sync,
+            "epoch": self.epoch,
+            "appended": journal.appended,
+            "records_since_checkpoint": self.records_since_checkpoint,
+            "checkpoint_interval": self.checkpoint_interval,
+            "in_flight": len(self.in_flight),
+            "completed": len(self.done),
+            "writable": journal._file is not None
+            and not journal._file.closed,
+        }
+
     def close(self) -> None:
         self.journal.close()

@@ -182,8 +182,12 @@ class GenericRequestHandler:
             # a sink catches server-side span records from co-located
             # services without them riding the serialized response; a
             # real remote service annotates the response instead and is
-            # handled by _strip_spans below
-            sink = push_span_sink() if obs is not None else None
+            # handled by _strip_spans below.  an unsampled request span
+            # pushes no sink at all: the service sees no tracing caller
+            # and skips capture, mirroring how remote services skip it
+            # on the traceparent ``-00`` flags (PROTOCOL.md §9)
+            sink = push_span_sink() if obs is not None and span.sampled \
+                else None
             try:
                 if timeout is not None:
                     response = self.transport.send(address, payload,
@@ -212,18 +216,24 @@ class GenericRequestHandler:
             result = self.resilience.call(address, descriptor, attempt_once)
         except TransientServiceFailure as exc:
             if span is not None:
+                _log_dispatch_failure(obs, request.kind, descriptor.name,
+                                      exc)
                 obs.tracer.finish(span, status="error")
                 obs.observe_request(request.kind, span)
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
         except ServiceReportedError as exc:
             if span is not None:
+                _log_dispatch_failure(obs, request.kind, descriptor.name,
+                                      exc)
                 obs.tracer.finish(span, status="error")
                 obs.observe_request(request.kind, span)
             raise GRHError(f"service {descriptor.name!r} reported: "
                            f"{exc}") from exc
-        except GRHError:
+        except GRHError as exc:
             if span is not None:
+                _log_dispatch_failure(obs, request.kind, descriptor.name,
+                                      exc)
                 obs.tracer.finish(span, status="error")
                 obs.observe_request(request.kind, span)
             raise
@@ -389,12 +399,14 @@ class GenericRequestHandler:
             result = self.resilience.call(address, descriptor, attempt_once)
         except TransientServiceFailure as exc:
             if span is not None:
+                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
                 obs.tracer.finish(span, status="error")
                 obs.observe_request("fetch", span)
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
-        except GRHError:
+        except GRHError as exc:
             if span is not None:
+                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
                 obs.tracer.finish(span, status="error")
                 obs.observe_request("fetch", span)
             raise
@@ -498,6 +510,9 @@ class GenericRequestHandler:
                     enqueued_at=self.resilience.clock(),
                     component_id=component_id, spec=spec, content=content,
                     bindings=remaining))
+                observer = self.resilience.observer
+                if observer is not None:
+                    observer("dead_letter", component_id)
                 raise ActionExecutionError(str(exc), executed=count,
                                            remaining=remaining) from exc
             count += 1
@@ -513,6 +528,9 @@ class GenericRequestHandler:
             kind="detection", error=str(error),
             enqueued_at=self.resilience.clock(), attempts=attempts,
             detection=detection))
+        observer = self.resilience.observer
+        if observer is not None:
+            observer("dead_letter", detection.component_id)
 
     @property
     def stats(self) -> dict:
@@ -521,6 +539,15 @@ class GenericRequestHandler:
         return {"requests": self.request_count,
                 "cache_hits": self.cache_hits,
                 **self.resilience.snapshot()}
+
+
+def _log_dispatch_failure(obs, kind: str, language: str, exc) -> None:
+    """One structured record per failed GRH dispatch — emitted while the
+    request span is still open, so the record carries its trace ids."""
+    log = obs.log
+    if log is not None:
+        log.warning("grh.request.failed", kind=kind, language=language,
+                    error=str(exc))
 
 
 def _opaque_element(spec: ComponentSpec) -> Element:

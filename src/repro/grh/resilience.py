@@ -340,6 +340,12 @@ class ResilienceManager:
         #: the GRH may be dispatched from several threads at once, and
         #: plain ``int += 1`` loses increments under contention
         self._lock = threading.Lock()
+        #: observability hook: called as ``observer(event, address)`` for
+        #: ``"retry"``, ``"breaker_open"``, ``"breaker_close"`` and
+        #: ``"breaker_reject"`` — always *outside* ``_lock``, so the
+        #: observer may take its own locks (tracer, log sink) without
+        #: risking lock-order deadlocks.  ``None`` (default) is free.
+        self.observer: Callable[[str, str], None] | None = None
 
     # -- policy resolution ---------------------------------------------------
 
@@ -382,12 +388,15 @@ class ResilienceManager:
         breaker = self.breaker_for(address, descriptor)
         # happy path: a closed breaker admits everything — skip the
         # clock read (allow() only needs the time to leave "open")
+        observer = self.observer
         if breaker is not None and breaker.state != "closed":
             with self._lock:
                 admitted = breaker.allow(self.clock())
                 if not admitted:
                     self.breaker_rejections += 1
             if not admitted:
+                if observer is not None:
+                    observer("breaker_reject", address)
                 raise CircuitOpenError(
                     f"circuit open for service {descriptor.name!r} at "
                     f"{address!r}; retry after "
@@ -400,10 +409,13 @@ class ResilienceManager:
                 result = attempt_once()
             except TransientServiceFailure:
                 with self._lock:
-                    if breaker is not None and \
-                            breaker.record_failure(self.clock()):
+                    opened = breaker is not None and \
+                        breaker.record_failure(self.clock())
+                    if opened:
                         self.breaker_opens += 1
                     self._record(address, ok=False)
+                if opened and observer is not None:
+                    observer("breaker_open", address)
                 shed = breaker is not None and breaker.state == "open"
                 if attempt >= policy.max_attempts or shed:
                     raise
@@ -414,14 +426,20 @@ class ResilienceManager:
                         not policy.retry_on_service_errors:
                     raise
             else:
+                recovered = False
                 with self._lock:
                     if breaker is not None and (breaker.failures
                                                 or breaker.state != "closed"):
+                        recovered = breaker.state != "closed"
                         breaker.record_success()
                     self._record(address, ok=True)
+                if recovered and observer is not None:
+                    observer("breaker_close", address)
                 return result
             with self._lock:
                 self.retries += 1
+            if observer is not None:
+                observer("retry", address)
             self.sleep(policy.delay_for(attempt, address))
             attempt += 1
 

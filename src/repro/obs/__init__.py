@@ -12,7 +12,11 @@ this package makes that pipeline visible:
   histograms with Prometheus text exposition;
 * :mod:`repro.obs.config` — the :class:`Observability` object that owns
   both and wires them into an engine
-  (``ECAEngine(..., observability=Observability())``).
+  (``ECAEngine(..., observability=Observability())``);
+* :mod:`repro.obs.ops` — production operations on top: head/tail trace
+  sampling, structured JSON-lines logging, and the live
+  introspection/health surface (``/healthz``, ``/readyz``,
+  ``/introspect/*``).
 
 Everything is off by default and costs nothing when off.
 """
@@ -20,14 +24,15 @@ Everything is off by default and costs nothing when off.
 from .config import Observability
 from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
                       MetricsRegistry)
+from .sink import RotatingSink
 from .trace import (JsonlExporter, NOOP_TRACER, NoopSpan, NoopTracer,
                     RingBufferExporter, Span, Tracer, format_traceparent,
                     parse_traceparent, render_trace, span_to_dict,
-                    spans_to_xml, xml_to_span_dicts)
+                    spans_to_xml, traceparent_sampled, xml_to_span_dicts)
 
 __all__ = ["Observability", "Counter", "Gauge", "Histogram",
-           "MetricsRegistry", "DEFAULT_BUCKETS", "Span", "Tracer",
-           "NoopSpan", "NoopTracer", "NOOP_TRACER", "RingBufferExporter",
-           "JsonlExporter", "format_traceparent", "parse_traceparent",
-           "render_trace", "span_to_dict", "spans_to_xml",
-           "xml_to_span_dicts"]
+           "MetricsRegistry", "DEFAULT_BUCKETS", "RotatingSink", "Span",
+           "Tracer", "NoopSpan", "NoopTracer", "NOOP_TRACER",
+           "RingBufferExporter", "JsonlExporter", "format_traceparent",
+           "parse_traceparent", "render_trace", "span_to_dict",
+           "spans_to_xml", "traceparent_sampled", "xml_to_span_dicts"]

@@ -45,6 +45,7 @@ name                                      kind       source
 from __future__ import annotations
 
 from .metrics import MetricsRegistry
+from .ops.logs import StructuredLogger
 from .trace import (JsonlExporter, NOOP_TRACER, RingBufferExporter, Span,
                     Tracer, render_trace)
 
@@ -66,19 +67,43 @@ class Observability:
     """Configuration and wiring for tracing + metrics of one engine.
 
     ``trace_buffer`` bounds the in-memory span ring; ``trace_jsonl``
-    additionally streams every finished span to a JSONL file.  Pass
-    ``metrics=`` to share one registry between several engines (their
-    counters then aggregate into one exposition).
+    additionally streams every finished span to a JSONL file
+    (size-capped and rotated when ``trace_jsonl_max_bytes`` is set).
+    Pass ``metrics=`` to share one registry between several engines
+    (their counters then aggregate into one exposition).
+
+    Production operations (``repro.obs.ops``) hang off the same switch:
+
+    * ``sampler=`` — a head sampler (``ProbabilisticSampler``,
+      ``RateLimitedSampler``): unsampled traces are timed but never
+      exported, and the verdict rides the ``traceparent`` flags byte so
+      services skip capture too;
+    * ``tail=`` — a ``TailSampler`` spliced between the tracer and the
+      ring/JSONL exporters: complete traces are kept when they erred,
+      hit a resilience event, or ran long — plus a probability of the
+      healthy rest;
+    * ``log_path=``/``log_stream=`` — a :class:`StructuredLogger`
+      (exposed as ``self.log``) that the engine, GRH and resilience
+      layer emit trace-correlated JSON records through.
     """
 
     def __init__(self, enabled: bool = True, trace_buffer: int = 4096,
                  trace_jsonl: str | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 sampler=None, tail=None,
+                 trace_jsonl_max_bytes: int | None = None,
+                 trace_jsonl_backups: int = 3,
+                 log_path: str | None = None, log_stream=None,
+                 log_level="INFO", log_max_bytes: int | None = None,
+                 log_backups: int = 3) -> None:
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ring: RingBufferExporter | None = None
         self.jsonl: JsonlExporter | None = None
+        self.sampler = None
+        self.tail = None
+        self.log: StructuredLogger | None = None
         if not enabled:
             self.tracer = NOOP_TRACER
             self._phase_hist = {}
@@ -88,10 +113,27 @@ class Observability:
             self.ring = RingBufferExporter(trace_buffer)
             exporters = [self.ring]
             if trace_jsonl is not None:
-                self.jsonl = JsonlExporter(trace_jsonl)
+                self.jsonl = JsonlExporter(
+                    trace_jsonl, max_bytes=trace_jsonl_max_bytes,
+                    backups=trace_jsonl_backups)
                 exporters.append(self.jsonl)
-            tracer = Tracer(exporters)
+            if tail is not None:
+                # the tail sampler fronts the chain: it buffers whole
+                # traces and flushes the keepers to the real exporters
+                if not tail.downstream:
+                    tail.downstream.extend(exporters)
+                exporters = [tail]
+                self.tail = tail
+            tracer = Tracer(exporters, sampler=sampler)
+        elif sampler is not None and tracer.sampler is None:
+            tracer.sampler = sampler
+        self.sampler = tracer.sampler
         self.tracer = tracer
+        if log_path is not None or log_stream is not None:
+            self.log = StructuredLogger(
+                path=log_path, stream=log_stream, level=log_level,
+                max_bytes=log_max_bytes, backups=log_backups,
+                tracer=self.tracer)
         phase_family = self.metrics.histogram(
             "eca_phase_latency_seconds",
             "Rule-instance component phase latency", labels=("phase",))
@@ -117,6 +159,13 @@ class Observability:
         histogram = self._phase_hist.get(phase)
         if histogram is not None:
             histogram.observe(span.ended_at - span.started_at)
+        log = self.log
+        if log is not None:
+            # per-phase records are debug-level: one isEnabledFor check
+            # on the hot path unless an operator turns them on
+            log.debug("engine.phase", phase=phase,
+                      component=span.attributes.get("component"),
+                      duration=span.ended_at - span.started_at)
 
     def observe_request(self, kind: str, span: Span) -> None:
         """Feed one finished GRH request span into the latency family."""
@@ -174,6 +223,7 @@ class Observability:
                         callback=lambda: grh.cache_hits)
 
         resilience = grh.resilience
+        resilience.observer = self._on_resilience_event
         metrics.counter("eca_retries_total", "Service request retries",
                         callback=lambda: resilience.retries)
         metrics.counter("eca_attempts_total", "Service request attempts",
@@ -220,6 +270,29 @@ class Observability:
                 "eca_checkpoint_seconds",
                 "Checkpoint write duration").observe
 
+    def _on_resilience_event(self, event: str, address: str) -> None:
+        """ResilienceManager observer: mark the active span and log.
+
+        The marker attributes (``retries``, ``breaker_open``,
+        ``breaker_reject``, ``dead_letter``) are what the tail sampler's
+        default marker set looks for — a retried or shed request makes
+        its whole trace worth keeping even when every span ends "ok".
+        Called outside the resilience lock (see ResilienceManager), so
+        taking the tracer's and sink's locks here is safe.
+        """
+        span = self.tracer.current()
+        if span is not None and span.trace_id:
+            if event == "retry":
+                span.set_attribute(
+                    "retries", span.attributes.get("retries", 0) + 1)
+            elif event != "breaker_close":
+                span.set_attribute(event, True)
+        log = self.log
+        if log is not None:
+            emit = log.warning if event in ("breaker_open", "dead_letter") \
+                else log.info
+            emit("resilience." + event, endpoint=address)
+
     # -- trace lookup ------------------------------------------------------
 
     def trace_ids(self) -> list[str]:
@@ -256,3 +329,5 @@ class Observability:
     def close(self) -> None:
         if self.jsonl is not None:
             self.jsonl.close()
+        if self.log is not None:
+            self.log.close()

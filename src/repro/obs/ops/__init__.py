@@ -1,0 +1,34 @@
+"""Production operations for the observability core: ``repro.obs.ops``.
+
+The PR-3 core (:mod:`repro.obs`) traces every rule instance in full and
+exposes metrics; this package makes that affordable and operable at
+production traffic:
+
+* :mod:`~repro.obs.ops.sampling` — head-based (probabilistic,
+  rate-limited) and tail-based trace samplers, wired through
+  ``Tracer(sampler=…)`` / the exporter chain and propagated to remote
+  services via the ``traceparent`` flags byte;
+* :mod:`~repro.obs.ops.logs` — :class:`StructuredLogger`: JSON-lines
+  structured logging (stdlib ``logging``-backed, size-capped rotating
+  sink) where every record carries the active trace/span/rule/instance
+  context;
+* :mod:`~repro.obs.ops.admin` — the live introspection/health surface:
+  ``GET /healthz``, ``/readyz`` and ``/introspect/*`` routes served by
+  :class:`~repro.services.HttpServiceServer` or the standalone
+  :class:`ObsAdminServer`.
+
+Everything composes through the one :class:`repro.obs.Observability`
+switch: ``Observability(sampler=…, tail=…, log_path=…)``.
+"""
+
+from .sampling import (AlwaysSampler, DEFAULT_TAIL_MARKERS,
+                       ProbabilisticSampler, RateLimitedSampler, Sampler,
+                       TailSampler)
+from .logs import StructuredLogger
+from .admin import (INTROSPECTION_ROUTES, IntrospectionSurface,
+                    ObsAdminServer)
+
+__all__ = ["Sampler", "AlwaysSampler", "ProbabilisticSampler",
+           "RateLimitedSampler", "TailSampler", "DEFAULT_TAIL_MARKERS",
+           "StructuredLogger", "IntrospectionSurface", "ObsAdminServer",
+           "INTROSPECTION_ROUTES"]

@@ -1,0 +1,231 @@
+"""The live introspection and health surface of a running engine.
+
+Kubernetes-style probes plus read-only JSON views over engine state,
+served by any :class:`repro.services.HttpServiceServer` built with
+``introspection=`` (co-hosted with a service and ``/metrics``) or by the
+standalone :class:`ObsAdminServer`:
+
+* ``GET /healthz`` — liveness: the process answers, nothing more;
+* ``GET /readyz`` — readiness: 200 once crash recovery has completed
+  and the journal is writable, 503 before (load balancers hold traffic
+  until the engine can honour exactly-once replay); the payload also
+  carries a breaker summary so an operator sees *why* a ready engine is
+  degraded;
+* ``GET /introspect/rules | /instances | /breakers | /dead-letters |
+  /journal`` — JSON snapshots of the rule table, retained rule
+  instances (``?rule=…&limit=…``), per-endpoint breaker/retry state,
+  parked dead letters and the durability journal.
+
+Snapshot discipline: every view first *copies* the shared state it
+reads (under the owning component's lock where one exists, e.g.
+``ResilienceManager.snapshot``), then builds plain dicts; JSON
+serialization happens in the HTTP layer with no engine lock held.  The
+engine side mutates its collections without locks (single evaluation
+thread), so copies retry the handful of times a scrape can race a
+mutation (``RuntimeError: … changed size during iteration``) instead of
+locking the hot path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IntrospectionSurface", "ObsAdminServer", "INTROSPECTION_ROUTES"]
+
+#: every route the surface answers; HttpServiceServer dispatches on these
+INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
+                        "/introspect/instances", "/introspect/breakers",
+                        "/introspect/dead-letters", "/introspect/journal")
+
+#: how many times a copy retries when a scrape races an engine mutation
+_SNAPSHOT_RETRIES = 5
+
+#: default and hard cap for the instances view
+_DEFAULT_INSTANCE_LIMIT = 100
+_MAX_INSTANCE_LIMIT = 1000
+
+
+def _copy(make):
+    """Run a copying callable, retrying the benign iteration races."""
+    for _ in range(_SNAPSHOT_RETRIES):
+        try:
+            return make()
+        except RuntimeError:
+            continue
+    return make()
+
+
+class IntrospectionSurface:
+    """Read-only JSON views over one engine, for the admin routes.
+
+    ``handle(path, params)`` returns ``(http_status, payload_dict)``;
+    the HTTP layer owns serialization and transport concerns.
+    """
+
+    def __init__(self, engine, observability=None) -> None:
+        self.engine = engine
+        self.observability = observability if observability is not None \
+            else engine.observability
+
+    def handles(self, path: str) -> bool:
+        # the surface owns the whole /introspect/ namespace: an unknown
+        # sub-route answers its JSON 404 rather than falling through to
+        # whatever service shares the port
+        return path in INTROSPECTION_ROUTES or \
+            path.startswith("/introspect/")
+
+    def handle(self, path: str, params: dict | None = None):
+        params = params or {}
+        if path == "/healthz":
+            return self.healthz()
+        if path == "/readyz":
+            return self.readyz()
+        if path == "/introspect/rules":
+            return 200, self.rules()
+        if path == "/introspect/instances":
+            limit = params.get("limit")
+            return 200, self.instances(
+                rule=params.get("rule"),
+                limit=int(limit) if limit is not None else None)
+        if path == "/introspect/breakers":
+            return 200, self.breakers()
+        if path == "/introspect/dead-letters":
+            return 200, self.dead_letters()
+        if path == "/introspect/journal":
+            return 200, self.journal()
+        return 404, {"error": f"unknown introspection route {path!r}"}
+
+    # -- probes --------------------------------------------------------------
+
+    def healthz(self):
+        """Liveness: answering at all is the signal — keep it that cheap."""
+        return 200, {"status": "ok"}
+
+    def readyz(self):
+        """Readiness: recovery complete and the journal accepts writes."""
+        engine = self.engine
+        checks = {"recovery_complete": bool(getattr(engine, "ready", True))}
+        durability = engine.durability
+        if durability is not None:
+            checks["journal_writable"] = bool(
+                durability.journal_status().get("writable"))
+        breakers = _copy(lambda: {
+            address: breaker.state for address, breaker
+            in engine.grh.resilience._breakers.items()})
+        ready = all(checks.values())
+        return (200 if ready else 503), {
+            "status": "ready" if ready else "unready",
+            "checks": checks,
+            "breakers": {
+                "open": sum(1 for state in breakers.values()
+                            if state != "closed"),
+                "states": breakers,
+            },
+        }
+
+    # -- views ---------------------------------------------------------------
+
+    def rules(self):
+        engine = self.engine
+        registered = _copy(lambda: list(engine.rules.items()))
+        rules = []
+        for rule_id, entry in registered:
+            rule = entry.rule
+            bucket = engine._instances_by_rule.get(rule_id)
+            rules.append({
+                "rule": rule_id,
+                "priority": rule.priority,
+                "queries": len(rule.queries),
+                "has_test": rule.test is not None,
+                "actions": len(rule.actions),
+                "event_component": entry.event_component_id,
+                "retained_instances": len(bucket) if bucket is not None
+                else 0,
+            })
+        return {"rules": rules, "stats": dict(engine.stats)}
+
+    def instances(self, rule: str | None = None, limit: int | None = None):
+        engine = self.engine
+        if limit is None:
+            limit = _DEFAULT_INSTANCE_LIMIT
+        limit = max(0, min(limit, _MAX_INSTANCE_LIMIT))
+        if rule is not None:
+            retained = _copy(lambda: list(engine.instances_of(rule)))
+        else:
+            retained = _copy(lambda: list(engine.instances))
+        recent = retained[-limit:] if limit else []
+        entries = []
+        for instance in recent:
+            entry = {
+                "id": instance.instance_id,
+                "rule": instance.rule_id,
+                "status": instance.status,
+                "actions": instance.actions_executed,
+                "tuples": len(instance.relation),
+                "stages": [stage for stage, _ in instance.trace],
+            }
+            if instance.error:
+                entry["error"] = instance.error
+            entries.append(entry)
+        return {"total_retained": len(retained),
+                "returned": len(entries),
+                "instances": entries}
+
+    def breakers(self):
+        # ResilienceManager.snapshot copies under its own lock
+        return self.engine.grh.resilience.snapshot()
+
+    def dead_letters(self):
+        queue = self.engine.grh.resilience.dead_letters
+        letters = _copy(lambda: [
+            {
+                "kind": letter.kind,
+                "error": letter.error,
+                "attempts": letter.attempts,
+                "component": letter.component_id
+                if letter.kind == "action"
+                else (letter.detection.component_id
+                      if letter.detection is not None else None),
+                "tuples": len(letter.bindings)
+                if letter.bindings is not None else None,
+            }
+            for letter in queue])
+        return {"parked": len(letters), "dropped": queue.dropped,
+                "letters": letters}
+
+    def journal(self):
+        durability = self.engine.durability
+        if durability is None:
+            return {"durable": False}
+        status = durability.journal_status()
+        status["durable"] = True
+        return status
+
+
+class ObsAdminServer:
+    """A standalone localhost admin endpoint for one engine.
+
+    Serves every introspection route plus ``GET /metrics`` (when the
+    engine has observability installed) on its own port — production
+    deployments keep the admin surface off the service ports.
+    """
+
+    def __init__(self, engine, observability=None) -> None:
+        # imported here so ``repro.obs.ops`` stays importable without
+        # dragging in the whole services/transport stack
+        from ...services.transports import HttpServiceServer
+        self.surface = IntrospectionSurface(engine, observability)
+        obs = self.surface.observability
+        self._server = HttpServiceServer(
+            metrics=obs.metrics if obs is not None else None,
+            introspection=self.surface)
+
+    def start(self) -> str:
+        return self._server.start()
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,202 @@
+"""Structured JSON-lines logging, correlated with the active trace.
+
+One :class:`StructuredLogger` per :class:`~repro.obs.Observability`.
+Every record is a single JSON object on one line, carrying:
+
+* ``ts`` (Unix seconds), ``level``, ``event`` (a dotted event name,
+  e.g. ``grh.request.failed``);
+* ``trace_id``/``span_id`` pulled from the tracer's *current* span, so
+  a log line can be joined to its trace without the caller passing
+  anything;
+* ``rule_uri``/``instance_id`` from the innermost
+  :meth:`StructuredLogger.bound` context (the engine binds them around
+  each rule-instance evaluation) or, failing that, from the open
+  ``rule`` root span's attributes;
+* whatever keyword fields the call site adds.
+
+The emission path is stdlib ``logging``: records flow through a real
+``logging.Logger`` (so standard tooling — levels, extra handlers,
+``logging.disable`` — keeps working) into a JSON formatter and a
+size-capped :class:`~repro.obs.sink.RotatingSink`, the same rotation
+helper the span JSONL exporter uses.  Level gating happens *before* a
+record dict is built: a ``debug`` call under an ``INFO`` logger costs
+one ``isEnabledFor``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+
+from ..sink import RotatingSink
+
+__all__ = ["StructuredLogger"]
+
+#: serial number so each StructuredLogger gets a private stdlib Logger
+#: (shared names would accumulate handlers across engines and tests)
+_LOGGER_IDS = iter(range(1, 1 << 62))
+_LOGGER_IDS_LOCK = threading.Lock()
+
+
+class _JsonLineFormatter(logging.Formatter):
+    """Renders a record whose ``msg`` is the payload dict as one JSON
+    line; non-dict messages (from foreign handlers reusing the logger)
+    degrade to a ``{"message": …}`` wrapper."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = record.msg
+        if not isinstance(payload, dict):
+            payload = {"ts": record.created, "level":
+                       record.levelname.lower(),
+                       "message": record.getMessage()}
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+class _SinkHandler(logging.Handler):
+    """A ``logging.Handler`` writing formatted lines to a sink with a
+    ``write(line)`` method (:class:`RotatingSink` or a text stream)."""
+
+    def __init__(self, sink) -> None:
+        super().__init__()
+        self.sink = sink
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.sink.write(self.format(record))
+        except Exception:  # logging must never take the engine down
+            self.handleError(record)
+
+
+class _StreamSink:
+    """Adapts a text stream to the sink contract (adds the newline)."""
+
+    def __init__(self, stream: io.TextIOBase) -> None:
+        self.stream = stream
+
+    def write(self, line: str) -> None:
+        self.stream.write(line + "\n")
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+    def close(self) -> None:  # never close a borrowed stream
+        pass
+
+
+class StructuredLogger:
+    """JSON-lines logger bound to one tracer's context.
+
+    ``path`` appends records to a rotating file (``max_bytes``/
+    ``backups`` as in :class:`~repro.obs.sink.RotatingSink`);
+    ``stream`` writes to an open text stream instead (tests, stdout
+    pipelines).  Exactly one of the two is required.  ``level`` is a
+    stdlib level name or number; records below it are dropped before
+    any formatting work.
+    """
+
+    def __init__(self, path: str | None = None, stream=None,
+                 level: int | str = logging.INFO,
+                 max_bytes: int | None = None, backups: int = 3,
+                 tracer=None,
+                 clock=time.time) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path= or stream=")
+        self.tracer = tracer
+        self.clock = clock
+        if path is not None:
+            self.sink = RotatingSink(path, max_bytes=max_bytes,
+                                     backups=backups)
+        else:
+            self.sink = _StreamSink(stream)
+        with _LOGGER_IDS_LOCK:
+            name = f"repro.obs.structured.{next(_LOGGER_IDS)}"
+        self._logger = logging.getLogger(name)
+        self._logger.propagate = False  # records are already terminal JSON
+        self._logger.setLevel(level)
+        handler = _SinkHandler(self.sink)
+        handler.setFormatter(_JsonLineFormatter())
+        self._logger.addHandler(handler)
+        self._local = threading.local()
+        self.emitted = 0
+
+    # -- context ------------------------------------------------------------
+
+    @contextmanager
+    def bound(self, **fields):
+        """Attach fields (``rule_uri=…, instance_id=…``) to every record
+        emitted on this thread inside the block.  Nests; inner wins."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(fields)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def _context(self) -> dict:
+        context: dict = {}
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None and span.trace_id:
+                context["trace_id"] = span.trace_id
+                context["span_id"] = span.span_id
+                # the rule root span names the evaluating instance; walk
+                # the (short) open-ancestor chain to find it
+                node = span
+                while node is not None:
+                    if node.name == "rule":
+                        context["rule_uri"] = node.attributes.get("rule")
+                        context["instance_id"] = \
+                            node.attributes.get("instance")
+                        break
+                    node = getattr(node, "_token", None)
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            for fields in stack:
+                context.update(fields)
+        return context
+
+    # -- emission -----------------------------------------------------------
+
+    def log(self, level: int, event: str, **fields) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        payload = {"ts": self.clock(),
+                   "level": logging.getLevelName(level).lower(),
+                   "event": event}
+        payload.update(self._context())
+        payload.update(fields)
+        self._logger.log(level, payload)
+        self.emitted += 1
+
+    def debug(self, event: str, **fields) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log(logging.WARNING, event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log(logging.ERROR, event, **fields)
+
+    def enabled_for(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        for handler in list(self._logger.handlers):
+            self._logger.removeHandler(handler)
+            handler.close()
+        self.sink.close()

@@ -1,0 +1,96 @@
+"""A size-capped, rotating line sink for append-only telemetry files.
+
+Long-running engines emit telemetry forever — span JSONL files and
+structured logs grow without bound unless something caps them.  This
+module is that something: :class:`RotatingSink` appends UTF-8 lines to a
+file and, when the file would exceed ``max_bytes``, rotates it through a
+fixed ladder of numbered backups (``path`` → ``path.1`` → … →
+``path.N``), dropping the oldest.  Rotation happens *between* lines, so
+every file in the ladder is a sequence of whole records — a consumer
+tailing the ladder never sees a torn JSON line.
+
+Both the span exporter (:class:`repro.obs.trace.JsonlExporter` with a
+``max_bytes`` cap) and the structured logger
+(:class:`repro.obs.ops.StructuredLogger`) write through this one class,
+so their retention behavior is identical and tested once.
+
+``max_bytes=None`` (the default) disables rotation entirely — the sink
+degrades to a plain append-only file, the pre-rotation behavior.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = ["RotatingSink"]
+
+
+class RotatingSink:
+    """Thread-safe append-only line sink with size-capped rotation."""
+
+    def __init__(self, path: str, max_bytes: int | None = None,
+                 backups: int = 3) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if backups < 0:
+            raise ValueError("backups must be non-negative")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+        # resuming an existing file: cap accounting starts at its size
+        self._size = os.path.getsize(path)
+
+    def write(self, line: str) -> None:
+        """Append one line (terminator added here).
+
+        When the write would push the file past ``max_bytes``, the file
+        is rotated first; a single line larger than the whole cap still
+        lands (in a file of its own) rather than being dropped —
+        telemetry is never silently discarded by the sink itself.
+        """
+        data = line + "\n"
+        encoded_size = len(data.encode("utf-8"))
+        with self._lock:
+            if (self.max_bytes is not None and self._size
+                    and self._size + encoded_size > self.max_bytes):
+                self._rotate()
+            self._file.write(data)
+            self._size += encoded_size
+
+    def _rotate(self) -> None:
+        """Shift ``path`` → ``path.1`` → … dropping the oldest backup.
+        The caller holds the lock."""
+        self._file.close()
+        if self.backups == 0:
+            # no backups kept: truncate in place
+            self._file = open(self.path, "w", encoding="utf-8")
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                source = f"{self.path}.{index}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed

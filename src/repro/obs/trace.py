@@ -40,13 +40,14 @@ from collections import deque
 from typing import Callable, Iterable
 
 from ..xmlmodel import Element, LOG_NS, QName
+from .sink import RotatingSink
 
 __all__ = ["Span", "Tracer", "NoopSpan", "NoopTracer", "NOOP_TRACER",
            "RingBufferExporter", "JsonlExporter", "format_traceparent",
-           "parse_traceparent", "span_to_dict", "spans_to_xml",
-           "xml_to_span_dicts", "render_trace", "SPANS_QNAME",
-           "push_span_sink", "pop_span_sink", "current_span_sink",
-           "next_annotation_id"]
+           "parse_traceparent", "traceparent_sampled", "span_to_dict",
+           "spans_to_xml", "xml_to_span_dicts", "render_trace",
+           "SPANS_QNAME", "push_span_sink", "pop_span_sink",
+           "current_span_sink", "next_annotation_id"]
 
 SPANS_QNAME = QName(LOG_NS, "spans")
 _SPAN = QName(LOG_NS, "span")
@@ -54,9 +55,16 @@ _SPAN = QName(LOG_NS, "span")
 
 # -- traceparent ---------------------------------------------------------------
 
-def format_traceparent(trace_id: str, span_id: str) -> str:
-    """The wire form of a span's identity (W3C trace-context style)."""
-    return f"00-{trace_id}-{span_id}-01"
+def format_traceparent(trace_id: str, span_id: str,
+                       sampled: bool = True) -> str:
+    """The wire form of a span's identity (W3C trace-context style).
+
+    The trailing flags byte carries the sampling decision: ``01`` for a
+    sampled trace, ``00`` for one the head sampler dropped — a remote
+    service seeing ``00`` skips server-side span capture entirely
+    (PROTOCOL.md §9).
+    """
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
 
 
 def parse_traceparent(value: str | None) -> tuple[str, str] | None:
@@ -78,13 +86,24 @@ def parse_traceparent(value: str | None) -> tuple[str, str] | None:
     return trace_id, span_id
 
 
+def traceparent_sampled(value: str | None) -> bool:
+    """The sampling flag of a ``traceparent`` string.
+
+    Only an explicit ``00`` flags byte opts *out* of span capture;
+    anything else — including malformed input — reads as sampled, so a
+    caller that predates the flag keeps the pre-sampling behavior.
+    """
+    return not (value is not None and value.endswith("-00"))
+
+
 # -- spans ---------------------------------------------------------------------
 
 class Span:
     """One timed unit of work inside a trace."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "started_at",
-                 "ended_at", "status", "attributes", "remote", "_token")
+                 "ended_at", "status", "attributes", "remote", "sampled",
+                 "_token")
 
     def __init__(self, name: str, trace_id: str, span_id: str,
                  parent_id: str | None, started_at: float,
@@ -100,6 +119,10 @@ class Span:
         #: recorded by another process and adopted here (its timestamps
         #: are anchored locally; only the duration is authoritative)
         self.remote = False
+        #: the head sampler's verdict for this span's trace; an
+        #: unsampled span is timed normally but never exported, and its
+        #: ``traceparent`` carries the ``00`` flags byte
+        self.sampled = True
         self._token = None
 
     @property
@@ -111,7 +134,7 @@ class Span:
 
     @property
     def traceparent(self) -> str:
-        return format_traceparent(self.trace_id, self.span_id)
+        return format_traceparent(self.trace_id, self.span_id, self.sampled)
 
     def set_attribute(self, key: str, value) -> None:
         self.attributes[key] = value
@@ -135,12 +158,32 @@ class NoopSpan:
     duration = 0.0
     #: ``None`` so callers never stamp a traceparent from a noop span
     traceparent = None
+    #: noop spans never capture, so sampling-gated paths skip them too
+    sampled = False
 
     def set_attribute(self, key: str, value) -> None:
         pass
 
 
 NOOP_SPAN = NoopSpan()
+
+#: the span id of every head-unsampled span.  Nothing downstream ever
+#: keys on an unsampled span's id (they are never exported, never
+#: parsed — remote services gate on the ``-00`` flags byte before
+#: looking at ids), so skipping the per-span id formatting is free
+#: speed on the sampled-out fast path.
+_UNSAMPLED_SPAN_ID = "0" * 16
+
+
+class _TracerThreadStats:
+    """Per-thread lifecycle tallies (see ``Tracer.started``)."""
+
+    __slots__ = ("started", "finished", "unsampled")
+
+    def __init__(self) -> None:
+        self.started = 0
+        self.finished = 0
+        self.unsampled = 0
 
 
 # -- tracers -------------------------------------------------------------------
@@ -152,21 +195,59 @@ class Tracer:
     their own ancestry.  ``begin`` makes the new span current and
     ``finish`` restores its predecessor, so straight-line code gets
     correct parent/child links without passing spans around.
+
+    ``sampler`` (see :mod:`repro.obs.ops.sampling`) decides, per *root*
+    span, whether the trace is kept: children inherit the root's
+    verdict, unsampled spans are timed but never exported, and the
+    verdict rides the ``traceparent`` flags byte so remote services skip
+    capture too.  ``started``/``finished``/``unsampled`` are lifecycle
+    counters; they may be driven from several threads at once, so each
+    thread tallies into its own slots (no hot-path lock) and the
+    properties sum across threads on read.
     """
 
     def __init__(self, exporters: Iterable = (),
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 sampler=None) -> None:
         self._exporters = list(exporters)
         # bound export methods, looped on every finish — hot path
         self._exports = [exporter.export for exporter in self._exporters]
         self.clock = clock
+        self.sampler = sampler
         # ids: one 64-bit random seed, then a counter — unique within
         # and (by the seed) across processes, no per-span entropy cost
         self._seed = int.from_bytes(os.urandom(8), "big")
         self._ids = itertools.count(1)
         self._local = threading.local()
-        self.started = 0
-        self.finished = 0
+        self._stats_lock = threading.Lock()
+        self._all_stats: list[_TracerThreadStats] = []
+
+    def _stats(self) -> _TracerThreadStats:
+        local = self._local
+        stats = getattr(local, "stats", None)
+        if stats is None:
+            stats = local.stats = _TracerThreadStats()
+            with self._stats_lock:
+                self._all_stats.append(stats)
+        return stats
+
+    @property
+    def started(self) -> int:
+        """Spans begun, across every thread."""
+        with self._stats_lock:
+            return sum(stats.started for stats in self._all_stats)
+
+    @property
+    def finished(self) -> int:
+        """Spans finished (or adopted), across every thread."""
+        with self._stats_lock:
+            return sum(stats.finished for stats in self._all_stats)
+
+    @property
+    def unsampled(self) -> int:
+        """Spans dropped (not exported) by the head sampling verdict."""
+        with self._stats_lock:
+            return sum(stats.unsampled for stats in self._all_stats)
 
     # -- id generation -----------------------------------------------------
 
@@ -195,24 +276,37 @@ class Tracer:
         if parent is None:
             trace_id = self._next_trace_id()
             parent_id = None
+            sampled = self.sampler is None or \
+                bool(self.sampler.sample(trace_id))
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
-        span = Span(name, trace_id, self._next_span_id(), parent_id,
-                    self.clock(), attributes)
+            # children inherit the root's head-sampling verdict
+            sampled = getattr(parent, "sampled", True)
+        # an unsampled span is never exported or parsed, so it shares
+        # one constant id instead of paying for per-span formatting
+        span = Span(name, trace_id,
+                    self._next_span_id() if sampled else _UNSAMPLED_SPAN_ID,
+                    parent_id, self.clock(), attributes)
+        span.sampled = sampled
         span._token = parent
         self._local.span = span
-        self.started += 1
+        self._stats().started += 1
         return span
 
     def finish(self, span: Span, status: str | None = None) -> None:
-        """End a span, restore its predecessor as current, export it."""
+        """End a span, restore its predecessor as current, export it
+        (unless its trace was head-sampled out)."""
         span.ended_at = self.clock()
         if status is not None:
             span.status = status
         self._local.span = span._token
         span._token = None
-        self.finished += 1
+        stats = self._stats()
+        stats.finished += 1
+        if not span.sampled:
+            stats.unsampled += 1
+            return
         for export in self._exports:
             export(span)
 
@@ -235,7 +329,7 @@ class Tracer:
         span.ended_at = span.started_at + duration
         span.status = str(span_dict.get("status", "ok"))
         span.remote = True
-        self.finished += 1
+        self._stats().finished += 1
         for export in self._exports:
             export(span)
         return span
@@ -245,6 +339,7 @@ class Tracer:
         as children of ``parent`` (the GRH request span that dispatched
         them).  Each record is ``(name, service, status, duration)``."""
         now = self.clock()
+        stats = self._stats()
         for name, service, status, duration in records:
             span = Span(name, parent.trace_id, self._next_span_id(),
                         parent.span_id, now - duration,
@@ -252,7 +347,10 @@ class Tracer:
             span.ended_at = now
             span.status = status
             span.remote = True
-            self.finished += 1
+            span.sampled = parent.sampled
+            stats.finished += 1
+            if not parent.sampled:
+                continue
             for export in self._exports:
                 export(span)
 
@@ -300,18 +398,22 @@ def span_to_dict(span: Span) -> dict:
 
 
 class RingBufferExporter:
-    """Keeps the last ``capacity`` finished spans in memory."""
+    """Keeps the last ``capacity`` finished spans in memory.
+
+    Export and the read methods share one lock.  A bare ``deque.append``
+    is atomic under the GIL, but a *reader* iterating the deque while
+    another thread appends raises ``RuntimeError: deque mutated during
+    iteration`` — so the writer must hold the same lock the snapshotting
+    readers do, or a concurrent scrape can fail mid-copy.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
-        # hot path: a bounded deque append is atomic under the GIL, so
-        # exporting is the bare append, no lock and no Python frame —
-        # readers below still take the lock to snapshot the ring
-        self.export = self._spans.append
 
-    def export(self, span: Span) -> None:  # shadowed in __init__
-        self._spans.append(span)
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
 
     def spans(self) -> list[Span]:
         with self._lock:
@@ -336,26 +438,34 @@ class RingBufferExporter:
 
 
 class JsonlExporter:
-    """Appends one JSON line per finished span to a file."""
+    """Appends one JSON line per finished span to a file.
 
-    def __init__(self, path: str) -> None:
+    ``max_bytes`` caps the file: when set, the file rotates through
+    ``backups`` numbered siblings (``path.1`` … ``path.N``, oldest
+    dropped) instead of growing without bound on long runs — the same
+    :class:`~repro.obs.sink.RotatingSink` the structured logger writes
+    through.  ``max_bytes=None`` keeps the unbounded seed behavior.
+    """
+
+    def __init__(self, path: str, max_bytes: int | None = None,
+                 backups: int = 3) -> None:
         self.path = path
-        self._file = open(path, "a", encoding="utf-8")
-        self._lock = threading.Lock()
+        self._sink = RotatingSink(path, max_bytes=max_bytes,
+                                  backups=backups)
+
+    @property
+    def rotations(self) -> int:
+        return self._sink.rotations
 
     def export(self, span: Span) -> None:
-        line = json.dumps(span_to_dict(span), separators=(",", ":"))
-        with self._lock:
-            self._file.write(line + "\n")
+        self._sink.write(json.dumps(span_to_dict(span),
+                                    separators=(",", ":")))
 
     def flush(self) -> None:
-        with self._lock:
-            self._file.flush()
+        self._sink.flush()
 
     def close(self) -> None:
-        with self._lock:
-            if not self._file.closed:
-                self._file.close()
+        self._sink.close()
 
 
 # -- trace rendering -----------------------------------------------------------

@@ -16,7 +16,8 @@ from ..bindings import Relation, relation_to_answers
 from ..grh.messages import (MessageError, Request, error_message, is_error,
                             ok_message, xml_to_request)
 from ..obs.trace import (current_span_sink, next_annotation_id,
-                         parse_traceparent, spans_to_xml)
+                         parse_traceparent, spans_to_xml,
+                         traceparent_sampled)
 from ..xmlmodel import Element
 
 __all__ = ["LanguageService", "ServiceError"]
@@ -74,8 +75,12 @@ class LanguageService:
                          "error" if is_error(response) else "ok",
                          time.perf_counter() - started))
             return response
+        # an unsampled caller (traceparent flags ``-00``, PROTOCOL.md §9)
+        # is treated like an untraced one: nobody will keep the trace, so
+        # capturing and shipping a server-side span would be pure waste
         context = parse_traceparent(request.traceparent) \
-            if request.traceparent is not None else None
+            if request.traceparent is not None \
+            and traceparent_sampled(request.traceparent) else None
         if context is None:
             return self._dispatch(request)
         # a remote tracing caller: time the dispatch and annotate the

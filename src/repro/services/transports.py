@@ -16,6 +16,7 @@ between the GRH and the services):
 
 from __future__ import annotations
 
+import json
 import threading
 import urllib.parse
 import urllib.request
@@ -85,12 +86,16 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     """Serves one service: POST = aware protocol, GET ?query= = opaque.
 
     When the server was built with a metrics registry, ``GET /metrics``
-    answers its Prometheus text exposition (scrape endpoint).
+    answers its Prometheus text exposition (scrape endpoint).  When it
+    was built with an introspection surface
+    (:class:`repro.obs.ops.IntrospectionSurface`), the health and
+    ``/introspect/*`` routes answer JSON snapshots (PROTOCOL.md §9).
     """
 
     aware_handler: AwareHandler | None = None
     opaque_handler: OpaqueHandler | None = None
     metrics_registry = None
+    introspection = None
 
     def log_message(self, format: str, *args) -> None:  # silence stderr
         pass
@@ -115,6 +120,24 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         parsed = urllib.parse.urlparse(self.path)
+        introspection = self.introspection
+        if introspection is not None and introspection.handles(parsed.path):
+            params = {key: values[0] for key, values in
+                      urllib.parse.parse_qs(parsed.query).items()}
+            try:
+                status, payload = introspection.handle(parsed.path, params)
+                body = json.dumps(payload,
+                                  separators=(",", ":")).encode("utf-8")
+            except Exception as exc:
+                self.send_error(500, str(exc))
+                return
+            self.send_response(status)
+            self.send_header("Content-Type",
+                             "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         if parsed.path == "/metrics" and self.metrics_registry is not None:
             try:
                 payload = self.metrics_registry.render_prometheus() \
@@ -151,16 +174,20 @@ class HttpServiceServer:
 
     def __init__(self, aware_handler: AwareHandler | None = None,
                  opaque_handler: OpaqueHandler | None = None,
-                 metrics=None) -> None:
+                 metrics=None, introspection=None) -> None:
         # ``metrics`` is a MetricsRegistry (or anything with a
         # ``render_prometheus()`` method); when given, the server also
-        # answers ``GET /metrics``
+        # answers ``GET /metrics``.  ``introspection`` is an
+        # IntrospectionSurface (anything with ``handles(path)`` and
+        # ``handle(path, params) -> (status, payload)``); when given,
+        # the server also answers the health and /introspect/* routes
         handler_class = type("BoundHandler", (_ServiceHTTPHandler,),
                              {"aware_handler": staticmethod(aware_handler)
                               if aware_handler else None,
                               "opaque_handler": staticmethod(opaque_handler)
                               if opaque_handler else None,
-                              "metrics_registry": metrics})
+                              "metrics_registry": metrics,
+                              "introspection": introspection})
         class _QuietServer(ThreadingHTTPServer):
             def handle_error(self, request, client_address):
                 # a client that timed out and hung up mid-response is

@@ -118,8 +118,14 @@ class CrashWorld:
     # -- process lifecycle ---------------------------------------------------
 
     def boot(self, journal: Journal | None = None, sync: str = "none",
-             checkpoint_interval: int = 10 ** 9) -> ECAEngine:
-        """Start a fresh engine process over the surviving services."""
+             checkpoint_interval: int = 10 ** 9,
+             replay: bool = False) -> ECAEngine:
+        """Start a fresh engine process over the surviving services.
+
+        ``replay=False`` (the crash-test default) leaves in-flight
+        replay to the driver; ``replay=True`` runs the full
+        :meth:`ECAEngine.recover` sequence, after which the engine
+        reports ready (``/readyz``)."""
         registry = LanguageRegistry()
         transport = InProcessTransport(serialize_messages=True)
         grh = GenericRequestHandler(registry, transport)
@@ -132,7 +138,7 @@ class CrashWorld:
                                     checkpoint_interval=checkpoint_interval,
                                     journal=journal)
         engine = ECAEngine.recover(grh, self.directory, manager=manager,
-                                   replay=False)
+                                   replay=replay)
         self.grh = grh
         self.engine = engine
         self._notify = grh.notify

@@ -1,0 +1,174 @@
+"""Structured JSON-lines logging and its trace correlation."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core import ECAEngine
+from repro.domain import TRAVEL_NS, booking_event, fleet_graph
+from repro.obs import Observability, Tracer
+from repro.obs.ops import StructuredLogger
+from repro.services import DATALOG_LANG, standard_deployment
+
+ECA = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
+ACT = 'xmlns:act="http://www.semwebtech.org/languages/2006/actions"'
+
+PROGRAM = 'ok("yes").'
+
+RULE = f"""
+<eca:rule {ECA} id="logged">
+  <eca:event>
+    <travel:booking xmlns:travel="{TRAVEL_NS}"
+                    person="{{Person}}" to="{{To}}"/>
+  </eca:event>
+  <eca:query>
+    <dl:query xmlns:dl="{DATALOG_LANG}">ok(X)</dl:query>
+  </eca:query>
+  <eca:action>
+    <act:send {ACT} to="offers"><offer x="{{X}}"/></act:send>
+  </eca:action>
+</eca:rule>
+"""
+
+
+def records(stream):
+    return [json.loads(line) for line in
+            stream.getvalue().splitlines() if line]
+
+
+class TestStructuredLogger:
+    def test_records_are_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream, clock=lambda: 12.5)
+        log.info("engine.started", rules=3)
+        log.warning("grh.request.failed", error="boom")
+        first, second = records(stream)
+        assert first == {"ts": 12.5, "level": "info",
+                         "event": "engine.started", "rules": 3}
+        assert second["level"] == "warning"
+        assert second["error"] == "boom"
+        assert log.emitted == 2
+        log.close()
+
+    def test_requires_exactly_one_destination(self):
+        with pytest.raises(ValueError):
+            StructuredLogger()
+        with pytest.raises(ValueError):
+            StructuredLogger(path="/tmp/x.log", stream=io.StringIO())
+
+    def test_level_gating_drops_before_formatting(self):
+        stream = io.StringIO()
+        calls = []
+        log = StructuredLogger(stream=stream, level=logging.WARNING,
+                               clock=lambda: calls.append(1) or 0.0)
+        log.debug("quiet")
+        log.info("quiet")
+        assert calls == [] and log.emitted == 0  # clock never consulted
+        log.warning("loud")
+        assert len(records(stream)) == 1
+        assert not log.enabled_for(logging.DEBUG)
+        log.close()
+
+    def test_bound_context_nests_and_unwinds(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream)
+        with log.bound(rule_uri="r1"):
+            log.info("outer")
+            with log.bound(rule_uri="r2", instance_id=7):
+                log.info("inner")
+            log.info("outer.again")
+        log.info("outside")
+        outer, inner, again, outside = records(stream)
+        assert outer["rule_uri"] == "r1" and "instance_id" not in outer
+        assert inner["rule_uri"] == "r2" and inner["instance_id"] == 7
+        assert again["rule_uri"] == "r1"
+        assert "rule_uri" not in outside
+        log.close()
+
+    def test_trace_context_joins_log_to_span(self):
+        stream = io.StringIO()
+        tracer = Tracer()
+        log = StructuredLogger(stream=stream, tracer=tracer)
+        rule_span = tracer.begin("rule",
+                                 attributes={"rule": "uri:r", "instance": 4})
+        phase = tracer.begin("phase:query")
+        log.info("inside.phase")
+        tracer.finish(phase)
+        tracer.finish(rule_span)
+        log.info("outside.trace")
+        inside, outside = records(stream)
+        assert inside["trace_id"] == rule_span.trace_id
+        assert inside["span_id"] == phase.span_id
+        assert inside["rule_uri"] == "uri:r"
+        assert inside["instance_id"] == 4
+        assert "trace_id" not in outside
+        log.close()
+
+    def test_rotates_at_the_size_cap(self, tmp_path):
+        path = tmp_path / "engine.log"
+        log = StructuredLogger(path=str(path), max_bytes=200, backups=2)
+        for index in range(20):
+            log.info("fill", index=index, pad="x" * 40)
+        log.close()
+        assert (tmp_path / "engine.log.1").exists()
+        # every surviving line is still intact JSON
+        for name in ("engine.log", "engine.log.1"):
+            for line in (tmp_path / name).read_text().splitlines():
+                assert json.loads(line)["event"] == "fill"
+
+    def test_unserializable_fields_degrade_not_raise(self):
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream)
+        log.info("odd", payload=object())
+        (record,) = records(stream)
+        assert record["payload"].startswith("<object object")
+        log.close()
+
+
+class TestEngineLogging:
+    def run_engine(self, stream, rule=RULE, **obs_kwargs):
+        deployment = standard_deployment(graph=fleet_graph(),
+                                         datalog_program=PROGRAM)
+        obs = Observability(log_stream=stream, **obs_kwargs)
+        engine = ECAEngine(deployment.grh, observability=obs)
+        engine.register_rule(rule)
+        deployment.stream.emit(booking_event())
+        return engine, obs
+
+    def test_instance_lifecycle_is_logged_with_trace_ids(self):
+        stream = io.StringIO()
+        engine, obs = self.run_engine(stream)
+        assert engine.instances[-1].status == "completed"
+        finished = [r for r in records(stream)
+                    if r["event"] == "engine.instance.finished"]
+        assert len(finished) == 1
+        record = finished[0]
+        assert record["status"] == "completed"
+        assert record["actions"] == 1
+        # correlated: the record's trace exists in the ring buffer
+        assert record["trace_id"] in obs.trace_ids()
+        assert record["instance_id"] == \
+            engine.instances[-1].instance_id
+
+    def test_phase_logs_need_debug_level(self):
+        quiet, chatty = io.StringIO(), io.StringIO()
+        self.run_engine(quiet)
+        self.run_engine(chatty, log_level="DEBUG")
+        assert not [r for r in records(quiet)
+                    if r["event"] == "engine.phase"]
+        phases = [r["phase"] for r in records(chatty)
+                  if r["event"] == "engine.phase"]
+        assert "query" in phases and "action" in phases
+
+    def test_failed_instance_logs_a_warning_with_error(self):
+        stream = io.StringIO()
+        bad = RULE.replace('ok(X)', ')( not datalog').replace(
+            '"logged"', '"doomed"').replace(' x="{X}"', '')
+        engine, _ = self.run_engine(stream, rule=bad)
+        assert engine.instances[-1].status == "failed"
+        (record,) = [r for r in records(stream)
+                     if r["event"] == "engine.instance.finished"]
+        assert record["level"] == "warning"
+        assert record["error"]
