@@ -12,14 +12,41 @@ characterizes the prototype):
 Expected shape: throughput degrades roughly linearly in the number of
 *matching* rules (each match is an instance evaluation); non-matching
 rules cost only a pattern test at the event service.
+
+Script mode benchmarks the concurrent runtime (ISSUE 5) over an
+HTTP-bound workload — each rule instance blocks ~8 ms on a remote
+query, so worker parallelism is the only throughput lever::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --workers 4                 # one configuration
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --compare 1,4               # speedup gate: 4 workers >= 2.5x
+
+Both modes write ``BENCH_engine_throughput_http.json``.
 """
+
+import argparse
+import sys
+import time
 
 import pytest
 
+from repro.actions import ACTION_NS, ActionRuntime
+from repro.bindings import Relation, relation_to_answers
+from repro.core import ECAEngine
 from repro.domain import (WorkloadConfig, booking_payloads,
                           full_pipeline_rule_markup, simple_rule_markup)
+from repro.domain.workload import TRAVEL_NS
+from repro.events import ATOMIC_NS, EventStream
+from repro.grh import (GenericRequestHandler, LanguageDescriptor,
+                       LanguageRegistry)
+from repro.runtime import Runtime
+from repro.services import (ActionExecutionService, AtomicEventService,
+                            HttpServiceServer, HybridTransport)
+from repro.xmlmodel import ECA_NS
 
 from conftest import build_world
+from reporting import summarize, write_bench_json
 
 
 def _emit_all(deployment, payloads):
@@ -61,3 +88,126 @@ class TestFullPipelineThroughput:
         payloads = booking_payloads(small_config, 10)
         benchmark(_emit_all, deployment, payloads)
         assert engine.stats["instances"] >= 10
+
+
+# -- script mode: HTTP-bound scaling across worker counts --------------------
+
+SLOW_LANG = "urn:bench:slow-http-query"
+
+
+class _SlowHttpService:
+    """An aware query service that sleeps *delay* seconds per request —
+    the IO-bound remote component the worker pool exists to overlap."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def handle(self, message):
+        time.sleep(self.delay)
+        return relation_to_answers(Relation([{"Q": "ok"}]))
+
+
+def _http_world(workers: int, delay: float):
+    """Engine + HTTP-backed slow query; *workers* = 0 means synchronous."""
+    registry = LanguageRegistry()
+    grh = GenericRequestHandler(registry, HybridTransport(timeout=30.0))
+    stream = EventStream()
+    actions = ActionRuntime(event_stream=stream)
+    atomic = AtomicEventService(grh.notify)
+    atomic.attach(stream)
+    grh.add_service(LanguageDescriptor(ATOMIC_NS, "event", "atomic"),
+                    atomic)
+    grh.add_service(LanguageDescriptor(ACTION_NS, "action", "actions"),
+                    ActionExecutionService(actions))
+    server = HttpServiceServer(
+        aware_handler=_SlowHttpService(delay).handle)
+    grh.add_remote_language(
+        LanguageDescriptor(SLOW_LANG, "query", "slow-http"), server.start())
+    runtime = Runtime(workers=workers, queue_capacity=4096) \
+        if workers else None
+    engine = ECAEngine(grh, runtime=runtime, keep_instances=False)
+    engine.register_rule(f"""
+    <eca:rule xmlns:eca="{ECA_NS}" id="http-bound">
+      <eca:event>
+        <travel:booking xmlns:travel="{TRAVEL_NS}"
+                        person="{{Person}}" to="{{To}}"/>
+      </eca:event>
+      <eca:query><q xmlns="{SLOW_LANG}">whatever</q></eca:query>
+      <eca:action><out q="{{Q}}"/></eca:action>
+    </eca:rule>""")
+    return engine, stream, server
+
+
+def measure_http_throughput(workers: int, events: int, blocks: int,
+                            delay: float) -> dict:
+    """Per-event durations over *blocks* repeated drained blocks."""
+    engine, stream, server = _http_world(workers, delay)
+    config = WorkloadConfig(persons=20, fleet_size=10, cities=3, seed=1)
+    payloads = booking_payloads(config, events)
+    try:
+        # warmup: one small block primes HTTP connections and caches
+        for payload in payloads[:min(4, events)]:
+            stream.emit(payload.copy())
+        assert engine.drain(60)
+        per_event = []
+        for _ in range(blocks):
+            started = time.perf_counter()
+            for payload in payloads:
+                stream.emit(payload.copy())
+            assert engine.drain(120), "engine failed to quiesce"
+            elapsed = time.perf_counter() - started
+            per_event.extend([elapsed / events] * events)
+    finally:
+        engine.shutdown(10)
+        server.stop()
+    result = summarize(per_event)
+    result["workers"] = workers
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HTTP-bound engine throughput across worker counts")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size; 0 = synchronous engine")
+    parser.add_argument("--compare", type=str, default=None,
+                        help="comma-separated worker counts; gates the "
+                             "last against the first at --min-speedup")
+    parser.add_argument("--events", type=int, default=60,
+                        help="events per timed block")
+    parser.add_argument("--blocks", type=int, default=3)
+    parser.add_argument("--delay", type=float, default=0.008,
+                        help="simulated remote query latency (seconds)")
+    parser.add_argument("--min-speedup", type=float, default=2.5)
+    options = parser.parse_args(argv)
+
+    counts = [int(part) for part in options.compare.split(",")] \
+        if options.compare else [options.workers]
+    series = {}
+    for workers in counts:
+        result = measure_http_throughput(
+            workers, options.events, options.blocks, options.delay)
+        series[f"workers={workers}"] = result
+        print(f"workers={workers:<3d} {result['ops_per_s']:8.1f} ev/s   "
+              f"p50 {result['p50_s'] * 1e3:6.2f} ms   "
+              f"p99 {result['p99_s'] * 1e3:6.2f} ms")
+
+    extra = {"events_per_block": options.events, "blocks": options.blocks,
+             "remote_delay_s": options.delay}
+    failed = False
+    if len(counts) > 1:
+        baseline = series[f"workers={counts[0]}"]["ops_per_s"]
+        candidate = series[f"workers={counts[-1]}"]["ops_per_s"]
+        speedup = candidate / baseline
+        extra["speedup"] = speedup
+        verdict = "ok" if speedup >= options.min_speedup else "FAIL"
+        print(f"speedup {counts[-1]}w / {counts[0]}w: {speedup:.2f}x  "
+              f"(gate {options.min_speedup:.1f}x)  {verdict}")
+        failed = speedup < options.min_speedup
+    path = write_bench_json("engine_throughput_http", series, **extra)
+    print(f"wrote {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -288,13 +288,25 @@ def main(argv=None) -> int:
              SAMPLED_BOUND))
 
     failures = 0
+    series = {}
     for label, measure, bound in gates:
         overhead, base_ns = best_of(options.trials, measure)
         verdict = "ok" if overhead < bound else "FAIL"
         if overhead >= bound:
             failures += 1
+        series[label] = {
+            "overhead": overhead,
+            "bound": bound,
+            "baseline_ns_per_booking": base_ns,
+            "baseline_ops_per_s": 1e9 / base_ns if base_ns else None,
+            "ok": overhead < bound,
+        }
         print(f"{label:38s} {overhead:+7.2%}  (bound {bound:.0%}, "
               f"baseline {base_ns / 1e3:.0f}us/booking)  {verdict}")
+    from reporting import write_bench_json
+    path = write_bench_json("observability_gate", series,
+                            quick=options.quick, trials=options.trials)
+    print(f"wrote {path}")
     return 1 if failures else 0
 
 

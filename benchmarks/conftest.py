@@ -5,7 +5,13 @@ per-experiment index (BENCH-T1 … BENCH-T5).  Results are additionally
 collected into ``benchmarks/results.json`` by pytest-benchmark's own
 machinery when ``--benchmark-json`` is passed; EXPERIMENTS.md records a
 reference run.
+
+On top of that, ``pytest_sessionfinish`` groups the collected stats by
+module and writes one ``BENCH_<name>.json`` per ``bench_<name>.py``
+(``ops_per_s`` / ``p50_s`` / ``p99_s`` per test) so runs diff as data.
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -13,6 +19,8 @@ from repro.core import ECAEngine
 from repro.domain import (WorkloadConfig, synthetic_classes, synthetic_fleet,
                           synthetic_persons)
 from repro.services import standard_deployment
+
+from reporting import summarize, write_bench_json
 
 
 def build_world(config: WorkloadConfig):
@@ -28,3 +36,21 @@ def build_world(config: WorkloadConfig):
 @pytest.fixture()
 def small_config():
     return WorkloadConfig(persons=50, fleet_size=40, cities=3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one ``BENCH_<name>.json`` per bench module that ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    by_module: dict[str, dict] = {}
+    for bench in bench_session.benchmarks:
+        data = list(bench.stats.data)
+        if not data:
+            continue
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        name = module.removeprefix("bench_")
+        label = bench.fullname.split("::", 1)[-1]
+        by_module.setdefault(name, {})[label] = summarize(data)
+    for name, series in by_module.items():
+        write_bench_json(name, series)

@@ -1,0 +1,71 @@
+"""Machine-readable benchmark reporting.
+
+Every ``bench_*`` module emits a ``BENCH_<name>.json`` next to the
+benchmarks (ISSUE 5): per-series ``ops_per_s`` / ``p50_s`` / ``p99_s``
+so CI and EXPERIMENTS.md regressions diff numbers, not prose.  Two
+producers feed the same format:
+
+* the pytest-benchmark run — a ``pytest_sessionfinish`` hook in
+  ``conftest.py`` groups collected stats by module and calls
+  :func:`write_bench_json` once per module;
+* script modes (``python bench_engine_throughput.py --workers 4``) —
+  they time operations themselves and call :func:`write_bench_json`
+  directly with :func:`summarize` output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = ["percentile", "summarize", "write_bench_json", "RESULTS_DIR"]
+
+#: JSON files land next to the bench modules, like results.json does
+RESULTS_DIR = Path(__file__).resolve().parent
+
+
+def percentile(values, q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty series")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction)
+                 + ordered[high] * fraction)
+
+
+def summarize(timings) -> dict:
+    """Summary stats for a series of per-operation durations (seconds)."""
+    timings = list(timings)
+    mean = sum(timings) / len(timings)
+    return {
+        "rounds": len(timings),
+        "mean_s": mean,
+        "p50_s": percentile(timings, 50),
+        "p99_s": percentile(timings, 99),
+        "ops_per_s": (1.0 / mean) if mean > 0 else float("inf"),
+    }
+
+
+def write_bench_json(name: str, series: dict, directory=None,
+                     **extra) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    *series* maps a series label (usually the test name) to its
+    :func:`summarize` dict; *extra* keys land at the top level beside
+    it (workload parameters, speedup ratios, …).
+    """
+    target = Path(directory) if directory is not None else RESULTS_DIR
+    payload = {"bench": name, "series": series, **extra}
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

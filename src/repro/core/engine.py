@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -112,35 +113,44 @@ class _RegisteredRule:
 
 
 class _DetectionQueue:
-    """Priority-bucketed FIFO of pending detections.
+    """Priority-bucketed FIFO of pending detections (thread-safe).
 
     One deque per priority level plus a max-heap of the non-empty
     levels: ``push``/``pop`` are O(log P) in the number of *distinct*
     priorities, instead of the O(n) scan per pop that made large
     batched detection floods quadratic.  FIFO order within a level is
     preserved (the paper's priorities only order *across* levels).
+
+    All operations take the queue's lock: detections may be delivered
+    from event-service threads (HTTP servers, the concurrent runtime's
+    workers via rule chaining) while another thread drains, and the
+    heap/bucket invariant must never be observed half-updated.  The
+    lock doubles as the condition used by :meth:`wait` so a consumer
+    can block for work without polling.
     """
 
-    __slots__ = ("_buckets", "_heap", "_size")
+    __slots__ = ("_buckets", "_heap", "_size", "_lock", "_cond")
 
     def __init__(self) -> None:
         self._buckets: dict[int, deque] = {}
         self._heap: list[int] = []
         self._size = 0
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
 
     def push(self, priority: int, detection: Detection) -> None:
-        bucket = self._buckets.get(priority)
-        if bucket is None:
-            bucket = self._buckets[priority] = deque()
-        if not bucket:
-            # invariant: the heap holds each non-empty level exactly once
-            heapq.heappush(self._heap, -priority)
-        bucket.append(detection)
-        self._size += 1
+        with self._lock:
+            bucket = self._buckets.get(priority)
+            if bucket is None:
+                bucket = self._buckets[priority] = deque()
+            if not bucket:
+                # invariant: the heap holds each non-empty level once
+                heapq.heappush(self._heap, -priority)
+            bucket.append(detection)
+            self._size += 1
+            self._cond.notify()
 
-    def pop(self) -> Detection:
-        if not self._size:
-            raise IndexError("pop from empty detection queue")
+    def _pop_locked(self) -> Detection:
         priority = -self._heap[0]
         bucket = self._buckets[priority]
         detection = bucket.popleft()
@@ -148,6 +158,53 @@ class _DetectionQueue:
             heapq.heappop(self._heap)
         self._size -= 1
         return detection
+
+    def pop(self) -> Detection:
+        with self._lock:
+            if not self._size:
+                raise IndexError("pop from empty detection queue")
+            return self._pop_locked()
+
+    def pop_nowait(self) -> Detection | None:
+        """Highest-priority detection, or ``None`` when empty."""
+        with self._lock:
+            if not self._size:
+                return None
+            return self._pop_locked()
+
+    def wait(self, timeout: float | None = None) -> Detection | None:
+        """Block until a detection is available (or *timeout* elapses)."""
+        with self._lock:
+            if not self._size:
+                self._cond.wait(timeout)
+            if not self._size:
+                return None
+            return self._pop_locked()
+
+    def shed(self) -> Detection | None:
+        """Remove and return the oldest detection of the *lowest* level.
+
+        Backpressure victim selection for the runtime's ``drop-oldest``
+        policy: the detection shed is the one that would have been
+        handled last anyway, so the least-valuable work is lost.
+        Returns ``None`` when the queue is empty.
+        """
+        with self._lock:
+            if not self._size:
+                return None
+            entry = max(self._heap)  # entries are negated priorities
+            bucket = self._buckets[-entry]
+            detection = bucket.popleft()
+            if not bucket:
+                self._heap.remove(entry)
+                heapq.heapify(self._heap)
+            self._size -= 1
+            return detection
+
+    def notify_all(self) -> None:
+        """Wake every :meth:`wait`-blocked consumer (shutdown path)."""
+        with self._lock:
+            self._cond.notify_all()
 
     def __len__(self) -> int:
         return self._size
@@ -164,8 +221,15 @@ class ECAEngine:
                  keep_instances: bool = True,
                  max_kept_instances: int | None = None,
                  max_instances_per_rule: int | None = None,
-                 durability=None, observability=None) -> None:
+                 durability=None, observability=None,
+                 runtime=None) -> None:
         self.grh = grh
+        #: a :class:`repro.runtime.Runtime`, or ``None`` (the default —
+        #: the synchronous single-threaded path, the seed semantics).
+        #: With a runtime, detections are hashed to a fixed worker
+        #: shard and rule instances evaluate concurrently; call
+        #: :meth:`drain` to quiesce and :meth:`shutdown` when done.
+        self.runtime = runtime
         self.validate = validate
         self.evaluate_tests_locally = evaluate_tests_locally
         self.keep_instances = keep_instances
@@ -197,6 +261,14 @@ class ECAEngine:
         self._instance_counter = itertools.count(1)
         self._pending = _DetectionQueue()
         self._draining = False
+        #: guards the ``_draining`` flag: with concurrent producers, a
+        #: plain read-then-set is a race that can start two drains (and
+        #: interleave detections out of priority order)
+        self._state_lock = threading.Lock()
+        #: guards ``stats``: worker threads bump counters concurrently
+        self._stats_lock = threading.Lock()
+        #: guards the retained-instance list and per-rule buckets
+        self._retain_lock = threading.Lock()
         self._instance_observers: list[Callable[[RuleInstance], None]] = []
         self.stats = {"detections": 0, "instances": 0, "completed": 0,
                       "dead": 0, "failed": 0, "actions": 0, "evicted": 0}
@@ -215,6 +287,12 @@ class ECAEngine:
                 if key in self.stats:
                     self.stats[key] = value
             durability.attach(self)
+        if runtime is not None:
+            # attach before observability installs so the runtime (and
+            # its batcher, when batching is on) is fully built by the
+            # time install() registers the runtime metric callbacks;
+            # no detection can arrive until on_detection below
+            runtime.attach(self)
         if self._obs is not None:
             self._obs.install(self)
         grh.on_detection(self._on_detection)
@@ -301,6 +379,11 @@ class ECAEngine:
             detection = decode_detection(entry.data)
             self._pending.push(self._priority_of(detection), detection)
         self._drain()
+        if self.runtime is not None and self.runtime.running:
+            # replay itself is synchronous, but rule chaining during it
+            # routes follow-on detections to the worker pool: quiesce
+            # before the post-recovery checkpoint snapshots state
+            self.runtime.drain()
 
     # -- rule lifecycle ------------------------------------------------------
 
@@ -391,6 +474,17 @@ class ECAEngine:
 
     # -- detection handling (Fig. 6) --------------------------------------------
 
+    def _bump(self, key: str, n: int = 1) -> None:
+        """Increment one stats counter under the stats lock.
+
+        Worker threads of a concurrent runtime finish instances at the
+        same time; a plain ``stats[k] += 1`` loses increments under
+        contention.  The single-threaded path pays one uncontended lock
+        acquisition per bump.
+        """
+        with self._stats_lock:
+            self.stats[key] = self.stats.get(key, 0) + n
+
     def _on_detection(self, detection: Detection) -> None:
         """Queue a detection; drain synchronously unless already draining.
 
@@ -403,23 +497,60 @@ class ECAEngine:
         A durable engine journals the detection before queueing it and
         drops at-least-once redelivery (a detection id it has already
         journaled) — "exactly-once detection replay".
+
+        With a concurrent runtime, admitted detections are handed to the
+        worker pool instead: the runtime hashes them to a fixed shard and
+        applies its backpressure policy.  A ``reject``-policy runtime at
+        capacity raises :class:`repro.runtime.BackpressureError` to the
+        producer; the detection is journalled as ``dropped`` first so a
+        crash cannot resurrect work the engine refused.
         """
         if self.durability is not None:
             detection = self.durability.admit(detection)
             if detection is None:
                 return  # duplicate delivery of a known detection id
+        runtime = self.runtime
+        if runtime is not None and runtime.running:
+            try:
+                runtime.submit(detection, self._priority_of(detection))
+            except BaseException:
+                self._discard(detection)
+                raise
+            return
         self._pending.push(self._priority_of(detection), detection)
         self._drain()
 
+    def _discard(self, detection: Detection) -> None:
+        """Close the durable record of a detection shed by backpressure."""
+        if self.durability is not None and detection.detection_id is not None:
+            self.durability.detection_done(detection.detection_id, "dropped")
+
     def _drain(self) -> None:
-        if self._draining:
-            return
-        self._draining = True
-        try:
-            while self._pending:
-                self._handle(self._pending.pop())
-        finally:
-            self._draining = False
+        """Process queued detections until the queue is empty.
+
+        Exactly one thread drains at a time: the ``_draining`` flag is
+        tested-and-set under ``_state_lock`` (a bare flag allowed two
+        racing producers to both start draining and interleave pops out
+        of priority order).  After releasing the flag the queue is
+        re-checked — a detection pushed by a producer that observed the
+        flag still set would otherwise be stranded until the next event.
+        """
+        while True:
+            with self._state_lock:
+                if self._draining:
+                    return
+                self._draining = True
+            try:
+                while True:
+                    detection = self._pending.pop_nowait()
+                    if detection is None:
+                        break
+                    self._handle(detection)
+            finally:
+                with self._state_lock:
+                    self._draining = False
+            if not self._pending:
+                break
         if self.durability is not None:
             # compaction point: the queue is empty, so the snapshot has
             # no half-processed detection to misrepresent
@@ -437,25 +568,64 @@ class ECAEngine:
             with engine.batch():
                 stream.emit(event)      # triggers several rules
             # here, all triggered rules have run, by priority
+
+        With a concurrent runtime the block is a quiesce point instead:
+        detections route to the worker pool as they arrive, and exit
+        blocks until the pool has drained — the post-condition ("all
+        triggered rules have run") holds either way.
         """
         from contextlib import contextmanager
 
         @contextmanager
         def _batch():
-            if self._draining:
+            runtime = self.runtime
+            if runtime is not None and runtime.running:
+                try:
+                    yield
+                finally:
+                    runtime.drain()
+                return
+            with self._state_lock:
+                nested = self._draining
+                self._draining = True
+            if nested:
                 # already inside an evaluation: plain nesting, no-op
                 yield
                 return
-            self._draining = True
             try:
                 yield
             finally:
                 # drain exactly once, even when an exception escapes the
                 # block — queued detections must not be stranded
-                self._draining = False
+                with self._state_lock:
+                    self._draining = False
                 self._drain()
 
         return _batch()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Quiesce: block until every queued detection has been handled.
+
+        With a concurrent runtime this waits for all shard queues to
+        empty and all workers to go idle, flushes the GRH dispatch
+        batcher, and runs the durability commit barrier; without one it
+        simply drains the synchronous queue.  Returns ``True`` once
+        idle, ``False`` if *timeout* (seconds) elapsed first.
+        """
+        if self.runtime is not None:
+            return self.runtime.drain(timeout)
+        self._drain()
+        return True
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Drain and stop the concurrent runtime (no-op when absent).
+
+        Returns ``True`` when the runtime quiesced within *timeout*.
+        The engine remains usable afterwards on the synchronous path.
+        """
+        if self.runtime is not None:
+            return self.runtime.shutdown(timeout)
+        return True
 
     def _priority_of(self, detection: Detection) -> int:
         rule_id = self._by_component.get(detection.component_id)
@@ -471,7 +641,7 @@ class ECAEngine:
             if durability is not None and detection.detection_id is not None:
                 durability.detection_done(detection.detection_id, "dropped")
             return
-        self.stats["detections"] += 1
+        self._bump("detections")
         rule = self.rules[rule_id].rule
         if durability is not None:
             # a crash-replayed detection reuses its journaled instance
@@ -490,7 +660,7 @@ class ECAEngine:
                                 detection.bindings,
                                 triggering_events=detection.events)
         instance.record("event", detection.bindings)
-        self.stats["instances"] += 1
+        self._bump("instances")
         if self.keep_instances:
             self._retain(instance)
         for observer in self._instance_observers:
@@ -542,7 +712,13 @@ class ECAEngine:
         The global list and the per-rule buckets are subsequences of the
         same creation order, so the globally oldest instance is always
         the front of its own rule's bucket — eviction stays O(evicted).
+        Guarded by ``_retain_lock``: concurrent workers retain (and
+        evict) at the same time.
         """
+        with self._retain_lock:
+            self._retain_locked(instance)
+
+    def _retain_locked(self, instance: RuleInstance) -> None:
         self.instances.append(instance)
         bucket = self._instances_by_rule.get(instance.rule_id)
         if bucket is None:
@@ -567,7 +743,7 @@ class ECAEngine:
             del self.instances[:overflow]
             evicted += overflow
         if evicted:
-            self.stats["evicted"] += evicted
+            self._bump("evicted", evicted)
 
     # -- instance evaluation (Figs. 7-11) ----------------------------------------------
 
@@ -598,7 +774,7 @@ class ECAEngine:
                 instance.record(label, relation)
                 if not relation:
                     instance.status = "dead"
-                    self.stats["dead"] += 1
+                    self._bump("dead")
                     return
             if rule.test is not None:
                 span = obs.begin_phase("test", f"{rule.rule_id}::test") \
@@ -612,7 +788,7 @@ class ECAEngine:
                 instance.record("test", relation)
                 if not relation:
                     instance.status = "dead"
-                    self.stats["dead"] += 1
+                    self._bump("dead")
                     return
             for index, action in enumerate(rule.actions):
                 component_id = f"{rule.rule_id}::action-{index}"
@@ -629,19 +805,19 @@ class ECAEngine:
                     if span is not None:
                         obs.end_phase("action", span)
                 instance.actions_executed += executed
-                self.stats["actions"] += executed
+                self._bump("actions", executed)
             instance.record("action", relation)
             instance.status = "completed"
-            self.stats["completed"] += 1
+            self._bump("completed")
         except GRHError as exc:
             if isinstance(exc, ActionExecutionError) and exc.executed:
                 # tuples that ran before the failure really executed;
                 # keep the audit trail (to_xml, stats) truthful
                 instance.actions_executed += exc.executed
-                self.stats["actions"] += exc.executed
+                self._bump("actions", exc.executed)
             instance.status = "failed"
             instance.error = str(exc)
-            self.stats["failed"] += 1
+            self._bump("failed")
             return exc
         return None
 
@@ -663,6 +839,12 @@ class ECAEngine:
         Letters that fail again are re-parked by the normal failure
         path.  Returns a summary: letters replayed / succeeded / failed,
         and how many action executions the replay performed.
+
+        Replay order is deterministic: letters drain in park order
+        (their journal sequence), regardless of which worker thread
+        parked them — the same set of letters always replays the same
+        way, so a replay after crash recovery is reproducible even when
+        the failures themselves happened concurrently.
         """
         letters = self.grh.resilience.dead_letters.drain(limit)
         summary = {"replayed": 0, "succeeded": 0, "failed": 0, "actions": 0}
@@ -678,12 +860,12 @@ class ECAEngine:
                     if isinstance(exc, ActionExecutionError) and \
                             exc.executed:
                         summary["actions"] += exc.executed
-                        self.stats["actions"] += exc.executed
+                        self._bump("actions", exc.executed)
                     summary["failed"] += 1
                     continue
                 summary["succeeded"] += 1
                 summary["actions"] += executed
-                self.stats["actions"] += executed
+                self._bump("actions", executed)
             else:
                 # track the replayed instance itself: diffing the global
                 # ``failed`` counter misattributed a *chained* rule's
@@ -698,7 +880,13 @@ class ECAEngine:
 
     def _replay_detection(self, detection: Detection) -> RuleInstance | None:
         """Re-drive one parked detection; returns *its* instance (not a
-        chained one), or ``None`` if no rule matched it anymore."""
+        chained one), or ``None`` if no rule matched it anymore.
+
+        Replay always runs on the caller's thread through the
+        synchronous queue — even when a concurrent runtime is attached —
+        so letters re-run in their deterministic drain order (journal
+        sequence) and the returned instance is final when this returns.
+        """
         if self.durability is not None and detection.detection_id is not None:
             # the detection was marked done when its letter was parked;
             # an intentional replay must pass the duplicate filter
@@ -711,7 +899,13 @@ class ECAEngine:
 
         self._instance_observers.append(observe)
         try:
-            self._on_detection(detection)
+            if self.durability is not None:
+                admitted = self.durability.admit(detection)
+                if admitted is None:
+                    return None
+                detection = admitted
+            self._pending.push(self._priority_of(detection), detection)
+            self._drain()
         finally:
             self._instance_observers.remove(observe)
         return captured[0] if captured else None
@@ -727,7 +921,10 @@ class ECAEngine:
         """
         bucket = self._instances_by_rule.get(rule_id)
         if bucket is not None:
-            return list(bucket)
+            # under the retain lock: a worker appending to the deque
+            # mid-copy would raise "mutated during iteration"
+            with self._retain_lock:
+                return list(bucket)
         # instances appended by code that bypasses _retain (tests,
         # monitoring shims) still show up via the slow path
         return [instance for instance in self.instances

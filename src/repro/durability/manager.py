@@ -23,6 +23,7 @@ order of state transitions.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 from json.encoder import encode_basestring_ascii as _esc
@@ -99,13 +100,17 @@ class _ActionGuard:
         if ordered:
             manager = self._manager
             det_id = manager.current_detection
-            manager._journal_text(
-                f'{{"t":"exec","inst":{instance_id},"a":{action_index}'
-                ',"id":' + ("null" if det_id is None else _esc(det_id))
-                + ',"k":["' + '","'.join(ordered) + '"]}')
-            manager.executed.setdefault(
-                instance_id, set()).update(
-                    [(action_index, key) for key in ordered])
+            # one lock span for the intent record and the in-memory key
+            # set: a checkpoint racing between the two would snapshot an
+            # instance whose journaled keys it does not know about
+            with manager._lock:
+                manager._journal_text(
+                    f'{{"t":"exec","inst":{instance_id},"a":{action_index}'
+                    ',"id":' + ("null" if det_id is None else _esc(det_id))
+                    + ',"k":["' + '","'.join(ordered) + '"]}')
+                manager.executed.setdefault(
+                    instance_id, set()).update(
+                        [(action_index, key) for key in ordered])
         return dedups
 
 
@@ -150,11 +155,38 @@ class DurabilityManager:
             self.journal.restart(self.epoch)
         self.records_since_checkpoint = 0
         self.engine = None
-        self.current_detection: str | None = None
-        self.current_instance: int | None = None
+        #: serializes every journal append and all bookkeeping mutation:
+        #: with a concurrent runtime, detections are admitted on producer
+        #: threads while worker shards journal intents and completions —
+        #: the journal must stay a total order of state transitions.
+        #: Reentrant because a checkpoint taken inside a journaling call
+        #: path re-enters (e.g. ``maybe_checkpoint`` from ``_drain``).
+        self._lock = threading.RLock()
+        #: per-thread evaluation context: each worker tracks which
+        #: detection/instance *it* is evaluating, so dead letters parked
+        #: concurrently attribute to the right journal entries
+        self._local = threading.local()
         #: observability hook: called with each checkpoint's duration
         #: in seconds; ``None`` (default) costs nothing
         self.checkpoint_observer = None
+
+    # -- per-thread evaluation context --------------------------------------
+
+    @property
+    def current_detection(self) -> str | None:
+        return getattr(self._local, "detection", None)
+
+    @current_detection.setter
+    def current_detection(self, value: str | None) -> None:
+        self._local.detection = value
+
+    @property
+    def current_instance(self) -> int | None:
+        return getattr(self._local, "instance", None)
+
+    @current_instance.setter
+    def current_instance(self, value: int | None) -> None:
+        self._local.instance = value
 
     # -- wiring --------------------------------------------------------------
 
@@ -169,23 +201,27 @@ class DurabilityManager:
         return self.max_instance + 1
 
     def _journal(self, record: dict) -> None:
-        self.journal.append(record)
-        self.records_since_checkpoint += 1
+        with self._lock:
+            self.journal.append(record)
+            self.records_since_checkpoint += 1
 
     def _journal_text(self, payload: str) -> None:
         """Hot-path variant: the caller hand-assembled the JSON text."""
-        self.journal.append_encoded(payload)
-        self.records_since_checkpoint += 1
+        with self._lock:
+            self.journal.append_encoded(payload)
+            self.records_since_checkpoint += 1
 
     # -- rule lifecycle ------------------------------------------------------
 
     def record_rule_registered(self, rule_id: str, source: str) -> None:
-        self._journal({"t": "rule-add", "rule": rule_id, "src": source})
-        self.rule_sources[rule_id] = source
+        with self._lock:
+            self._journal({"t": "rule-add", "rule": rule_id, "src": source})
+            self.rule_sources[rule_id] = source
 
     def record_rule_deregistered(self, rule_id: str) -> None:
-        self._journal({"t": "rule-del", "rule": rule_id})
-        self.rule_sources.pop(rule_id, None)
+        with self._lock:
+            self._journal({"t": "rule-del", "rule": rule_id})
+            self.rule_sources.pop(rule_id, None)
 
     # -- detection lifecycle -------------------------------------------------
 
@@ -196,18 +232,19 @@ class DurabilityManager:
         completed (or currently in flight) is redelivery and is dropped
         — this is the exactly-once half the journal cannot give alone.
         """
-        if detection.detection_id is None:
-            detection = replace(
-                detection, detection_id=f"engine:{self.next_detection}")
-            self.next_detection += 1
-        det_id = detection.detection_id
-        if det_id in self.done or det_id in self.in_flight:
-            return None
-        data = encode_detection(detection)
-        self._journal_text('{"t":"det","id":' + _esc(det_id)
-                           + ',"d":' + data + "}")
-        self.in_flight[det_id] = _InFlight(data)
-        return detection
+        with self._lock:
+            if detection.detection_id is None:
+                detection = replace(
+                    detection, detection_id=f"engine:{self.next_detection}")
+                self.next_detection += 1
+            det_id = detection.detection_id
+            if det_id in self.done or det_id in self.in_flight:
+                return None
+            data = encode_detection(detection)
+            self._journal_text('{"t":"det","id":' + _esc(det_id)
+                               + ',"d":' + data + "}")
+            self.in_flight[det_id] = _InFlight(data)
+            return detection
 
     def instance_for(self, detection: Detection, counter) -> int:
         """The instance id for this detection — the journaled one when
@@ -221,14 +258,15 @@ class DurabilityManager:
         idempotency key, no dispatched ``dedup`` key (dispatch happens
         only after the ``exec`` intent is journaled) — so its id can be
         re-minted safely."""
-        entry = self.in_flight.get(detection.detection_id)
-        if entry is not None and entry.instance_id is not None:
-            return entry.instance_id
-        instance_id = next(counter)
-        if entry is not None:
-            entry.instance_id = instance_id
-        self.max_instance = max(self.max_instance, instance_id)
-        return instance_id
+        with self._lock:
+            entry = self.in_flight.get(detection.detection_id)
+            if entry is not None and entry.instance_id is not None:
+                return entry.instance_id
+            instance_id = next(counter)
+            if entry is not None:
+                entry.instance_id = instance_id
+            self.max_instance = max(self.max_instance, instance_id)
+            return instance_id
 
     def action_guard(self, instance_id: int,
                      action_index: int) -> _ActionGuard:
@@ -241,59 +279,79 @@ class DurabilityManager:
         done when its letter was journaled, so an intentional re-drive
         must first clear the duplicate filter.
         """
-        if self.done.pop(detection_id, None) is not None:
-            self._journal({"t": "forget", "id": detection_id})
+        with self._lock:
+            if self.done.pop(detection_id, None) is not None:
+                self._journal({"t": "forget", "id": detection_id})
 
     def detection_done(self, detection_id: str, status: str) -> None:
-        entry = self.in_flight.pop(detection_id, None)
-        inst = "null"
-        if entry is not None and entry.instance_id is not None:
-            inst = str(entry.instance_id)
-            # keys are only consulted while a detection can still be
-            # re-driven; dropping them keeps memory flat
-            self.executed.pop(entry.instance_id, None)
-        self._journal_text('{"t":"done","id":' + _esc(detection_id)
-                           + ',"s":"' + status + '","inst":' + inst + "}")
-        self.done[detection_id] = status
-        while len(self.done) > self.max_remembered_detections:
-            self.done.popitem(last=False)
-        self.journal.commit()
+        with self._lock:
+            entry = self.in_flight.pop(detection_id, None)
+            inst = "null"
+            if entry is not None and entry.instance_id is not None:
+                inst = str(entry.instance_id)
+                # keys are only consulted while a detection can still be
+                # re-driven; dropping them keeps memory flat
+                self.executed.pop(entry.instance_id, None)
+            self._journal_text('{"t":"done","id":' + _esc(detection_id)
+                               + ',"s":"' + status + '","inst":' + inst
+                               + "}")
+            self.done[detection_id] = status
+            while len(self.done) > self.max_remembered_detections:
+                self.done.popitem(last=False)
+            self.journal.commit()
 
     # -- dead letter durability ----------------------------------------------
 
     def _on_dead_letter_append(self, letter) -> None:
         record = {"t": "park", "xml": serialize(letter.to_xml())}
-        if letter.kind == "detection" and self.current_detection is not None:
-            record["det"] = self.current_detection
-            entry = self.in_flight.get(self.current_detection)
-            if entry is not None:
-                entry.parked = True
-        elif letter.kind == "action" and self.current_instance is not None:
-            record["inst"] = self.current_instance
-            for entry in self.in_flight.values():
-                if entry.instance_id == self.current_instance:
+        with self._lock:
+            if letter.kind == "detection" and \
+                    self.current_detection is not None:
+                record["det"] = self.current_detection
+                entry = self.in_flight.get(self.current_detection)
+                if entry is not None:
                     entry.parked = True
-        self._journal(record)
+            elif letter.kind == "action" and \
+                    self.current_instance is not None:
+                record["inst"] = self.current_instance
+                for entry in self.in_flight.values():
+                    if entry.instance_id == self.current_instance:
+                        entry.parked = True
+            self._journal(record)
 
     def _on_dead_letter_drain(self, count: int) -> None:
         self._journal({"t": "drain", "n": count})
 
     # -- checkpointing -------------------------------------------------------
 
+    def commit_barrier(self) -> None:
+        """Flush the journal to disk and compact if due.
+
+        The concurrent runtime calls this once per :meth:`drain` after
+        the last worker goes idle: every record journaled by any shard
+        is committed before drain returns, so a crash after a completed
+        drain can never lose acknowledged work.
+        """
+        with self._lock:
+            self.journal.commit()
+            self.maybe_checkpoint()
+
     def maybe_checkpoint(self) -> bool:
-        if self.records_since_checkpoint < self.checkpoint_interval:
-            return False
-        self.checkpoint()
-        return True
+        with self._lock:
+            if self.records_since_checkpoint < self.checkpoint_interval:
+                return False
+            self.checkpoint()
+            return True
 
     def checkpoint(self) -> None:
         """Snapshot everything, bump the epoch, truncate the journal."""
         observer = self.checkpoint_observer
         started = _perf_counter() if observer is not None else 0.0
-        self.epoch += 1
-        self.checkpointer.write(self.snapshot())
-        self.journal.restart(self.epoch)
-        self.records_since_checkpoint = 0
+        with self._lock:
+            self.epoch += 1
+            self.checkpointer.write(self.snapshot())
+            self.journal.restart(self.epoch)
+            self.records_since_checkpoint = 0
         if observer is not None:
             observer(_perf_counter() - started)
 

@@ -82,6 +82,13 @@ class GenericRequestHandler:
         #: (same-thread) service sees the span sink, so trace context
         #: need not be stamped into its envelope
         self._inline_cache: dict[str, bool] = {}
+        #: a :class:`repro.runtime.DispatchBatcher`, installed by a
+        #: concurrent runtime built with ``batching=True``; ``None``
+        #: (the default) sends every request on its own round-trip.
+        #: When present, ``query``/``test`` requests to non-inline,
+        #: batch-capable addresses coalesce into ``log:batch``
+        #: envelopes (PROTOCOL.md §10)
+        self.batcher = None
 
     @property
     def request_count(self) -> int:
@@ -161,6 +168,9 @@ class GenericRequestHandler:
         obs = self.observability
         span = None
         payload = request_to_xml(request)
+        inline = self._inline_cache.get(address)
+        if inline is None:
+            inline = self._probe_inline(address)
         if obs is not None:
             # the request span's identity rides in the envelope; an
             # observability-aware service across a process boundary
@@ -171,9 +181,6 @@ class GenericRequestHandler:
                                     {"kind": request.kind,
                                      "component": request.component_id,
                                      "language": descriptor.name})
-            inline = self._inline_cache.get(address)
-            if inline is None:
-                inline = self._probe_inline(address)
             if not inline and span.traceparent is not None:
                 payload.attributes[_TRACEPARENT_ATTR] = span.traceparent
         timeout = self.resilience.timeout_for(descriptor)
@@ -212,8 +219,24 @@ class GenericRequestHandler:
                 raise ServiceReportedError(error_text(response))
             return response
 
+        batcher = self.batcher
+        batched = (batcher is not None and not inline
+                   and request.kind in ("query", "test")
+                   and getattr(self.transport, "supports_batch",
+                               None) is not None
+                   and self.transport.supports_batch(address))
         try:
-            result = self.resilience.call(address, descriptor, attempt_once)
+            if batched:
+                # read-only request under a concurrent runtime: park it
+                # with the batcher, which ships one log:batch per
+                # address/window through the same resilience path and
+                # fans the log:batchresults back per caller
+                result = batcher.submit(address, descriptor, payload)
+                if obs is not None:
+                    self._strip_spans(result, obs)
+            else:
+                result = self.resilience.call(address, descriptor,
+                                              attempt_once)
         except TransientServiceFailure as exc:
             if span is not None:
                 _log_dispatch_failure(obs, request.kind, descriptor.name,

@@ -29,7 +29,9 @@ from ..xmlmodel import Element, LOG_NS, QName, Text
 __all__ = ["Request", "Detection", "request_to_xml", "xml_to_request",
            "detection_to_xml", "xml_to_detection", "ok_message",
            "error_message", "is_error", "error_text", "dead_letter_to_xml",
-           "xml_to_dead_letter", "MessageError", "REQUEST_KINDS"]
+           "xml_to_dead_letter", "MessageError", "REQUEST_KINDS",
+           "batch_to_xml", "xml_to_batch", "is_batch",
+           "batch_results_to_xml", "xml_to_batch_results"]
 
 REQUEST_KINDS = ("register-event", "unregister-event", "query", "action",
                  "test")
@@ -42,6 +44,9 @@ _EVENTS = QName(LOG_NS, "events")
 _OK = QName(LOG_NS, "ok")
 _ERROR = QName(LOG_NS, "error")
 _DEADLETTER = QName(LOG_NS, "deadletter")
+_BATCH = QName(LOG_NS, "batch")
+_BATCHRESULTS = QName(LOG_NS, "batchresults")
+_RESULT = QName(LOG_NS, "result")
 
 
 class MessageError(ValueError):
@@ -253,3 +258,105 @@ def is_error(element: Element) -> bool:
 
 def error_text(element: Element) -> str:
     return element.text()
+
+
+# -- batch envelopes (PROTOCOL.md §10) ---------------------------------------
+#
+# ``log:batch`` coalesces several independent ``log:request`` envelopes
+# from concurrent rule instances into one transport round-trip; the
+# service answers with ``log:batchresults`` holding one ``log:result``
+# wrapper per request, **in request order**.  A child that failed is a
+# ``log:error`` inside its wrapper — the failure is scoped to that one
+# request, never to the whole batch.  Both sides validate the ``n``
+# attribute against the actual child count so a truncated envelope is a
+# protocol error, not a silently shorter batch.
+
+
+def batch_to_xml(requests: list[Element]) -> Element:
+    """Wrap ``log:request`` elements into one ``log:batch`` envelope."""
+    element = Element(_BATCH, {QName(None, "n"): str(len(requests))},
+                      nsdecls={"log": LOG_NS})
+    for request in requests:
+        element.append(request)
+    return element
+
+
+def is_batch(element: Element) -> bool:
+    return element.name == _BATCH
+
+
+def xml_to_batch(element: Element) -> list[Element]:
+    """Unwrap a ``log:batch`` into its ``log:request`` children."""
+    if element.name != _BATCH:
+        raise MessageError(f"expected log:batch, got {element.name.clark}")
+    children = list(element.elements())
+    try:
+        declared = int(element.get("n", ""))
+    except ValueError as exc:
+        raise MessageError("log:batch needs an integer n attribute") from exc
+    if declared != len(children):
+        raise MessageError(
+            f"log:batch declares n={declared} but holds "
+            f"{len(children)} requests")
+    for child in children:
+        if child.name != _REQUEST:
+            raise MessageError(
+                f"log:batch may only hold log:request children, "
+                f"got {child.name.clark}")
+    return children
+
+
+def batch_results_to_xml(results: list[Element]) -> Element:
+    """Wrap per-request responses into one ``log:batchresults``.
+
+    Each response (``log:answers``, ``log:ok`` or ``log:error``) rides
+    in its own ``log:result`` wrapper at the position of the request it
+    answers.
+    """
+    element = Element(_BATCHRESULTS,
+                      {QName(None, "n"): str(len(results))},
+                      nsdecls={"log": LOG_NS})
+    for result in results:
+        wrapper = Element(_RESULT)
+        wrapper.append(result)
+        element.append(wrapper)
+    return element
+
+
+def xml_to_batch_results(element: Element,
+                         expected: int | None = None) -> list[Element]:
+    """Unwrap ``log:batchresults`` into per-request response elements.
+
+    With *expected*, the count is validated against the number of
+    requests the caller sent — a short or long answer is a protocol
+    error (fan-back must stay positional).
+    """
+    if element.name != _BATCHRESULTS:
+        raise MessageError(
+            f"expected log:batchresults, got {element.name.clark}")
+    wrappers = list(element.elements())
+    try:
+        declared = int(element.get("n", ""))
+    except ValueError as exc:
+        raise MessageError(
+            "log:batchresults needs an integer n attribute") from exc
+    if declared != len(wrappers):
+        raise MessageError(
+            f"log:batchresults declares n={declared} but holds "
+            f"{len(wrappers)} results")
+    if expected is not None and declared != expected:
+        raise MessageError(
+            f"log:batchresults answers {declared} requests, "
+            f"expected {expected}")
+    results = []
+    for wrapper in wrappers:
+        if wrapper.name != _RESULT:
+            raise MessageError(
+                f"log:batchresults may only hold log:result children, "
+                f"got {wrapper.name.clark}")
+        inner = list(wrapper.elements())
+        if len(inner) != 1:
+            raise MessageError(
+                "log:result must hold exactly one response element")
+        results.append(inner[0])
+    return results

@@ -195,6 +195,11 @@ class DeadLetter:
     error: str
     enqueued_at: float = 0.0
     attempts: int = 1
+    #: park-order sequence stamped by the queue (the letter's journal
+    #: sequence under a durable engine): replay follows it so the same
+    #: set of letters always replays in the same, reproducible order —
+    #: even when concurrent workers parked them in racing interleavings
+    seq: int = 0
     #: detection letters
     detection: Detection | None = None
     #: action letters
@@ -261,6 +266,14 @@ class DeadLetterQueue:
     as a front drain of one, which is what it is).  :meth:`restore`
     refills the queue on recovery *without* firing the hooks — the
     letters are already journaled.
+
+    Thread-safe: concurrent rule instances park letters from several
+    worker threads at once.  Every append stamps the letter's ``seq``
+    under the queue lock — the same total order the durability journal
+    records (``on_append`` fires inside the lock span, so journal order
+    and seq order cannot diverge) — and :meth:`drain` returns letters
+    sorted by it, making :meth:`~repro.core.ECAEngine.replay_dead_letters`
+    deterministic regardless of internal queue arrangement.
     """
 
     def __init__(self, max_size: int = 1000) -> None:
@@ -269,41 +282,63 @@ class DeadLetterQueue:
         self.dropped = 0
         self.on_append: Callable[[DeadLetter], None] | None = None
         self.on_drain: Callable[[int], None] | None = None
+        self._lock = threading.Lock()
+        self._seq = 0
 
     def append(self, letter: DeadLetter) -> None:
-        self._letters.append(letter)
-        if self.on_append is not None:
-            self.on_append(letter)
-        while len(self._letters) > self.max_size:
-            self._letters.popleft()
-            self.dropped += 1
-            if self.on_drain is not None:
-                self.on_drain(1)
+        with self._lock:
+            self._seq += 1
+            letter.seq = self._seq
+            self._letters.append(letter)
+            if self.on_append is not None:
+                self.on_append(letter)
+            while len(self._letters) > self.max_size:
+                self._letters.popleft()
+                self.dropped += 1
+                if self.on_drain is not None:
+                    self.on_drain(1)
 
     def drain(self, limit: int | None = None) -> list[DeadLetter]:
-        """Remove and return up to ``limit`` letters (all by default)."""
-        count = len(self._letters) if limit is None else min(
-            limit, len(self._letters))
-        letters = [self._letters.popleft() for _ in range(count)]
-        if letters and self.on_drain is not None:
-            self.on_drain(len(letters))
-        return letters
+        """Remove and return up to ``limit`` letters, oldest first.
+
+        The returned letters are sorted by park sequence (journal
+        order), so replay is reproducible: concurrent parking cannot
+        reorder what a later replay will do.
+        """
+        with self._lock:
+            count = len(self._letters) if limit is None else min(
+                limit, len(self._letters))
+            letters = [self._letters.popleft() for _ in range(count)]
+            if letters and self.on_drain is not None:
+                self.on_drain(len(letters))
+        return sorted(letters, key=lambda letter: letter.seq)
 
     def restore(self, letters: Iterable[DeadLetter]) -> None:
-        """Refill from recovered letters, bypassing the journal hooks."""
-        for letter in letters:
-            self._letters.append(letter)
+        """Refill from recovered letters, bypassing the journal hooks.
+
+        Recovery hands letters in journal order; the re-stamped ``seq``
+        preserves it for the first post-recovery replay.
+        """
+        with self._lock:
+            for letter in letters:
+                self._seq += 1
+                letter.seq = self._seq
+                self._letters.append(letter)
 
     def clear(self) -> None:
-        if self._letters and self.on_drain is not None:
-            self.on_drain(len(self._letters))
-        self._letters.clear()
+        with self._lock:
+            if self._letters and self.on_drain is not None:
+                self.on_drain(len(self._letters))
+            self._letters.clear()
 
     def __len__(self) -> int:
         return len(self._letters)
 
     def __iter__(self) -> Iterator[DeadLetter]:
-        return iter(self._letters)
+        # iterate a snapshot: a worker parking a letter mid-iteration
+        # must not blow up a monitoring scrape
+        with self._lock:
+            return iter(list(self._letters))
 
 
 #: sentinel distinguishing "use the default breaker" from "no breaker"

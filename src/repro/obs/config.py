@@ -39,6 +39,13 @@ name                                      kind       source
 ``eca_journal_records_total``             counter    durability journal
 ``eca_journal_fsync_seconds``             histogram  durability hot path
 ``eca_checkpoint_seconds``                histogram  durability hot path
+``eca_runtime_queue_depth{shard}``        gauge      concurrent runtime
+``eca_runtime_worker_utilization{shard}`` gauge      concurrent runtime
+``eca_runtime_accepting``                 gauge      admission gate
+``eca_runtime_detections_total{outcome}`` counter    concurrent runtime
+``eca_runtime_queue_wait_seconds``        histogram  concurrent runtime
+``eca_runtime_batches_total``             counter    dispatch batcher
+``eca_runtime_batched_requests_total``    counter    dispatch batcher
 ========================================  =========  =======================
 """
 
@@ -253,6 +260,45 @@ class Observability:
         metrics.counter("eca_dead_letters_dropped_total",
                         "Dead letters dropped on queue overflow",
                         callback=lambda: queue.dropped)
+
+        runtime = engine.runtime
+        if runtime is not None:
+            metrics.gauge(
+                "eca_runtime_queue_depth",
+                "Queued detections per worker shard", labels=("shard",),
+                callback=lambda: {str(shard): depth for shard, depth
+                                  in enumerate(runtime.queue_depths())})
+            metrics.gauge(
+                "eca_runtime_worker_utilization",
+                "Busy fraction per worker since attach", labels=("shard",),
+                callback=lambda: {str(shard): busy for shard, busy
+                                  in enumerate(runtime.utilization())})
+            metrics.gauge("eca_runtime_accepting",
+                          "Admission gate (1 accepting, 0 saturated/stopped)",
+                          callback=lambda: 1.0 if runtime.accepting else 0.0)
+            metrics.counter(
+                "eca_runtime_detections_total",
+                "Detections by runtime admission outcome",
+                labels=("outcome",),
+                callback=lambda: {"submitted": runtime.submitted,
+                                  "completed": runtime.completed,
+                                  "dropped": runtime.dropped,
+                                  "rejected": runtime.rejected,
+                                  "errors": runtime.errors})
+            runtime.on_wait = self.metrics.histogram(
+                "eca_runtime_queue_wait_seconds",
+                "Time a detection waited queued before a worker ran it"
+            ).observe
+            batcher = runtime.batcher
+            if batcher is not None:
+                metrics.counter(
+                    "eca_runtime_batches_total",
+                    "GRH dispatch batches shipped",
+                    callback=lambda: batcher.batches)
+                metrics.counter(
+                    "eca_runtime_batched_requests_total",
+                    "Requests that travelled inside a batch envelope",
+                    callback=lambda: batcher.batched_requests)
 
         durability = engine.durability
         if durability is not None:

@@ -12,9 +12,11 @@ standalone :class:`ObsAdminServer`:
   carries a breaker summary so an operator sees *why* a ready engine is
   degraded;
 * ``GET /introspect/rules | /instances | /breakers | /dead-letters |
-  /journal`` — JSON snapshots of the rule table, retained rule
-  instances (``?rule=…&limit=…``), per-endpoint breaker/retry state,
-  parked dead letters and the durability journal.
+  /journal | /runtime`` — JSON snapshots of the rule table, retained
+  rule instances (``?rule=…&limit=…``), per-endpoint breaker/retry
+  state, parked dead letters, the durability journal and the
+  concurrent runtime (per-shard queue depths, utilization, admission
+  and batcher counters).
 
 Snapshot discipline: every view first *copies* the shared state it
 reads (under the owning component's lock where one exists, e.g.
@@ -33,7 +35,8 @@ __all__ = ["IntrospectionSurface", "ObsAdminServer", "INTROSPECTION_ROUTES"]
 #: every route the surface answers; HttpServiceServer dispatches on these
 INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
                         "/introspect/instances", "/introspect/breakers",
-                        "/introspect/dead-letters", "/introspect/journal")
+                        "/introspect/dead-letters", "/introspect/journal",
+                        "/introspect/runtime")
 
 #: how many times a copy retries when a scrape races an engine mutation
 _SNAPSHOT_RETRIES = 5
@@ -91,6 +94,8 @@ class IntrospectionSurface:
             return 200, self.dead_letters()
         if path == "/introspect/journal":
             return 200, self.journal()
+        if path == "/introspect/runtime":
+            return 200, self.runtime()
         return 404, {"error": f"unknown introspection route {path!r}"}
 
     # -- probes --------------------------------------------------------------
@@ -107,6 +112,12 @@ class IntrospectionSurface:
         if durability is not None:
             checks["journal_writable"] = bool(
                 durability.journal_status().get("writable"))
+        runtime = engine.runtime
+        if runtime is not None:
+            # the admission gate IS the readiness signal for a pooled
+            # engine: a stopped or saturated pool must shed traffic at
+            # the balancer, not at the ingestion queue
+            checks["runtime_accepting"] = bool(runtime.accepting)
         breakers = _copy(lambda: {
             address: breaker.state for address, breaker
             in engine.grh.resilience._breakers.items()})
@@ -198,6 +209,27 @@ class IntrospectionSurface:
         status = durability.journal_status()
         status["durable"] = True
         return status
+
+    def runtime(self):
+        runtime = self.engine.runtime
+        if runtime is None:
+            return {"concurrent": False}
+        view = {
+            "concurrent": True,
+            "workers": runtime.workers,
+            "running": runtime.running,
+            "accepting": runtime.accepting,
+            "saturated": runtime.saturated,
+            "backpressure": runtime.backpressure,
+            "queue_capacity": runtime.queue_capacity,
+            "queue_depths": list(runtime.queue_depths()),
+            "utilization": [round(u, 4) for u in runtime.utilization()],
+            "counters": runtime.counters(),
+        }
+        batcher = runtime.batcher
+        if batcher is not None:
+            view["batcher"] = batcher.counters()
+        return view
 
 
 class ObsAdminServer:

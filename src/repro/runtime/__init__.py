@@ -1,0 +1,15 @@
+"""Concurrent execution runtime for the ECA engine.
+
+``repro.runtime`` makes the engine's natural parallelism — independent
+rule instances (paper Section 4) — executable: a sharded worker pool
+with bounded-queue admission control (:mod:`.pool`) and a per-endpoint
+GRH dispatch batcher (:mod:`.batcher`).  The default engine stays
+synchronous; construct with ``ECAEngine(grh, runtime=Runtime(...))`` to
+opt in.  See PROTOCOL.md §10 and the README "Scaling" section.
+"""
+
+from .batcher import DispatchBatcher
+from .pool import BACKPRESSURE_POLICIES, BackpressureError, Runtime
+
+__all__ = ["Runtime", "BackpressureError", "BACKPRESSURE_POLICIES",
+           "DispatchBatcher"]

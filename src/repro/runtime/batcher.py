@@ -1,0 +1,213 @@
+"""GRH dispatch batcher: coalesce concurrent requests per endpoint.
+
+With several rule instances in flight, many component requests target
+the same language service at nearly the same moment.  Each one is a
+full transport round-trip — and for HTTP endpoints the round-trip, not
+the evaluation, dominates.  :class:`DispatchBatcher` parks outgoing
+``query``/``test`` requests for up to a *window* and ships every
+request bound for the same address as one ``log:batch`` envelope
+(PROTOCOL.md §10); the ``log:batchresults`` answer fans back
+positionally, waking each blocked caller with exactly its own
+response.
+
+Scope is deliberately narrow:
+
+* only ``query`` and ``test`` requests batch — they are read-only, so
+  retrying a whole envelope after a transient failure re-evaluates but
+  never re-effects.  Actions keep their per-tuple dedup-keyed path.
+* only non-inline addresses batch — an in-process service is a plain
+  function call, there is no round-trip to amortize.
+* resilience is per-envelope: the batch goes through
+  ``ResilienceManager.call`` like any single request, so retry
+  policies and circuit breakers see batch failures exactly as they see
+  single-request failures.  A per-request ``log:error`` *inside* a
+  successful envelope is scoped to its one caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from ..grh.messages import (batch_to_xml, error_text, is_error,
+                            xml_to_batch_results)
+from ..grh.resilience import ServiceReportedError, TransientServiceFailure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..grh.handler import GenericRequestHandler
+    from ..grh.registry import LanguageDescriptor
+    from ..xmlmodel import Element
+
+
+class _Entry:
+    """One parked request: its payload and the caller's wakeup slot."""
+
+    __slots__ = ("payload", "event", "result", "error")
+
+    def __init__(self, payload: "Element") -> None:
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: Element | None = None
+        self.error: BaseException | None = None
+
+
+class _Bucket:
+    """Requests accumulating for one address within one window."""
+
+    __slots__ = ("descriptor", "deadline", "entries")
+
+    def __init__(self, descriptor: "LanguageDescriptor",
+                 deadline: float) -> None:
+        self.descriptor = descriptor
+        self.deadline = deadline
+        self.entries: list[_Entry] = []
+
+
+class DispatchBatcher:
+    """Coalesces same-address GRH requests into ``log:batch`` envelopes.
+
+    A bucket flushes when it reaches *max_batch* requests (flushed by
+    the submitting thread, zero added latency) or when its *window*
+    deadline passes (flushed by the background flusher thread).  The
+    concurrent runtime wires one of these into
+    ``GenericRequestHandler.batcher`` when built with
+    ``Runtime(batching=True)``.
+    """
+
+    def __init__(self, grh: "GenericRequestHandler", window: float = 0.005,
+                 max_batch: int = 16) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.grh = grh
+        self.window = window
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _Bucket] = {}
+        self._stop = False
+        # lifetime counters (monitoring snapshots)
+        self.batches = 0
+        self.batched_requests = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="eca-batch-flusher", daemon=True)
+        self._flusher.start()
+
+    # -- caller side ---------------------------------------------------------
+
+    def submit(self, address: str, descriptor: "LanguageDescriptor",
+               payload: "Element") -> "Element":
+        """Park *payload* for *address*; block until its batch answers.
+
+        Returns this request's own response element, or raises its
+        scoped error (``ServiceReportedError`` for a per-request
+        ``log:error``, the envelope's failure for a whole-batch one).
+        """
+        entry = _Entry(payload)
+        ripe: _Bucket | None = None
+        with self._lock:
+            if self._stop:
+                raise TransientServiceFailure("dispatch batcher is stopped")
+            bucket = self._buckets.get(address)
+            if bucket is None:
+                bucket = _Bucket(descriptor,
+                                 time.monotonic() + self.window)
+                self._buckets[address] = bucket
+            bucket.entries.append(entry)
+            if len(bucket.entries) >= self.max_batch:
+                del self._buckets[address]
+                ripe = bucket
+        if ripe is not None:
+            self.size_flushes += 1
+            self._flush_bucket(address, ripe)
+        while not entry.event.wait(1.0):
+            if self._stop:
+                raise TransientServiceFailure(
+                    "dispatch batcher stopped while request was parked")
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    # -- flushing ------------------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        pause = max(self.window / 2, 0.001)
+        while not self._stop:
+            time.sleep(pause)
+            now = time.monotonic()
+            due: list[tuple[str, _Bucket]] = []
+            with self._lock:
+                for address, bucket in list(self._buckets.items()):
+                    if bucket.deadline <= now:
+                        del self._buckets[address]
+                        due.append((address, bucket))
+            for address, bucket in due:
+                self.deadline_flushes += 1
+                self._flush_bucket(address, bucket)
+
+    def _flush_bucket(self, address: str, bucket: _Bucket) -> None:
+        grh = self.grh
+        entries = bucket.entries
+        descriptor = bucket.descriptor
+        envelope = batch_to_xml([entry.payload for entry in entries])
+        timeout = grh.resilience.timeout_for(descriptor)
+
+        def attempt_once():
+            try:
+                if timeout is not None:
+                    response = grh.transport.send_batch(
+                        address, envelope, timeout=timeout)
+                else:
+                    response = grh.transport.send_batch(address, envelope)
+            except Exception as exc:
+                raise TransientServiceFailure(str(exc)) from exc
+            if is_error(response):
+                # the whole envelope was refused by a healthy service
+                raise ServiceReportedError(error_text(response))
+            return xml_to_batch_results(response, expected=len(entries))
+
+        try:
+            results = grh.resilience.call(address, descriptor, attempt_once)
+        except BaseException as exc:
+            for entry in entries:
+                entry.error = exc
+                entry.event.set()
+            return
+        self.batches += 1
+        self.batched_requests += len(entries)
+        for entry, result in zip(entries, results):
+            if is_error(result):
+                entry.error = ServiceReportedError(error_text(result))
+            else:
+                entry.result = result
+            entry.event.set()
+
+    def flush(self) -> None:
+        """Flush every pending bucket now (the runtime's drain path)."""
+        with self._lock:
+            due = list(self._buckets.items())
+            self._buckets.clear()
+        for address, bucket in due:
+            self._flush_bucket(address, bucket)
+
+    def stop(self) -> None:
+        """Flush residuals and stop the flusher thread."""
+        self.flush()
+        self._stop = True
+        self._flusher.join(timeout=2.0)
+        # wake anything still parked (a submit that raced the stop)
+        with self._lock:
+            residual = list(self._buckets.items())
+            self._buckets.clear()
+        for address, bucket in residual:
+            self._flush_bucket(address, bucket)
+
+    def counters(self) -> dict:
+        """Lifetime batching counters (monitoring snapshot)."""
+        return {
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+        }

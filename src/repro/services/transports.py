@@ -23,11 +23,13 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
+from ..grh.messages import (batch_results_to_xml, error_message, is_batch,
+                            xml_to_batch)
 from ..xmlmodel import Element, parse, serialize
 
 __all__ = ["TransportError", "InProcessTransport", "HttpServiceServer",
            "HttpTransport", "HybridTransport", "AwareHandler",
-           "OpaqueHandler"]
+           "OpaqueHandler", "handle_batch"]
 
 #: A framework-aware service endpoint: XML message in, XML message out.
 AwareHandler = Callable[[Element], Element]
@@ -38,6 +40,25 @@ OpaqueHandler = Callable[[str], str]
 
 class TransportError(RuntimeError):
     """Raised when an endpoint is unknown or unreachable."""
+
+
+def handle_batch(handler: AwareHandler, envelope: Element) -> Element:
+    """Apply *handler* to each request of a ``log:batch`` envelope.
+
+    The service-side half of PROTOCOL.md §10: requests are handled in
+    order, a per-request exception becomes that request's ``log:error``
+    result (the rest of the batch still runs), and the responses ride
+    back positionally in one ``log:batchresults``.  Any existing aware
+    handler becomes batch-capable through this shim — services need no
+    batching code of their own.
+    """
+    results = []
+    for request in xml_to_batch(envelope):
+        try:
+            results.append(handler(request))
+        except Exception as exc:
+            results.append(error_message(str(exc)))
+    return batch_results_to_xml(results)
 
 
 class InProcessTransport:
@@ -81,6 +102,21 @@ class InProcessTransport:
             raise TransportError(f"no opaque service bound at {address!r}")
         return self._opaque[address](query)
 
+    def supports_batch(self, address: str) -> bool:
+        """Batching works against any aware handler via the shim."""
+        return address in self._aware
+
+    def send_batch(self, address: str, envelope: Element,
+                   timeout: float | None = None) -> Element:
+        """Dispatch a ``log:batch``; same wire-fidelity rules as send."""
+        if address not in self._aware:
+            raise TransportError(f"no service bound at {address!r}")
+        handler = self._aware[address]
+        if not self.serialize_messages:
+            return handle_batch(handler, envelope)
+        incoming = parse(serialize(envelope))
+        return parse(serialize(handle_batch(handler, incoming)))
+
 
 class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     """Serves one service: POST = aware protocol, GET ?query= = opaque.
@@ -107,7 +143,13 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", "0"))
         body = self.rfile.read(length).decode("utf-8")
         try:
-            response = self.aware_handler(parse(body))
+            message = parse(body)
+            if is_batch(message):
+                # batch envelope: fan out to the same handler per
+                # request, per-request failures scoped to their slot
+                response = handle_batch(self.aware_handler, message)
+            else:
+                response = self.aware_handler(message)
             payload = serialize(response).encode("utf-8")
         except Exception as exc:  # service errors become HTTP 500
             self.send_error(500, str(exc))
@@ -267,6 +309,17 @@ class HybridTransport:
             return self.http.fetch(address, query, timeout=timeout)
         return self.local.fetch(address, query, timeout=timeout)
 
+    def supports_batch(self, address: str) -> bool:
+        if self._is_http(address):
+            return self.http.supports_batch(address)
+        return self.local.supports_batch(address)
+
+    def send_batch(self, address: str, envelope: Element,
+                   timeout: float | None = None) -> Element:
+        if self._is_http(address):
+            return self.http.send_batch(address, envelope, timeout=timeout)
+        return self.local.send_batch(address, envelope, timeout=timeout)
+
 
 class HttpTransport:
     """Reaches services over HTTP (POST for aware, GET for opaque)."""
@@ -299,3 +352,12 @@ class HttpTransport:
                 return response.read().decode("utf-8")
         except OSError as exc:
             raise TransportError(f"cannot reach {address!r}: {exc}") from exc
+
+    def supports_batch(self, address: str) -> bool:
+        """The HTTP service handler unwraps ``log:batch`` itself."""
+        return True
+
+    def send_batch(self, address: str, envelope: Element,
+                   timeout: float | None = None) -> Element:
+        """A batch is one POST; the server-side handler fans out."""
+        return self.send(address, envelope, timeout=timeout)

@@ -1,0 +1,61 @@
+"""Shared harness for the concurrent-runtime tests.
+
+The differential pattern mirrors ``tests/durability``: drive the same
+seeded workload through differently-configured engines and compare the
+*externally visible* action effects (mailbox contents, sorted — the
+concurrent engine may interleave instances arbitrarily, but the set of
+effects must be exactly the synchronous engine's set).
+"""
+
+from __future__ import annotations
+
+from repro.core import ECAEngine
+from repro.domain import (WorkloadConfig, booking_payloads,
+                          synthetic_classes, synthetic_fleet,
+                          synthetic_persons)
+from repro.domain.workload import (full_pipeline_rule_markup,
+                                   simple_rule_markup)
+from repro.services import standard_deployment
+from repro.xmlmodel import serialize
+
+#: the default differential rule set: one Event→Action rule and one
+#: full Fig. 4 pipeline (query/opaque-query/action) so both the fast
+#: path and every component kind cross the worker pool
+DEFAULT_RULES = (simple_rule_markup("simple"),
+                 full_pipeline_rule_markup("pipeline"))
+
+
+def build_world(runtime=None, config: WorkloadConfig | None = None,
+                observability=None):
+    """A wired in-process deployment + engine over synthetic documents."""
+    config = config or WorkloadConfig(persons=10, fleet_size=8, cities=3)
+    deployment = standard_deployment()
+    deployment.add_document("persons.xml", synthetic_persons(config))
+    deployment.add_document("classes.xml", synthetic_classes())
+    deployment.add_document("fleet.xml", synthetic_fleet(config))
+    engine = ECAEngine(deployment.grh, runtime=runtime,
+                       observability=observability)
+    return deployment, engine
+
+
+def effects(deployment) -> dict[str, list[str]]:
+    """Every externally visible action effect, per mailbox, sorted."""
+    return {name: sorted(serialize(message.content)
+                         for message in messages)
+            for name, messages in deployment.runtime.mailboxes.items()}
+
+
+def run_workload(config: WorkloadConfig, count: int, runtime=None,
+                 rules=DEFAULT_RULES,
+                 observability=None) -> dict[str, list[str]]:
+    """Drive *count* seeded bookings through a fresh world; return its
+    sorted effect sets.  The runtime (when given) is drained and shut
+    down before effects are read, so nothing is still in flight."""
+    deployment, engine = build_world(runtime, config, observability)
+    for markup in rules:
+        engine.register_rule(markup)
+    for payload in booking_payloads(config, count):
+        deployment.stream.emit(payload)
+    assert engine.drain(60), "engine failed to quiesce"
+    assert engine.shutdown(10), "runtime failed to shut down"
+    return effects(deployment)

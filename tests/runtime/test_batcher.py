@@ -1,0 +1,266 @@
+"""Batched GRH dispatch: envelope codec, transports, fan-back, errors."""
+
+import threading
+
+import pytest
+
+from repro.bindings import Relation, relation_to_answers
+from repro.grh import (GenericRequestHandler, LanguageDescriptor,
+                       LanguageRegistry, error_message, ok_message)
+from repro.grh.messages import (MessageError, Request, batch_results_to_xml,
+                                batch_to_xml, is_batch, request_to_xml,
+                                xml_to_batch, xml_to_batch_results)
+from repro.runtime import DispatchBatcher, Runtime
+from repro.services import (HttpServiceServer, HttpTransport,
+                            HybridTransport, InProcessTransport)
+from repro.services.transports import handle_batch
+from repro.xmlmodel import parse, serialize
+
+
+def _request(n: int, kind: str = "query") -> "Request":
+    return Request(kind, f"c{n}", None, Relation([{"N": str(n)}]))
+
+
+def _payloads(count: int):
+    return [request_to_xml(_request(n)) for n in range(count)]
+
+
+class TestBatchCodec:
+    def test_roundtrip_through_serialization(self):
+        envelope = batch_to_xml(_payloads(3))
+        assert is_batch(envelope)
+        parsed = parse(serialize(envelope))
+        children = xml_to_batch(parsed)
+        assert len(children) == 3
+        assert [child.get("id") for child in children] == ["c0", "c1", "c2"]
+
+    def test_batch_count_mismatch_rejected(self):
+        envelope = batch_to_xml(_payloads(2))
+        envelope.attributes[next(iter(envelope.attributes))] = "5"
+        with pytest.raises(MessageError):
+            xml_to_batch(parse(serialize(envelope)))
+
+    def test_batch_rejects_non_request_children(self):
+        envelope = batch_to_xml([ok_message()])
+        with pytest.raises(MessageError):
+            xml_to_batch(envelope)
+
+    def test_results_roundtrip_positional(self):
+        results = [relation_to_answers(Relation([{"Q": "a"}])),
+                   error_message("slot two failed"),
+                   ok_message()]
+        wire = parse(serialize(batch_results_to_xml(results)))
+        back = xml_to_batch_results(wire, expected=3)
+        assert len(back) == 3
+        assert back[1].name.local == "error"
+
+    def test_results_expected_count_enforced(self):
+        wire = batch_results_to_xml([ok_message()])
+        with pytest.raises(MessageError):
+            xml_to_batch_results(wire, expected=2)
+
+
+class TestHandleBatchShim:
+    def test_per_request_failure_is_scoped(self):
+        def handler(request):
+            if request.get("id") == "c1":
+                raise RuntimeError("slot exploded")
+            return ok_message()
+
+        response = handle_batch(handler, batch_to_xml(_payloads(3)))
+        results = xml_to_batch_results(response, expected=3)
+        assert results[0].name.local == "ok"
+        assert results[1].name.local == "error"
+        assert "slot exploded" in results[1].text()
+        assert results[2].name.local == "ok"
+
+
+class TestTransportBatchSupport:
+    def test_in_process_send_batch(self):
+        transport = InProcessTransport()
+        transport.bind("svc:q", lambda request: ok_message())
+        assert transport.supports_batch("svc:q")
+        assert not transport.supports_batch("svc:unknown")
+        response = transport.send_batch("svc:q", batch_to_xml(_payloads(2)))
+        assert len(xml_to_batch_results(response, expected=2)) == 2
+
+    def test_http_server_unwraps_batch(self):
+        calls = []
+
+        def handler(request):
+            calls.append(request.get("id"))
+            return relation_to_answers(Relation([{"Q": request.get("id")}]))
+
+        server = HttpServiceServer(aware_handler=handler)
+        url = server.start()
+        try:
+            transport = HttpTransport(timeout=5.0)
+            assert transport.supports_batch(url)
+            response = transport.send_batch(url, batch_to_xml(_payloads(3)))
+        finally:
+            server.stop()
+        results = xml_to_batch_results(response, expected=3)
+        assert calls == ["c0", "c1", "c2"]       # one POST, three handles
+        assert all(r.name.local == "answers" for r in results)
+
+    def test_hybrid_routes_batches_both_ways(self):
+        transport = HybridTransport()
+        transport.bind("svc:local", lambda request: ok_message())
+        assert transport.supports_batch("svc:local")
+        response = transport.send_batch("svc:local",
+                                        batch_to_xml(_payloads(1)))
+        assert len(xml_to_batch_results(response, expected=1)) == 1
+
+
+class _CountingService:
+    """Aware query service that records how it was invoked."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.handled = 0
+
+    def handle(self, request):
+        with self.lock:
+            self.handled += 1
+        return relation_to_answers(
+            Relation([{"Q": f"answer-{request.get('id')}"}]))
+
+
+class TestDispatchBatcher:
+    def _grh_over_http(self, service):
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry, HybridTransport(timeout=5.0))
+        server = HttpServiceServer(aware_handler=service.handle)
+        url = server.start()
+        grh.add_remote_language(
+            LanguageDescriptor("urn:test:batchq", "query", "batchq"), url)
+        descriptor = registry.lookup("urn:test:batchq")
+        return grh, server, descriptor, url
+
+    def test_concurrent_submits_coalesce(self):
+        service = _CountingService()
+        grh, server, descriptor, url = self._grh_over_http(service)
+        batcher = DispatchBatcher(grh, window=0.05, max_batch=8)
+        results = {}
+
+        def submit(n):
+            payload = request_to_xml(_request(n))
+            results[n] = batcher.submit(url, descriptor, payload)
+
+        try:
+            threads = [threading.Thread(target=submit, args=(n,))
+                       for n in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)
+        finally:
+            batcher.stop()
+            server.stop()
+        assert service.handled == 6
+        assert batcher.batches < 6          # at least some coalescing
+        assert batcher.batched_requests == 6
+        # positional fan-back: each caller got exactly its own answer
+        for n, answer in results.items():
+            assert f"answer-c{n}" in serialize(answer)
+
+    def test_max_batch_forces_immediate_flush(self):
+        service = _CountingService()
+        grh, server, descriptor, url = self._grh_over_http(service)
+        batcher = DispatchBatcher(grh, window=60.0, max_batch=2)
+        results = []
+
+        def submit(n):
+            results.append(
+                batcher.submit(url, descriptor,
+                               request_to_xml(_request(n))))
+
+        try:
+            threads = [threading.Thread(target=submit, args=(n,))
+                       for n in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)  # would hang for 60s without size flush
+        finally:
+            batcher.stop()
+            server.stop()
+        assert len(results) == 2
+        assert batcher.size_flushes == 1
+
+    def test_engine_batched_query_equivalence(self):
+        """The same HTTP workload with and without batching yields the
+        same effects, and batching actually reduces POST round-trips."""
+        from repro.actions import ACTION_NS, ActionRuntime
+        from repro.core import ECAEngine
+        from repro.conditions import TEST_NS
+        from repro.events import ATOMIC_NS, EventStream
+        from repro.services import (ActionExecutionService,
+                                    AtomicEventService, TestLanguageService,
+                                    XQ_LANG, XQService)
+        from repro.domain import (WorkloadConfig, booking_payloads,
+                                  synthetic_persons)
+        from repro.xmlmodel import ECA_NS
+
+        def run(runtime):
+            config = WorkloadConfig(persons=8, fleet_size=6, cities=2)
+            registry = LanguageRegistry()
+            grh = GenericRequestHandler(registry,
+                                        HybridTransport(timeout=5.0))
+            stream = EventStream()
+            actions = ActionRuntime(event_stream=stream)
+            atomic = AtomicEventService(grh.notify)
+            atomic.attach(stream)
+            grh.add_service(
+                LanguageDescriptor(ATOMIC_NS, "event", "atomic"), atomic)
+            grh.add_service(
+                LanguageDescriptor(TEST_NS, "test", "test"),
+                TestLanguageService())
+            grh.add_service(
+                LanguageDescriptor(ACTION_NS, "action", "actions"),
+                ActionExecutionService(actions))
+            xq = XQService({"persons.xml": synthetic_persons(config)})
+            server = HttpServiceServer(aware_handler=xq.handle)
+            url = server.start()
+            grh.add_remote_language(
+                LanguageDescriptor(XQ_LANG, "query", "xquery-lite"), url)
+            engine = ECAEngine(grh, runtime=runtime)
+            from repro.domain.workload import TRAVEL_NS
+            engine.register_rule(f"""
+            <eca:rule xmlns:eca="{ECA_NS}" id="q">
+              <eca:event>
+                <travel:booking xmlns:travel="{TRAVEL_NS}"
+                                person="{{Person}}" to="{{To}}"/>
+              </eca:event>
+              <eca:variable name="Car">
+                <eca:query>
+                  <xq:xquery xmlns:xq="{XQ_LANG}">
+                    for $c in doc('persons.xml')
+                        //person[@name = $Person]/car
+                    return $c/model/text()
+                  </xq:xquery>
+                </eca:query>
+              </eca:variable>
+              <eca:action>
+                <act:send xmlns:act="{ACTION_NS}" to="out">
+                  <owns person="{{Person}}" car="{{Car}}"/>
+                </act:send>
+              </eca:action>
+            </eca:rule>""")
+            try:
+                for payload in booking_payloads(config, 12):
+                    stream.emit(payload)
+                assert engine.drain(30)
+            finally:
+                engine.shutdown(10)
+                server.stop()
+            effects = sorted(serialize(m.content)
+                             for m in actions.messages("out"))
+            return effects, xq
+
+        plain_effects, _ = run(Runtime(workers=4))
+        batched_runtime = Runtime(workers=4, batching=True,
+                                  batch_window=0.02, max_batch=8)
+        batched_effects, _ = run(batched_runtime)
+        assert batched_effects == plain_effects
+        assert batched_runtime.batcher is None  # detached on shutdown
