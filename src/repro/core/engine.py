@@ -269,7 +269,15 @@ class ECAEngine:
         self._stats_lock = threading.Lock()
         #: guards the retained-instance list and per-rule buckets
         self._retain_lock = threading.Lock()
-        self._instance_observers: list[Callable[[RuleInstance], None]] = []
+        #: callbacks fired with ``(instance, detection)`` for every
+        #: instance created; registered/iterated under ``_observer_lock``
+        #: because replay mutates the list while runtime workers read it
+        self._instance_observers: list[
+            Callable[[RuleInstance, Detection], None]] = []
+        self._observer_lock = threading.Lock()
+        #: serializes replay_dead_letters() calls: concurrent replays
+        #: would interleave their deterministic drain orders
+        self._replay_lock = threading.Lock()
         self.stats = {"detections": 0, "instances": 0, "completed": 0,
                       "dead": 0, "failed": 0, "actions": 0, "evicted": 0}
         #: readiness for ``GET /readyz`` (repro.obs.ops.admin): a fresh
@@ -663,8 +671,11 @@ class ECAEngine:
         self._bump("instances")
         if self.keep_instances:
             self._retain(instance)
-        for observer in self._instance_observers:
-            observer(instance)
+        if self._instance_observers:
+            with self._observer_lock:
+                observers = list(self._instance_observers)
+            for observer in observers:
+                observer(instance, detection)
         obs = self._obs
         root_span = None
         if obs is not None:
@@ -844,8 +855,14 @@ class ECAEngine:
         (their journal sequence), regardless of which worker thread
         parked them — the same set of letters always replays the same
         way, so a replay after crash recovery is reproducible even when
-        the failures themselves happened concurrently.
+        the failures themselves happened concurrently.  Concurrent
+        calls are serialized (one replay's drain order would otherwise
+        interleave with another's).
         """
+        with self._replay_lock:
+            return self._replay_drained(limit)
+
+    def _replay_drained(self, limit: int | None) -> dict:
         letters = self.grh.resilience.dead_letters.drain(limit)
         summary = {"replayed": 0, "succeeded": 0, "failed": 0, "actions": 0}
         for letter in letters:
@@ -891,23 +908,29 @@ class ECAEngine:
             # the detection was marked done when its letter was parked;
             # an intentional replay must pass the duplicate filter
             self.durability.forget(detection.detection_id)
+        if self.durability is not None:
+            admitted = self.durability.admit(detection)
+            if admitted is None:
+                return None
+            detection = admitted
         captured: list[RuleInstance] = []
 
-        def observe(instance: RuleInstance) -> None:
-            if not captured:
+        def observe(instance: RuleInstance, handled: Detection) -> None:
+            # match on the exact detection object being replayed:
+            # runtime workers create instances for unrelated detections
+            # concurrently, and capturing "the first instance by any
+            # thread" mis-attributed their outcomes to this letter
+            if handled is detection and not captured:
                 captured.append(instance)
 
-        self._instance_observers.append(observe)
+        with self._observer_lock:
+            self._instance_observers.append(observe)
         try:
-            if self.durability is not None:
-                admitted = self.durability.admit(detection)
-                if admitted is None:
-                    return None
-                detection = admitted
             self._pending.push(self._priority_of(detection), detection)
             self._drain()
         finally:
-            self._instance_observers.remove(observe)
+            with self._observer_lock:
+                self._instance_observers.remove(observe)
         return captured[0] if captured else None
 
     # -- introspection ---------------------------------------------------------------------

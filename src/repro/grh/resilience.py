@@ -270,10 +270,19 @@ class DeadLetterQueue:
     Thread-safe: concurrent rule instances park letters from several
     worker threads at once.  Every append stamps the letter's ``seq``
     under the queue lock — the same total order the durability journal
-    records (``on_append`` fires inside the lock span, so journal order
-    and seq order cannot diverge) — and :meth:`drain` returns letters
-    sorted by it, making :meth:`~repro.core.ECAEngine.replay_dead_letters`
-    deterministic regardless of internal queue arrangement.
+    records — and :meth:`drain` returns letters sorted by it, making
+    :meth:`~repro.core.ECAEngine.replay_dead_letters` deterministic
+    regardless of internal queue arrangement.
+
+    Lock discipline: the observer hooks are fired *after* the queue
+    lock is released.  The durability manager's hooks take its own
+    lock, and the manager holds that lock while snapshotting this
+    queue via :meth:`__iter__` (checkpoint) — firing a hook inside the
+    queue lock span is an ABBA deadlock with any concurrent
+    checkpoint.  Journal order still cannot diverge from seq order:
+    ``_hook_lock`` is acquired before the queue lock and held through
+    the hook calls, so mutation order and hook-firing order are the
+    same total order.
     """
 
     def __init__(self, max_size: int = 1000) -> None:
@@ -283,20 +292,27 @@ class DeadLetterQueue:
         self.on_append: Callable[[DeadLetter], None] | None = None
         self.on_drain: Callable[[int], None] | None = None
         self._lock = threading.Lock()
+        #: serializes mutation + hook firing (see class docstring);
+        #: always acquired before ``_lock``, never while holding it
+        self._hook_lock = threading.Lock()
         self._seq = 0
 
     def append(self, letter: DeadLetter) -> None:
-        with self._lock:
-            self._seq += 1
-            letter.seq = self._seq
-            self._letters.append(letter)
+        with self._hook_lock:
+            dropped = 0
+            with self._lock:
+                self._seq += 1
+                letter.seq = self._seq
+                self._letters.append(letter)
+                while len(self._letters) > self.max_size:
+                    self._letters.popleft()
+                    self.dropped += 1
+                    dropped += 1
             if self.on_append is not None:
                 self.on_append(letter)
-            while len(self._letters) > self.max_size:
-                self._letters.popleft()
-                self.dropped += 1
-                if self.on_drain is not None:
-                    self.on_drain(1)
+            if dropped and self.on_drain is not None:
+                # a drop on overflow is a front drain of one
+                self.on_drain(dropped)
 
     def drain(self, limit: int | None = None) -> list[DeadLetter]:
         """Remove and return up to ``limit`` letters, oldest first.
@@ -305,10 +321,11 @@ class DeadLetterQueue:
         order), so replay is reproducible: concurrent parking cannot
         reorder what a later replay will do.
         """
-        with self._lock:
-            count = len(self._letters) if limit is None else min(
-                limit, len(self._letters))
-            letters = [self._letters.popleft() for _ in range(count)]
+        with self._hook_lock:
+            with self._lock:
+                count = len(self._letters) if limit is None else min(
+                    limit, len(self._letters))
+                letters = [self._letters.popleft() for _ in range(count)]
             if letters and self.on_drain is not None:
                 self.on_drain(len(letters))
         return sorted(letters, key=lambda letter: letter.seq)
@@ -326,10 +343,12 @@ class DeadLetterQueue:
                 self._letters.append(letter)
 
     def clear(self) -> None:
-        with self._lock:
-            if self._letters and self.on_drain is not None:
-                self.on_drain(len(self._letters))
-            self._letters.clear()
+        with self._hook_lock:
+            with self._lock:
+                count = len(self._letters)
+                self._letters.clear()
+            if count and self.on_drain is not None:
+                self.on_drain(count)
 
     def __len__(self) -> int:
         return len(self._letters)

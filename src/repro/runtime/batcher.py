@@ -40,6 +40,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..xmlmodel import Element
 
 
+def _scoped_copy(exc: BaseException) -> BaseException:
+    """Per-caller copy of a whole-envelope failure.
+
+    Every parked caller re-raises its error on its own thread; handing
+    all of them the *same* exception object means concurrent raises
+    mutate its ``__traceback__`` racily and produce tracebacks mixing
+    frames from different callers.  The copy chains to the original via
+    ``__cause__`` so the envelope failure stays visible.
+    """
+    try:
+        copy = type(exc)(*exc.args)
+    except Exception:
+        copy = TransientServiceFailure(str(exc))
+    copy.__cause__ = exc
+    return copy
+
+
 class _Entry:
     """One parked request: its payload and the caller's wakeup slot."""
 
@@ -171,7 +188,7 @@ class DispatchBatcher:
             results = grh.resilience.call(address, descriptor, attempt_once)
         except BaseException as exc:
             for entry in entries:
-                entry.error = exc
+                entry.error = _scoped_copy(exc)
                 entry.event.set()
             return
         self.batches += 1

@@ -121,7 +121,10 @@ class Runtime:
         from ..core.engine import _DetectionQueue
         self._queues = [_DetectionQueue() for _ in range(workers)]
         self._threads: list[threading.Thread] = []
-        self._worker_idents: set[int] = set()
+        #: per-thread flag set inside worker threads; an ident set would
+        #: outlive the thread and misclassify a producer whose OS-reused
+        #: ident matched a dead worker's
+        self._worker_local = threading.local()
         self._engine: ECAEngine | None = None
         self.batcher: DispatchBatcher | None = None
 
@@ -218,7 +221,7 @@ class Runtime:
         with self._lock:
             if not self._running:
                 raise RuntimeError("runtime is not running")
-            chained = threading.get_ident() in self._worker_idents
+            chained = getattr(self._worker_local, "is_worker", False)
             if not chained and self._size >= self.queue_capacity:
                 if self.backpressure == "reject":
                     self.rejected += 1
@@ -234,6 +237,12 @@ class Runtime:
                         self._size -= 1
                         self.dropped += 1
                         self._enqueued_at.pop(id(victim), None)
+                    # both sheds returning None means every counted
+                    # detection is mid-pickup (popped from its shard
+                    # queue, pool lock not yet taken): real queued depth
+                    # is below capacity, so admitting is not over-
+                    # admitting — _size corrects when workers get the
+                    # lock
                 else:  # block
                     deadline = (None if self.submit_timeout is None
                                 else time.monotonic() + self.submit_timeout)
@@ -263,7 +272,7 @@ class Runtime:
 
     def _worker(self, index: int) -> None:
         queue = self._queues[index]
-        self._worker_idents.add(threading.get_ident())
+        self._worker_local.is_worker = True
         while True:
             detection = queue.wait(timeout=self._poll_interval)
             if detection is None:
@@ -272,8 +281,15 @@ class Runtime:
                 continue
             start = time.monotonic()
             with self._lock:
+                # the detection leaves the queued count at pickup, not
+                # at completion: _size is what the capacity gate and
+                # /readyz reflect, and counting executing detections
+                # made small capacities permanently "full" (shed() then
+                # found nothing to drop and submit over-admitted)
+                self._size -= 1
                 self._active += 1
                 waited = start - self._enqueued_at.pop(id(detection), start)
+                self._space.notify()
             hook = self.on_wait
             if hook is not None:
                 try:
@@ -295,13 +311,11 @@ class Runtime:
                 elapsed = time.monotonic() - start
                 with self._lock:
                     self._active -= 1
-                    self._size -= 1
                     self._busy_time[index] += elapsed
                     if ok:
                         self.completed += 1
                     else:
                         self.errors += 1
-                    self._space.notify()
                     if self._size == 0 and self._active == 0:
                         self._idle.notify_all()
 

@@ -188,6 +188,42 @@ class TestBlockPolicy:
         assert engine.stats["completed"] == 6
 
 
+class TestCapacityCountsQueuedOnly:
+    def test_executing_detection_frees_queue_space(self):
+        """Regression: the capacity gate used to count *executing*
+        detections, so at small capacities every in-flight item could
+        be on a worker, shed() found nothing to drop, and submit
+        silently pushed past capacity.  Capacity now gates queued
+        detections only: space frees at worker pickup, and drop-oldest
+        always has a genuinely queued victim when the gate fires."""
+        runtime = Runtime(workers=1, queue_capacity=1,
+                          backpressure="drop-oldest")
+        deployment, engine, release = _gated_engine(runtime)
+        payloads = booking_payloads(WorkloadConfig(), 3)
+        try:
+            deployment.stream.emit(payloads[0])
+            for _ in range(200):        # wait for worker pickup
+                counters = runtime.counters()
+                if counters["active"] == 1 and counters["queued"] == 0:
+                    break
+                time.sleep(0.01)
+            counters = runtime.counters()
+            assert counters["active"] == 1 and counters["queued"] == 0
+            assert runtime.accepting    # executing work doesn't saturate
+            deployment.stream.emit(payloads[1])
+            assert runtime.counters()["queued"] == 1
+            assert not runtime.accepting
+            deployment.stream.emit(payloads[2])   # gate fires: must shed
+            assert runtime.dropped == 1
+            assert runtime.counters()["queued"] == 1
+            release.set()
+            assert engine.drain(10)
+        finally:
+            release.set()
+            engine.shutdown(5)
+        assert engine.stats["completed"] == 2
+
+
 class TestAdmissionGate:
     def test_gate_reflects_saturation(self):
         runtime = Runtime(workers=1, queue_capacity=1, backpressure="reject")

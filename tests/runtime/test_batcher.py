@@ -188,6 +188,43 @@ class TestDispatchBatcher:
         assert len(results) == 2
         assert batcher.size_flushes == 1
 
+    def test_envelope_failure_is_scoped_per_caller(self):
+        """Regression: a whole-envelope failure handed the *same*
+        exception object to every parked caller; concurrent re-raises
+        mutated its ``__traceback__`` racily.  Each caller now gets its
+        own copy, chained to the shared envelope failure."""
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry, HybridTransport(timeout=0.5))
+        address = "http://127.0.0.1:9/down"      # nothing listens here
+        grh.add_remote_language(
+            LanguageDescriptor("urn:test:downq", "query", "downq"), address)
+        descriptor = registry.lookup("urn:test:downq")
+        batcher = DispatchBatcher(grh, window=60.0, max_batch=2)
+        errors = {}
+
+        def submit(n):
+            try:
+                batcher.submit(address, descriptor,
+                               request_to_xml(_request(n)))
+            except BaseException as exc:
+                errors[n] = exc
+
+        try:
+            threads = [threading.Thread(target=submit, args=(n,))
+                       for n in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10)
+        finally:
+            batcher.stop()
+        assert set(errors) == {0, 1}
+        assert errors[0] is not errors[1]            # distinct objects
+        assert type(errors[0]) is type(errors[1])
+        # both chain back to the one envelope failure
+        assert errors[0].__cause__ is errors[1].__cause__
+        assert errors[0].__cause__ is not None
+
     def test_engine_batched_query_equivalence(self):
         """The same HTTP workload with and without batching yields the
         same effects, and batching actually reduces POST round-trips."""

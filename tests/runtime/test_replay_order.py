@@ -11,7 +11,8 @@ from repro.bindings import Relation, relation_to_answers
 
 from .harness import build_world
 from repro.domain import WorkloadConfig, booking_payloads
-from repro.domain.workload import TRAVEL_NS
+from repro.domain.workload import TRAVEL_NS, simple_rule_markup
+from repro.grh.messages import Detection
 from repro.xmlmodel import ECA_NS
 
 
@@ -48,8 +49,8 @@ class TestDeadLetterQueueOrdering:
         for thread in threads:
             thread.join(5)
         assert len(queue) == 100
-        # the journal saw seqs in stamping order (append holds the lock
-        # across stamp + hook, so the orders cannot diverge)
+        # the journal saw seqs in stamping order (the queue's hook lock
+        # spans stamp + hook, so the orders cannot diverge)
         assert journal_order == sorted(journal_order)
         drained = queue.drain()
         assert [letter.seq for letter in drained] == sorted(
@@ -70,6 +71,36 @@ class TestDeadLetterQueueOrdering:
             queue.append(_letter(n))
         assert queue.dropped == 2
         assert [letter.seq for letter in queue.drain()] == [3, 4, 5]
+
+
+class TestReplayAttribution:
+    def test_replay_captures_its_own_instance_not_a_concurrent_one(self):
+        """Regression: the replay observer used to capture the first
+        instance created by ANY thread; an instance a runtime worker
+        created for an unrelated detection mid-replay was mis-attributed
+        to the letter.  The observer now matches the exact detection
+        object being replayed."""
+        deployment, engine = build_world(None)
+        engine.register_rule(simple_rule_markup("replayed"))
+        engine.register_rule(simple_rule_markup("bystander"))
+        bindings = Relation([{"Person": "alice", "To": "oslo"}])
+        target = Detection("replayed::event", 0.0, 1.0, bindings,
+                           detection_id="dT")
+        other = Detection("bystander::event", 0.0, 1.0, bindings,
+                          detection_id="dO")
+        original = engine._handle
+
+        def interleaving(detection):
+            if detection is target:
+                # simulate a concurrent worker creating an unrelated
+                # instance while the replay's detection is being handled
+                original(other)
+            original(detection)
+
+        engine._handle = interleaving
+        instance = engine._replay_detection(target)
+        assert instance is not None
+        assert instance.rule_id == "replayed"
 
 
 FLAKY_LANG = "urn:test:replay-flaky"

@@ -76,20 +76,30 @@ class TestConcurrentExecution:
         """Two slow instances on different shards overlap in time."""
         deployment, engine = build_world(Runtime(workers=4))
         barrier = threading.Barrier(2, timeout=5)
+        import itertools
+        entries = itertools.count(1)
         original = engine._handle
 
         def slow(detection):
-            barrier.wait()  # only passes if two workers are inside
+            # only the first two arrivals synchronize: the first blocks
+            # in the barrier, so the second can only come from another
+            # worker — a genuine cross-shard overlap.  Later detections
+            # pass straight through (shard assignment is hash-random;
+            # making *every* call wait deadlocked on uneven splits,
+            # e.g. three detections on one shard running serially)
+            if next(entries) <= 2:
+                barrier.wait()
             original(detection)
 
         engine._handle = slow
         try:
             engine.register_rule(simple_rule_markup("r1"))
-            _emit_bookings(deployment, 4)
+            _emit_bookings(deployment, 8)
             assert engine.drain(10)
         finally:
             engine.shutdown(5)
-        assert engine.stats["completed"] == 4
+        assert not barrier.broken        # the overlap actually happened
+        assert engine.stats["completed"] == 8
 
     def test_same_detection_id_lands_on_same_shard(self):
         runtime = Runtime(workers=4)
