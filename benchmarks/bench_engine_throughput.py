@@ -13,14 +13,19 @@ Expected shape: throughput degrades roughly linearly in the number of
 *matching* rules (each match is an instance evaluation); non-matching
 rules cost only a pattern test at the event service.
 
-Script mode benchmarks the concurrent runtime (ISSUE 5) over an
+Script mode benchmarks the concurrent runtime (ISSUE 5/6) over an
 HTTP-bound workload — each rule instance blocks ~8 ms on a remote
-query, so worker parallelism is the only throughput lever::
+query, so overlapping round-trips is the only throughput lever.  A
+configuration is ``workers`` or ``workersxinflight`` (the per-shard
+in-flight window, PROTOCOL.md §11); ``0`` is the synchronous engine::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
-        --workers 4                 # one configuration
+        --workers 4 --inflight 8    # one configuration
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
         --compare 1,4               # speedup gate: 4 workers >= 2.5x
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --compare 0,4,4x8,4x16 --min-speedup 10
+                                    # in-flight sweep vs the sync engine
 
 Both modes write ``BENCH_engine_throughput_http.json``.
 """
@@ -107,10 +112,15 @@ class _SlowHttpService:
         return relation_to_answers(Relation([{"Q": "ok"}]))
 
 
-def _http_world(workers: int, delay: float):
+def _http_world(workers: int, delay: float, inflight: int = 1):
     """Engine + HTTP-backed slow query; *workers* = 0 means synchronous."""
     registry = LanguageRegistry()
-    grh = GenericRequestHandler(registry, HybridTransport(timeout=30.0))
+    # pool bound >= workers * inflight so the window, not the pool,
+    # is the concurrency limit being measured
+    grh = GenericRequestHandler(
+        registry, HybridTransport(
+            timeout=30.0,
+            max_per_endpoint=max(32, workers * inflight)))
     stream = EventStream()
     actions = ActionRuntime(event_stream=stream)
     atomic = AtomicEventService(grh.notify)
@@ -123,8 +133,8 @@ def _http_world(workers: int, delay: float):
         aware_handler=_SlowHttpService(delay).handle)
     grh.add_remote_language(
         LanguageDescriptor(SLOW_LANG, "query", "slow-http"), server.start())
-    runtime = Runtime(workers=workers, queue_capacity=4096) \
-        if workers else None
+    runtime = Runtime(workers=workers, queue_capacity=4096,
+                      inflight=inflight) if workers else None
     engine = ECAEngine(grh, runtime=runtime, keep_instances=False)
     engine.register_rule(f"""
     <eca:rule xmlns:eca="{ECA_NS}" id="http-bound">
@@ -139,9 +149,9 @@ def _http_world(workers: int, delay: float):
 
 
 def measure_http_throughput(workers: int, events: int, blocks: int,
-                            delay: float) -> dict:
+                            delay: float, inflight: int = 1) -> dict:
     """Per-event durations over *blocks* repeated drained blocks."""
-    engine, stream, server = _http_world(workers, delay)
+    engine, stream, server = _http_world(workers, delay, inflight)
     config = WorkloadConfig(persons=20, fleet_size=10, cities=3, seed=1)
     payloads = booking_payloads(config, events)
     try:
@@ -162,17 +172,33 @@ def measure_http_throughput(workers: int, events: int, blocks: int,
         server.stop()
     result = summarize(per_event)
     result["workers"] = workers
+    result["inflight"] = inflight
     return result
+
+
+def _parse_spec(spec: str) -> tuple[int, int]:
+    """``"4"`` -> (4 workers, window 1); ``"4x8"`` -> (4, window 8)."""
+    workers, sep, inflight = spec.strip().partition("x")
+    return (int(workers), int(inflight)) if sep else (int(workers), 1)
+
+
+def _spec_label(workers: int, inflight: int) -> str:
+    return f"workers={workers}" if inflight == 1 \
+        else f"workers={workers}x{inflight}"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="HTTP-bound engine throughput across worker counts")
+        description="HTTP-bound engine throughput across worker counts "
+                    "and in-flight window depths")
     parser.add_argument("--workers", type=int, default=4,
                         help="pool size; 0 = synchronous engine")
+    parser.add_argument("--inflight", type=int, default=1,
+                        help="per-shard in-flight window (single mode)")
     parser.add_argument("--compare", type=str, default=None,
-                        help="comma-separated worker counts; gates the "
-                             "last against the first at --min-speedup")
+                        help="comma-separated configurations (WORKERS or "
+                             "WORKERSxINFLIGHT); gates the last against "
+                             "the first at --min-speedup")
     parser.add_argument("--events", type=int, default=60,
                         help="events per timed block")
     parser.add_argument("--blocks", type=int, default=3)
@@ -181,28 +207,32 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=2.5)
     options = parser.parse_args(argv)
 
-    counts = [int(part) for part in options.compare.split(",")] \
-        if options.compare else [options.workers]
+    specs = [_parse_spec(part) for part in options.compare.split(",")] \
+        if options.compare else [(options.workers, options.inflight)]
     series = {}
-    for workers in counts:
+    for workers, inflight in specs:
         result = measure_http_throughput(
-            workers, options.events, options.blocks, options.delay)
-        series[f"workers={workers}"] = result
-        print(f"workers={workers:<3d} {result['ops_per_s']:8.1f} ev/s   "
+            workers, options.events, options.blocks, options.delay,
+            inflight)
+        label = _spec_label(workers, inflight)
+        series[label] = result
+        print(f"{label:<16s} {result['ops_per_s']:8.1f} ev/s   "
               f"p50 {result['p50_s'] * 1e3:6.2f} ms   "
               f"p99 {result['p99_s'] * 1e3:6.2f} ms")
 
     extra = {"events_per_block": options.events, "blocks": options.blocks,
              "remote_delay_s": options.delay}
     failed = False
-    if len(counts) > 1:
-        baseline = series[f"workers={counts[0]}"]["ops_per_s"]
-        candidate = series[f"workers={counts[-1]}"]["ops_per_s"]
+    if len(specs) > 1:
+        first, last = specs[0], specs[-1]
+        baseline = series[_spec_label(*first)]["ops_per_s"]
+        candidate = series[_spec_label(*last)]["ops_per_s"]
         speedup = candidate / baseline
         extra["speedup"] = speedup
         verdict = "ok" if speedup >= options.min_speedup else "FAIL"
-        print(f"speedup {counts[-1]}w / {counts[0]}w: {speedup:.2f}x  "
-              f"(gate {options.min_speedup:.1f}x)  {verdict}")
+        print(f"speedup {_spec_label(*last)} / {_spec_label(*first)}: "
+              f"{speedup:.2f}x  (gate {options.min_speedup:.1f}x)  "
+              f"{verdict}")
         failed = speedup < options.min_speedup
     path = write_bench_json("engine_throughput_http", series, **extra)
     print(f"wrote {path}")

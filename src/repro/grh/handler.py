@@ -204,6 +204,12 @@ class GenericRequestHandler:
             except GRHError:
                 raise
             except Exception as exc:
+                if getattr(exc, "service_reported", False):
+                    # an HTTP error status from a *live* service (the
+                    # transport taxonomy of PROTOCOL.md §11): the
+                    # service's own report — deterministic, so not
+                    # retried by default and never breaker-counted
+                    raise ServiceReportedError(str(exc)) from exc
                 # a crash on the other side of the transport is a service
                 # failure: transient, retryable, counted by the breaker
                 raise TransientServiceFailure(str(exc)) from exc
@@ -416,6 +422,9 @@ class GenericRequestHandler:
             except GRHError:
                 raise
             except Exception as exc:
+                if getattr(exc, "service_reported", False):
+                    # §11 taxonomy: error status from a live service
+                    raise ServiceReportedError(str(exc)) from exc
                 raise TransientServiceFailure(str(exc)) from exc
 
         try:
@@ -427,6 +436,13 @@ class GenericRequestHandler:
                 obs.observe_request("fetch", span)
             raise GRHError(f"service {descriptor.name!r} unreachable or "
                            f"crashed: {exc}") from exc
+        except ServiceReportedError as exc:
+            if span is not None:
+                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
+                obs.tracer.finish(span, status="error")
+                obs.observe_request("fetch", span)
+            raise GRHError(f"service {descriptor.name!r} reported: "
+                           f"{exc}") from exc
         except GRHError as exc:
             if span is not None:
                 _log_dispatch_failure(obs, "fetch", descriptor.name, exc)

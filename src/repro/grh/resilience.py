@@ -19,10 +19,12 @@ service traffic passes through — the Generic Request Handler:
 * :class:`ResilienceManager` — owns the policies, breakers, counters and
   the injectable ``clock``/``sleep`` used by all of the above.
 
-Failure classification (see docs/PROTOCOL.md §6): a transport-level
-failure (connection refused, HTTP 5xx, a crash inside an in-process
-service) is **transient** — it is retried and counted against the
-endpoint's breaker.  A clean ``log:error`` response is an **application
+Failure classification (see docs/PROTOCOL.md §6/§11): a
+transport-level failure (connection refused, a dead socket, a gateway
+502/503/504, a crash inside an in-process service) is **transient** —
+it is retried and counted against the endpoint's breaker.  A clean
+``log:error`` response *or an HTTP error status from a live service*
+(the transport marks it ``service_reported``) is an **application
 error** from a healthy service — it is not retried (unless the policy
 opts in) and never trips the breaker.
 """

@@ -261,6 +261,25 @@ class Observability:
                         "Dead letters dropped on queue overflow",
                         callback=lambda: queue.dropped)
 
+        pool_stats = getattr(grh.transport, "pool_stats", None)
+        if pool_stats is not None:
+            metrics.gauge(
+                "eca_http_pool_connections",
+                "Pooled HTTP connections per origin by state",
+                labels=("origin", "state"),
+                callback=lambda: {
+                    (origin, state): float(stats[state])
+                    for origin, stats in pool_stats().items()
+                    for state in ("idle", "in_use")})
+            metrics.counter(
+                "eca_http_pool_events_total",
+                "Pooled HTTP connection lifecycle events per origin",
+                labels=("origin", "event"),
+                callback=lambda: {
+                    (origin, event): stats[event]
+                    for origin, stats in pool_stats().items()
+                    for event in ("created", "reused", "retired", "reaped")})
+
         runtime = engine.runtime
         if runtime is not None:
             metrics.gauge(
@@ -268,6 +287,12 @@ class Observability:
                 "Queued detections per worker shard", labels=("shard",),
                 callback=lambda: {str(shard): depth for shard, depth
                                   in enumerate(runtime.queue_depths())})
+            metrics.gauge(
+                "eca_runtime_inflight_depth",
+                "Popped-but-incomplete detections per worker shard",
+                labels=("shard",),
+                callback=lambda: {str(shard): depth for shard, depth
+                                  in enumerate(runtime.inflight_depths())})
             metrics.gauge(
                 "eca_runtime_worker_utilization",
                 "Busy fraction per worker since attach", labels=("shard",),

@@ -222,13 +222,18 @@ class IntrospectionSurface:
             "saturated": runtime.saturated,
             "backpressure": runtime.backpressure,
             "queue_capacity": runtime.queue_capacity,
+            "inflight_window": runtime.inflight,
             "queue_depths": list(runtime.queue_depths()),
+            "inflight_depths": list(runtime.inflight_depths()),
             "utilization": [round(u, 4) for u in runtime.utilization()],
             "counters": runtime.counters(),
         }
         batcher = runtime.batcher
         if batcher is not None:
             view["batcher"] = batcher.counters()
+        pool_stats = getattr(self.engine.grh.transport, "pool_stats", None)
+        if pool_stats is not None:
+            view["http_pools"] = pool_stats()
         return view
 
 

@@ -93,16 +93,23 @@ class DispatchBatcher:
     """
 
     def __init__(self, grh: "GenericRequestHandler", window: float = 0.005,
-                 max_batch: int = 16) -> None:
+                 max_batch: int = 16, max_timeout_scale: int = 4) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_timeout_scale < 1:
+            raise ValueError("max_timeout_scale must be >= 1")
         self.grh = grh
         self.window = window
         self.max_batch = max_batch
+        #: a deep envelope gets proportionally more wall-clock budget
+        #: than a single request, capped at this factor (PROTOCOL.md §10)
+        self.max_timeout_scale = max_timeout_scale
         self._lock = threading.Lock()
         self._buckets: dict[str, _Bucket] = {}
         self._stop = False
-        # lifetime counters (monitoring snapshots)
+        # lifetime counters (monitoring snapshots); mutated under
+        # ``_lock`` — submitters and the flusher increment concurrently,
+        # and unlocked ``+= 1`` loses increments
         self.batches = 0
         self.batched_requests = 0
         self.size_flushes = 0
@@ -134,9 +141,9 @@ class DispatchBatcher:
             bucket.entries.append(entry)
             if len(bucket.entries) >= self.max_batch:
                 del self._buckets[address]
+                self.size_flushes += 1
                 ripe = bucket
         if ripe is not None:
-            self.size_flushes += 1
             self._flush_bucket(address, ripe)
         while not entry.event.wait(1.0):
             if self._stop:
@@ -158,9 +165,9 @@ class DispatchBatcher:
                 for address, bucket in list(self._buckets.items()):
                     if bucket.deadline <= now:
                         del self._buckets[address]
+                        self.deadline_flushes += 1
                         due.append((address, bucket))
             for address, bucket in due:
-                self.deadline_flushes += 1
                 self._flush_bucket(address, bucket)
 
     def _flush_bucket(self, address: str, bucket: _Bucket) -> None:
@@ -169,6 +176,11 @@ class DispatchBatcher:
         descriptor = bucket.descriptor
         envelope = batch_to_xml([entry.payload for entry in entries])
         timeout = grh.resilience.timeout_for(descriptor)
+        if timeout is not None:
+            # the policy's timeout budgets ONE request; an envelope of n
+            # requests gets n budgets, capped — otherwise a deep batch
+            # is held to a single request's deadline (PROTOCOL.md §10)
+            timeout *= min(len(entries), self.max_timeout_scale)
 
         def attempt_once():
             try:
@@ -178,6 +190,10 @@ class DispatchBatcher:
                 else:
                     response = grh.transport.send_batch(address, envelope)
             except Exception as exc:
+                if getattr(exc, "service_reported", False):
+                    # §11 taxonomy: an HTTP error status from a live
+                    # service refused the whole envelope cleanly
+                    raise ServiceReportedError(str(exc)) from exc
                 raise TransientServiceFailure(str(exc)) from exc
             if is_error(response):
                 # the whole envelope was refused by a healthy service
@@ -191,8 +207,9 @@ class DispatchBatcher:
                 entry.error = _scoped_copy(exc)
                 entry.event.set()
             return
-        self.batches += 1
-        self.batched_requests += len(entries)
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += len(entries)
         for entry, result in zip(entries, results):
             if is_error(result):
                 entry.error = ServiceReportedError(error_text(result))

@@ -26,6 +26,24 @@ Admission control is a bounded global queue with three policies:
 ``Runtime.accepting`` is the admission gate the ``/readyz`` probe
 reflects: a saturated runtime reports not-ready so load balancers stop
 routing events at it before the queue policy has to fire.
+
+In-flight window (``inflight > 1``)
+-----------------------------------
+
+One thread per shard means one component request in flight per shard —
+and the HTTP-bound workload is round-trip bound, not CPU bound, so the
+workers mostly sleep inside ``urlopen``.  With ``inflight=n`` each
+shard runs a *dispatcher* thread that pops its queue in order and hands
+detections to ``n`` *lane* threads.  The PROTOCOL.md §10 per-source
+ordering contract survives because the dispatcher is the only consumer
+of the shard queue and classifies atomically: a detection whose source
+key (``component_id#detection_id``) is already executing is chained
+behind the running one in a busy map, and the finishing lane executes
+the chain in pop order.  Distinct sources proceed concurrently up to
+the window.  A per-shard semaphore holds one permit per popped-but-
+incomplete detection, so a dispatcher can never drain its whole queue
+into memory — hot shards degrade to at most ``inflight`` popped
+detections and the capacity gate stays honest.
 """
 
 from __future__ import annotations
@@ -34,6 +52,7 @@ import itertools
 import threading
 import time
 import zlib
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +71,26 @@ class BackpressureError(RuntimeError):
     the detection was journalled as ``dropped`` first under a durable
     engine, so recovery will not replay work the engine refused.
     """
+
+
+class _ShardDispatch:
+    """Per-shard state for the in-flight window (``inflight > 1``).
+
+    ``busy`` maps an executing source key to the deque of detections
+    chained behind it; ``ready`` holds classified detections waiting
+    for a lane; ``permits`` bounds popped-but-incomplete detections.
+    """
+
+    __slots__ = ("lock", "work", "busy", "ready", "permits",
+                 "dispatcher_done")
+
+    def __init__(self, inflight: int) -> None:
+        self.lock = threading.Lock()
+        self.work = threading.Condition(self.lock)
+        self.busy: dict[object, deque] = {}
+        self.ready: deque = deque()
+        self.permits = threading.Semaphore(inflight)
+        self.dispatcher_done = False
 
 
 class Runtime:
@@ -87,24 +126,33 @@ class Runtime:
     batch_window / max_batch:
         batcher tuning — how long a request may wait for co-travellers
         and the envelope size that forces an immediate flush.
+    inflight:
+        per-shard in-flight window.  ``1`` (the default) keeps the
+        classic one-thread-per-shard path.  ``n > 1`` runs a dispatcher
+        plus ``n`` lane threads per shard so up to ``n`` *distinct*
+        sources execute concurrently while same-source detections stay
+        serialized in pop order (PROTOCOL.md §11).
 
     Ordering guarantees: within one shard, detections run in priority
-    order (FIFO per level) and each instance's components run in the
-    paper's order on one thread.  *Across* shards there is no global
-    order — rules that must serialize against each other should share a
-    shard key or run on the synchronous engine.
+    order (FIFO per level) and detections sharing a source key
+    (``component_id#detection_id``) run strictly in pop order even with
+    ``inflight > 1``.  *Across* shards there is no global order — rules
+    that must serialize against each other should share a shard key or
+    run on the synchronous engine.
     """
 
     def __init__(self, workers: int = 4, queue_capacity: int = 1024,
                  backpressure: str = "block", *,
                  submit_timeout: float | None = None,
                  batching: bool = False, batch_window: float = 0.005,
-                 max_batch: int = 16,
+                 max_batch: int = 16, inflight: int = 1,
                  poll_interval: float = 0.2) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if inflight < 1:
+            raise ValueError("inflight must be >= 1")
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
                 f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
@@ -116,10 +164,13 @@ class Runtime:
         self.batching = batching
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.inflight = inflight
         self._poll_interval = poll_interval
 
         from ..core.engine import _DetectionQueue
         self._queues = [_DetectionQueue() for _ in range(workers)]
+        self._shards = ([_ShardDispatch(inflight) for _ in range(workers)]
+                        if inflight > 1 else [])
         self._threads: list[threading.Thread] = []
         #: per-thread flag set inside worker threads; an ident set would
         #: outlive the thread and misclassify a producer whose OS-reused
@@ -133,6 +184,8 @@ class Runtime:
         self._idle = threading.Condition(self._lock)    # pool quiesced
         self._size = 0          # queued, not yet picked up
         self._active = 0        # being executed right now
+        self._inflight = 0      # popped, not yet completed (≥ _active)
+        self._shard_inflight = [0] * workers
         self._running = False
         self._stop = False
 
@@ -177,11 +230,24 @@ class Runtime:
                 max_batch=self.max_batch)
             engine.grh.batcher = self.batcher
         for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker, args=(index,),
-                name=f"eca-runtime-{index}", daemon=True)
-            self._threads.append(thread)
-            thread.start()
+            if self.inflight > 1:
+                thread = threading.Thread(
+                    target=self._dispatcher, args=(index,),
+                    name=f"eca-runtime-{index}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
+                for lane in range(self.inflight):
+                    worker = threading.Thread(
+                        target=self._lane, args=(index,),
+                        name=f"eca-runtime-{index}-lane{lane}", daemon=True)
+                    self._threads.append(worker)
+                    worker.start()
+            else:
+                thread = threading.Thread(
+                    target=self._worker, args=(index,),
+                    name=f"eca-runtime-{index}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
 
     @property
     def running(self) -> bool:
@@ -288,6 +354,8 @@ class Runtime:
                 # found nothing to drop and submit over-admitted)
                 self._size -= 1
                 self._active += 1
+                self._inflight += 1
+                self._shard_inflight[index] += 1
                 waited = start - self._enqueued_at.pop(id(detection), start)
                 self._space.notify()
             hook = self.on_wait
@@ -311,6 +379,8 @@ class Runtime:
                 elapsed = time.monotonic() - start
                 with self._lock:
                     self._active -= 1
+                    self._inflight -= 1
+                    self._shard_inflight[index] -= 1
                     self._busy_time[index] += elapsed
                     if ok:
                         self.completed += 1
@@ -318,6 +388,118 @@ class Runtime:
                         self.errors += 1
                     if self._size == 0 and self._active == 0:
                         self._idle.notify_all()
+
+    # -- execution: in-flight window (inflight > 1) --------------------------
+
+    def _source_key(self, detection: "Detection") -> object:
+        """Serialization key for the §10/§11 per-source ordering contract.
+
+        Matches the shard hash input; a detection without a stable
+        identity gets a unique key and never serializes with anything.
+        """
+        key = detection.detection_id
+        if key is None:
+            return object()
+        return f"{detection.component_id}#{key}"
+
+    def _dispatcher(self, index: int) -> None:
+        """Sole consumer of shard *index*'s queue; classifies in order.
+
+        Popping and classifying on one thread is what preserves
+        per-source order: by the time a second same-source detection is
+        popped, the first is already registered in the busy map, so the
+        second chains behind it instead of racing to a free lane.
+        """
+        queue = self._queues[index]
+        shard = self._shards[index]
+        while True:
+            detection = queue.wait(timeout=self._poll_interval)
+            if detection is None:
+                if self._stop and not queue:
+                    break
+                continue
+            # one permit per popped-but-incomplete detection (released
+            # by the executing lane); bounds memory and keeps the
+            # capacity gate honest — _size drops at pop, so popping
+            # without bound would report a drained queue that is really
+            # a pile of waiting work
+            while not shard.permits.acquire(timeout=self._poll_interval):
+                pass
+            start = time.monotonic()
+            with self._lock:
+                self._size -= 1
+                self._inflight += 1
+                self._shard_inflight[index] += 1
+                waited = start - self._enqueued_at.pop(id(detection), start)
+                self._space.notify()
+            hook = self.on_wait
+            if hook is not None:
+                try:
+                    hook(waited)
+                except Exception:
+                    pass
+            key = self._source_key(detection)
+            with shard.lock:
+                pending = shard.busy.get(key)
+                if pending is not None:
+                    # same source already executing: chain behind it
+                    pending.append(detection)
+                else:
+                    shard.busy[key] = deque()
+                    shard.ready.append((key, detection))
+                    shard.work.notify()
+        with shard.lock:
+            shard.dispatcher_done = True
+            shard.work.notify_all()
+
+    def _lane(self, index: int) -> None:
+        """One execution lane of shard *index*'s in-flight window."""
+        shard = self._shards[index]
+        self._worker_local.is_worker = True
+        while True:
+            with shard.lock:
+                while not shard.ready:
+                    if shard.dispatcher_done:
+                        return
+                    shard.work.wait(self._poll_interval)
+                key, detection = shard.ready.popleft()
+            while True:
+                self._execute(index, detection)
+                shard.permits.release()
+                with shard.lock:
+                    pending = shard.busy[key]
+                    if pending:
+                        # drain the same-source chain in pop order
+                        detection = pending.popleft()
+                    else:
+                        del shard.busy[key]
+                        break
+
+    def _execute(self, index: int, detection: "Detection") -> None:
+        """Run one instance evaluation with the pool's accounting."""
+        start = time.monotonic()
+        with self._lock:
+            self._active += 1
+        engine = self._engine
+        ok = False
+        try:
+            engine._handle(detection)
+            ok = True
+        except BaseException as exc:  # shield the pool (see _worker)
+            self.last_error = exc
+        finally:
+            elapsed = time.monotonic() - start
+            with self._lock:
+                self._active -= 1
+                self._inflight -= 1
+                self._shard_inflight[index] -= 1
+                self._busy_time[index] += elapsed
+                if ok:
+                    self.completed += 1
+                else:
+                    self.errors += 1
+                if self._size == 0 and self._inflight == 0:
+                    self._idle.notify_all()
 
     # -- quiesce -------------------------------------------------------------
 
@@ -334,7 +516,7 @@ class Runtime:
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
         with self._lock:
-            while self._size > 0 or self._active > 0:
+            while self._size > 0 or self._active > 0 or self._inflight > 0:
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
@@ -382,6 +564,10 @@ class Runtime:
         """Current per-shard queue depths (monitoring snapshot)."""
         return [len(queue) for queue in self._queues]
 
+    def inflight_depths(self) -> list[int]:
+        """Per-shard popped-but-incomplete detections (snapshot)."""
+        return list(self._shard_inflight)
+
     def utilization(self) -> list[float]:
         """Per-worker busy fraction since attach (monitoring snapshot)."""
         if self._started_at is None:
@@ -399,4 +585,5 @@ class Runtime:
             "errors": self.errors,
             "queued": self._size,
             "active": self._active,
+            "inflight": self._inflight,
         }

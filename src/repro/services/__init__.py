@@ -10,7 +10,8 @@ from .query_services import (DATALOG_LANG, DatalogService, EXIST_LANG,
                              XQ_LANG, XQService)
 from .test_service import TestLanguageService
 from .transports import (HttpServiceServer, HttpTransport, HybridTransport,
-                         InProcessTransport, TransportError)
+                         InProcessTransport, PooledHttpTransport,
+                         ServiceStatusError, TransportError)
 
 __all__ = [
     "LanguageService", "ServiceError",
@@ -20,7 +21,8 @@ __all__ = [
     "XQ_LANG", "EXIST_LANG", "SPARQL_LANG", "DATALOG_LANG",
     "TestLanguageService", "ActionExecutionService",
     "InProcessTransport", "HttpTransport", "HybridTransport",
+    "PooledHttpTransport",
     "HttpServiceServer",
-    "TransportError",
+    "TransportError", "ServiceStatusError",
     "Deployment", "standard_deployment",
 ]

@@ -12,24 +12,45 @@ between the GRH and the services):
   localhost (stdlib ``http.server``), POSTing ``log:`` messages; plain
   GET with a ``query`` parameter reaches framework-UNaware services the
   way the paper's eXist node is reached (Fig. 9).
+* :class:`PooledHttpTransport` — the same wire protocol over per-origin
+  keep-alive connection pools (bounded size, idle reaping, broken-
+  connection retirement and one transparent reconnect on a stale
+  socket).  This is the production HTTP path: per-request TCP setup is
+  the dominant cost of the sync transport under load (PROTOCOL.md §11).
+
+Failure taxonomy (PROTOCOL.md §11): a *connection-level* failure — the
+endpoint could not be reached, or the socket died before a response —
+raises plain :class:`TransportError` (transient, retryable,
+breaker-counted by the GRH).  An HTTP *error status* means a live
+service answered and refused: it raises :class:`ServiceStatusError`
+(``service_reported``), which the GRH maps onto its non-retryable
+``ServiceReportedError`` path.  Gateway statuses (502/503/504) are the
+exception — they signal infrastructure trouble in front of the
+service and stay transient.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
+import time
+import urllib.error
 import urllib.parse
 import urllib.request
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
-from ..grh.messages import (batch_results_to_xml, error_message, is_batch,
-                            xml_to_batch)
+from ..grh.messages import (batch_results_to_xml, error_message, error_text,
+                            is_batch, is_error, xml_to_batch)
 from ..xmlmodel import Element, parse, serialize
 
-__all__ = ["TransportError", "InProcessTransport", "HttpServiceServer",
-           "HttpTransport", "HybridTransport", "AwareHandler",
-           "OpaqueHandler", "handle_batch"]
+__all__ = ["TransportError", "ServiceStatusError", "InProcessTransport",
+           "HttpServiceServer", "HttpTransport", "PooledHttpTransport",
+           "HybridTransport", "AwareHandler", "OpaqueHandler",
+           "handle_batch"]
 
 #: A framework-aware service endpoint: XML message in, XML message out.
 AwareHandler = Callable[[Element], Element]
@@ -40,6 +61,56 @@ OpaqueHandler = Callable[[str], str]
 
 class TransportError(RuntimeError):
     """Raised when an endpoint is unknown or unreachable."""
+
+
+class ServiceStatusError(TransportError):
+    """A live service answered an HTTP error status.
+
+    Unlike a connection-level :class:`TransportError`, the HTTP
+    conversation itself succeeded — the failure is the *service's own
+    report*, deterministic for the request that provoked it.  The GRH
+    reads ``service_reported`` and routes it onto the
+    ``ServiceReportedError`` path: not retried unless the policy opts
+    in via ``retry_on_service_errors``, and never counted against the
+    endpoint's circuit breaker (PROTOCOL.md §6/§11).
+    """
+
+    #: duck-typed marker the GRH checks (no import cycle with repro.grh)
+    service_reported = True
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+#: HTTP statuses that signal trouble *in front of* the service (load
+#: balancer, gateway, overload shedding) rather than a service verdict
+#: on the request — kept transient/retryable like connection failures.
+_TRANSIENT_HTTP_STATUSES = frozenset({502, 503, 504})
+
+
+def _raise_for_status(address: str, status: int, reason: str,
+                      body: str) -> None:
+    """Classify a non-2xx HTTP response (PROTOCOL.md §11).
+
+    A ``log:error`` body carries the service's own message and is
+    surfaced verbatim; gateway statuses stay transient
+    (:class:`TransportError`); everything else is a deterministic
+    service report (:class:`ServiceStatusError`).
+    """
+    if status in _TRANSIENT_HTTP_STATUSES:
+        raise TransportError(
+            f"cannot reach {address!r}: HTTP {status} {reason}")
+    message = f"HTTP {status} {reason} from {address!r}"
+    text = body.strip()
+    if text.startswith("<"):
+        try:
+            element = parse(text)
+        except Exception:
+            element = None
+        if element is not None and is_error(element):
+            message = error_text(element)
+    raise ServiceStatusError(status, message)
 
 
 def handle_batch(handler: AwareHandler, envelope: Element) -> Element:
@@ -132,6 +203,15 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     opaque_handler: OpaqueHandler | None = None
     metrics_registry = None
     introspection = None
+    #: keep-alive: one TCP connection serves many requests, which is
+    #: what :class:`PooledHttpTransport` amortizes (PROTOCOL.md §11)
+    protocol_version = "HTTP/1.1"
+    #: reap idle keep-alive connections server-side so abandoned
+    #: clients do not pin handler threads forever
+    timeout = 30.0
+    #: without this, Nagle holds the response tail until the client's
+    #: delayed ACK (~40 ms) — dwarfing the round-trip it rides on
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # silence stderr
         pass
@@ -140,8 +220,23 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         if self.aware_handler is None:
             self.send_error(405, "service is not framework-aware")
             return
-        length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8")
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self.send_error(400, "missing Content-Length")
+            return
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError(length_header)
+        except ValueError:
+            self.send_error(400, "invalid Content-Length")
+            return
+        raw = self.rfile.read(length)
+        try:
+            body = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            self.send_error(400, "request body is not valid UTF-8")
+            return
         try:
             message = parse(body)
             if is_batch(message):
@@ -151,11 +246,24 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             else:
                 response = self.aware_handler(message)
             payload = serialize(response).encode("utf-8")
-        except Exception as exc:  # service errors become HTTP 500
-            self.send_error(500, str(exc))
+        except ConnectionError:
+            # a (simulated or real) crash that takes the connection
+            # down with it: abort without answering, so the client
+            # sees a socket-level failure — transient by taxonomy
+            raise
+        except Exception as exc:
+            # a service exception is the service's own report, not a
+            # transport fault: HTTP 500 with a log:error body, which
+            # clients classify as ServiceStatusError/ServiceReported
+            self._answer(500, serialize(error_message(str(exc)))
+                         .encode("utf-8"))
             return
-        self.send_response(200)
-        self.send_header("Content-Type", "application/xml; charset=utf-8")
+        self._answer(200, payload)
+
+    def _answer(self, status: int, payload: bytes,
+                content_type: str = "application/xml; charset=utf-8") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
@@ -201,14 +309,13 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         query = params.get("query", [""])[0]
         try:
             payload = self.opaque_handler(query).encode("utf-8")
+        except ConnectionError:
+            raise  # crash takes the connection down: see do_POST
         except Exception as exc:
-            self.send_error(500, str(exc))
+            self._answer(500, serialize(error_message(str(exc)))
+                         .encode("utf-8"))
             return
-        self.send_response(200)
-        self.send_header("Content-Type", "application/xml; charset=utf-8")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        self._answer(200, payload)
 
 
 class HttpServiceServer:
@@ -231,6 +338,11 @@ class HttpServiceServer:
                               "metrics_registry": metrics,
                               "introspection": introspection})
         class _QuietServer(ThreadingHTTPServer):
+            #: a pooled client warming its pool opens tens of
+            #: connections in one burst; the stock backlog of 5 drops
+            #: SYN-ACKs and each dropped one costs a ~1 s retransmit
+            request_queue_size = 128
+
             def handle_error(self, request, client_address):
                 # a client that timed out and hung up mid-response is
                 # routine (per-request timeouts abandon slow requests);
@@ -280,9 +392,27 @@ class HybridTransport:
     """
 
     def __init__(self, serialize_messages: bool = True,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0, pooled: bool = True,
+                 max_per_endpoint: int = 32,
+                 idle_timeout: float = 30.0) -> None:
+        #: pooled (the default) rides keep-alive connection pools; pass
+        #: ``pooled=False`` for the stateless one-connection-per-request
+        #: transport (the pre-§11 behavior)
         self.local = InProcessTransport(serialize_messages)
-        self.http = HttpTransport(timeout)
+        self.http = PooledHttpTransport(
+            timeout, max_per_endpoint=max_per_endpoint,
+            idle_timeout=idle_timeout) if pooled else HttpTransport(timeout)
+
+    def pool_stats(self) -> dict[str, dict]:
+        """Per-origin connection counters ({} for the unpooled path)."""
+        stats = getattr(self.http, "pool_stats", None)
+        return stats() if stats is not None else {}
+
+    def close(self) -> None:
+        """Close pooled connections (no-op for the unpooled path)."""
+        close = getattr(self.http, "close", None)
+        if close is not None:
+            close()
 
     @staticmethod
     def _is_http(address: str) -> bool:
@@ -321,8 +451,20 @@ class HybridTransport:
         return self.local.send_batch(address, envelope, timeout=timeout)
 
 
+def _http_error_body(exc: "urllib.error.HTTPError") -> str:
+    try:
+        return exc.read().decode("utf-8", "replace")
+    except Exception:
+        return ""
+
+
 class HttpTransport:
-    """Reaches services over HTTP (POST for aware, GET for opaque)."""
+    """Reaches services over HTTP (POST for aware, GET for opaque).
+
+    One fresh connection per request — simple and stateless, but each
+    round-trip pays TCP setup; :class:`PooledHttpTransport` is the
+    keep-alive path for request rates that matter.
+    """
 
     def __init__(self, timeout: float = 10.0) -> None:
         #: default per-request timeout; a per-request ``timeout`` argument
@@ -340,6 +482,12 @@ class HttpTransport:
             with urllib.request.urlopen(request,
                                         timeout=effective) as response:
                 return parse(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # an error *status* from a live service is not a connection
+            # failure: classify before the OSError net (HTTPError is an
+            # OSError subclass — the original misclassification bug)
+            _raise_for_status(address, exc.code, str(exc.reason),
+                              _http_error_body(exc))
         except OSError as exc:
             raise TransportError(f"cannot reach {address!r}: {exc}") from exc
 
@@ -350,6 +498,9 @@ class HttpTransport:
         try:
             with urllib.request.urlopen(url, timeout=effective) as response:
                 return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            _raise_for_status(address, exc.code, str(exc.reason),
+                              _http_error_body(exc))
         except OSError as exc:
             raise TransportError(f"cannot reach {address!r}: {exc}") from exc
 
@@ -360,4 +511,277 @@ class HttpTransport:
     def send_batch(self, address: str, envelope: Element,
                    timeout: float | None = None) -> Element:
         """A batch is one POST; the server-side handler fans out."""
+        return self.send(address, envelope, timeout=timeout)
+
+
+class _PooledConnection:
+    """One keep-alive connection plus its bookkeeping."""
+
+    __slots__ = ("conn", "idle_since", "requests")
+
+    def __init__(self, conn: http.client.HTTPConnection) -> None:
+        self.conn = conn
+        self.idle_since = 0.0
+        self.requests = 0
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+class _EndpointPool:
+    """Bounded keep-alive connections for one ``scheme://host:port``.
+
+    * acquire is LIFO — the most recently released (warmest) connection
+      is reused first, so the cold end of the idle deque ages out;
+    * idle connections past ``idle_timeout`` are reaped at acquire;
+    * at capacity, acquire blocks until a connection is released (or
+      its wait budget runs out → :class:`TransportError`), so the pool
+      bound is also a client-side concurrency bound per endpoint.
+    """
+
+    def __init__(self, host: str, port: int, max_size: int,
+                 idle_timeout: float) -> None:
+        self.host = host
+        self.port = port
+        self.max_size = max_size
+        self.idle_timeout = idle_timeout
+        self._idle: deque[_PooledConnection] = deque()
+        self._in_use = 0
+        self._lock = threading.Lock()
+        self._released = threading.Condition(self._lock)
+        self._closed = False
+        # lifetime counters (PROTOCOL.md §11 observability)
+        self.created = 0
+        self.reused = 0
+        self.retired = 0
+        self.reaped = 0
+
+    def _reap_locked(self, now: float) -> None:
+        # the deque is LIFO, so the left end holds the longest-idle
+        # connections; everything past the idle budget is dead weight
+        while self._idle and now - self._idle[0].idle_since \
+                > self.idle_timeout:
+            self._idle.popleft().close()
+            self.reaped += 1
+
+    def acquire(self, wait_timeout: float | None,
+                fresh: bool = False) -> tuple[_PooledConnection, bool]:
+        """A connection and whether it was reused.  ``fresh`` skips the
+        idle stack (the transparent-reconnect path must not pick up
+        another possibly-stale socket)."""
+        deadline = None if wait_timeout is None \
+            else time.monotonic() + wait_timeout
+        with self._released:
+            while True:
+                if self._closed:
+                    raise TransportError("connection pool is closed")
+                now = time.monotonic()
+                self._reap_locked(now)
+                if not fresh and self._idle:
+                    pooled = self._idle.pop()
+                    self._in_use += 1
+                    self.reused += 1
+                    return pooled, True
+                if self._in_use + len(self._idle) < self.max_size:
+                    self._in_use += 1
+                    self.created += 1
+                    break
+                if fresh and self._idle:
+                    # make room for the fresh socket by closing the
+                    # coldest idle one (likely stale for the same
+                    # reason the one being replaced was)
+                    self._idle.popleft().close()
+                    self.retired += 1
+                    continue
+                remaining = None if deadline is None \
+                    else deadline - now
+                if remaining is not None and remaining <= 0:
+                    raise TransportError(
+                        f"connection pool for {self.host}:{self.port} "
+                        f"exhausted ({self.max_size} in use)")
+                self._released.wait(0.05 if remaining is None
+                                    else min(remaining, 0.05))
+        conn = http.client.HTTPConnection(self.host, self.port)
+        return _PooledConnection(conn), False
+
+    def release(self, pooled: _PooledConnection, reusable: bool) -> None:
+        with self._released:
+            self._in_use -= 1
+            if reusable and not self._closed:
+                pooled.idle_since = time.monotonic()
+                self._idle.append(pooled)
+            else:
+                pooled.close()
+                self.retired += 1
+            self._released.notify()
+
+    def discard(self, pooled: _PooledConnection) -> None:
+        """Retire a broken connection (stale socket, protocol error)."""
+        self.release(pooled, reusable=False)
+
+    def close(self) -> None:
+        with self._released:
+            self._closed = True
+            while self._idle:
+                self._idle.pop().close()
+            self._released.notify_all()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"idle": len(self._idle), "in_use": self._in_use,
+                    "created": self.created, "reused": self.reused,
+                    "retired": self.retired, "reaped": self.reaped}
+
+
+class PooledHttpTransport:
+    """HTTP transport over per-origin keep-alive connection pools.
+
+    Same wire protocol and contract as :class:`HttpTransport`; the
+    differences are operational (PROTOCOL.md §11):
+
+    * each origin keeps up to ``max_per_endpoint`` warm connections —
+      a request costs one round-trip, not TCP setup plus a round-trip;
+    * connections idle past ``idle_timeout`` seconds are reaped;
+    * a send on a *reused* connection that dies before any response
+      byte is transparently retried once on a fresh connection (the
+      server closed the keep-alive socket between requests — routine,
+      not a service failure).  Fresh-connection failures and timeouts
+      are never retried here; they surface to the §6 resilience layer.
+    """
+
+    def __init__(self, timeout: float = 10.0, max_per_endpoint: int = 32,
+                 idle_timeout: float = 30.0) -> None:
+        if max_per_endpoint < 1:
+            raise ValueError("max_per_endpoint must be >= 1")
+        self.timeout = timeout
+        self.max_per_endpoint = max_per_endpoint
+        self.idle_timeout = idle_timeout
+        self._pools: dict[tuple[str, int], _EndpointPool] = {}
+        self._lock = threading.Lock()
+
+    def dispatches_inline(self, address: str) -> bool:
+        return False
+
+    # -- pool management -----------------------------------------------------
+
+    def _pool_for(self, host: str, port: int) -> _EndpointPool:
+        key = (host, port)
+        pool = self._pools.get(key)
+        if pool is None:
+            with self._lock:
+                pool = self._pools.setdefault(
+                    key, _EndpointPool(host, port, self.max_per_endpoint,
+                                       self.idle_timeout))
+        return pool
+
+    def pool_stats(self) -> dict[str, dict]:
+        """Per-origin connection counters (monitoring snapshot)."""
+        with self._lock:
+            pools = dict(self._pools)
+        return {f"{host}:{port}": pool.stats()
+                for (host, port), pool in pools.items()}
+
+    def close(self) -> None:
+        """Close every pooled connection; the transport stays usable
+        (new pools are built on demand)."""
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.close()
+
+    # -- the round-trip ------------------------------------------------------
+
+    def _roundtrip(self, address: str, method: str, body: bytes | None,
+                   headers: dict, timeout: float | None
+                   ) -> tuple[int, str, bytes]:
+        parts = urllib.parse.urlsplit(address)
+        if parts.scheme not in ("http", "https"):
+            raise TransportError(f"unsupported address {address!r}")
+        host = parts.hostname or ""
+        port = parts.port or (443 if parts.scheme == "https" else 80)
+        path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        effective = self.timeout if timeout is None else timeout
+        pool = self._pool_for(host, port)
+        fresh = False
+        retried = False
+        while True:
+            pooled, reused = pool.acquire(effective, fresh=fresh)
+            try:
+                return self._once(pooled, method, path, body, headers,
+                                  effective)
+            except (OSError, http.client.HTTPException) as exc:
+                pool.discard(pooled)
+                if reused and not retried \
+                        and not isinstance(exc, TimeoutError):
+                    # stale keep-alive socket: the server hung up while
+                    # the connection sat idle — one reconnect, max
+                    retried = True
+                    fresh = True
+                    continue
+                raise TransportError(
+                    f"cannot reach {address!r}: {exc}") from exc
+            # success: _once already decided reusability and released
+            # the connection
+
+    def _once(self, pooled: _PooledConnection, method: str, path: str,
+              body: bytes | None, headers: dict,
+              timeout: float | None) -> tuple[int, str, bytes]:
+        conn = pooled.conn
+        conn.timeout = timeout
+        if conn.sock is None:
+            conn.connect()
+            # headers and body go out as separate small segments; with
+            # Nagle on, the body waits for the server's delayed ACK
+            # (~40 ms) — longer than the round-trip being amortized
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if conn.sock is not None:
+            # per-request budget, also overwriting whatever timeout the
+            # previous request left on this reused socket
+            conn.sock.settimeout(timeout)
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        pooled.requests += 1
+        reusable = not response.will_close
+        # classification happens in the caller; the connection's fate
+        # is already decided — a fully-read response leaves it clean
+        pool = self._pool_for(conn.host, conn.port)
+        pool.release(pooled, reusable=reusable)
+        return response.status, response.reason or "", payload
+
+    def send(self, address: str, message: Element,
+             timeout: float | None = None) -> Element:
+        body = serialize(message).encode("utf-8")
+        status, reason, payload = self._roundtrip(
+            address, "POST", body,
+            {"Content-Type": "application/xml; charset=utf-8"}, timeout)
+        if not 200 <= status < 300:
+            _raise_for_status(address, status, reason,
+                              payload.decode("utf-8", "replace"))
+        return parse(payload.decode("utf-8"))
+
+    def fetch(self, address: str, query: str,
+              timeout: float | None = None) -> str:
+        url = f"{address}?{urllib.parse.urlencode({'query': query})}"
+        status, reason, payload = self._roundtrip(url, "GET", None, {},
+                                                  timeout)
+        if not 200 <= status < 300:
+            _raise_for_status(address, status, reason,
+                              payload.decode("utf-8", "replace"))
+        return payload.decode("utf-8")
+
+    def supports_batch(self, address: str) -> bool:
+        """The HTTP service handler unwraps ``log:batch`` itself."""
+        return True
+
+    def send_batch(self, address: str, envelope: Element,
+                   timeout: float | None = None) -> Element:
+        """A batch is one POST over a warm connection; the server-side
+        handler fans out (PROTOCOL.md §10)."""
         return self.send(address, envelope, timeout=timeout)

@@ -213,7 +213,12 @@ def http_world(flaky_service, resilience=None, aware=True):
 
 
 class FailNTimesService:
-    """Crashes (HTTP 500 over the wire) for the first ``fail`` calls."""
+    """Drops the connection (socket reset over the wire) for the first
+    ``fail`` calls — a *transient* failure in the §11 taxonomy, so
+    retry policies and breakers engage.  (A service that answers HTTP
+    500 is a deterministic service report and is NOT retried; see
+    TestHttpStatusTaxonomy in tests/services/test_pooled_transport.py.)
+    """
 
     def __init__(self, fail):
         self.fail = fail
@@ -222,7 +227,10 @@ class FailNTimesService:
     def _maybe_fail(self):
         self.calls += 1
         if self.calls <= self.fail:
-            raise RuntimeError("transient outage (simulated)")
+            # ConnectionError propagates through the HTTP handler as a
+            # connection abort (no response bytes), so the client sees
+            # a socket-level failure, not an HTTP status
+            raise ConnectionResetError("transient outage (simulated)")
 
     def handle(self, message):
         self._maybe_fail()

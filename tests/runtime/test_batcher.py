@@ -1,6 +1,7 @@
 """Batched GRH dispatch: envelope codec, transports, fan-back, errors."""
 
 import threading
+import time
 
 import pytest
 
@@ -301,3 +302,137 @@ class TestDispatchBatcher:
         batched_effects, _ = run(batched_runtime)
         assert batched_effects == plain_effects
         assert batched_runtime.batcher is None  # detached on shutdown
+
+
+class TestCounterIntegrity:
+    """The ISSUE 6 regression: lifetime counters were incremented
+    without the lock from submitters and the flusher concurrently,
+    losing increments under contention."""
+
+    def test_concurrent_submit_hammer_counts_exactly(self):
+        service = _CountingService()
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry, HybridTransport(timeout=10.0))
+        server = HttpServiceServer(aware_handler=service.handle)
+        url = server.start()
+        grh.add_remote_language(
+            LanguageDescriptor("urn:test:hammer", "query", "hammer"), url)
+        descriptor = registry.lookup("urn:test:hammer")
+        batcher = DispatchBatcher(grh, window=0.002, max_batch=4)
+        total = 96
+        errors = []
+
+        def submit(n):
+            try:
+                batcher.submit(url, descriptor, request_to_xml(_request(n)))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=submit, args=(n,))
+                       for n in range(total)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+        finally:
+            batcher.stop()
+            server.stop()
+        assert not errors
+        assert service.handled == total
+        counters = batcher.counters()
+        # every request travelled in exactly one flushed envelope; a
+        # lost increment shows up as a short count here
+        assert counters["batched_requests"] == total
+        assert counters["batches"] >= counters["size_flushes"]
+        assert counters["batches"] * 4 >= total
+
+
+class _SpyBatchTransport(InProcessTransport):
+    """Records the timeout each envelope was shipped with."""
+
+    def __init__(self):
+        super().__init__()
+        self.batch_timeouts = []
+
+    def send_batch(self, address, envelope, timeout=None):
+        self.batch_timeouts.append(timeout)
+        return super().send_batch(address, envelope, timeout)
+
+
+class TestEnvelopeTimeoutScaling:
+    """PROTOCOL.md §10: a deep envelope gets one per-request budget per
+    entry, capped at max_timeout_scale — not a single request's."""
+
+    def _world(self, per_request_timeout, **batcher_kwargs):
+        from repro.grh import ResilienceManager, RetryPolicy
+        registry = LanguageRegistry()
+        transport = _SpyBatchTransport()
+        grh = GenericRequestHandler(
+            registry, transport,
+            resilience=ResilienceManager(
+                retry=RetryPolicy(timeout=per_request_timeout)))
+        address = transport.bind("svc:scale", lambda m: handle_batch(
+            lambda r: relation_to_answers(Relation([{"Q": "ok"}])), m)
+            if is_batch(m) else relation_to_answers(Relation([{"Q": "ok"}])))
+        grh.add_remote_language(
+            LanguageDescriptor("urn:test:scale", "query", "scale"), address)
+        descriptor = registry.lookup("urn:test:scale")
+        batcher = DispatchBatcher(grh, window=2.0, **batcher_kwargs)
+        return transport, batcher, descriptor, address
+
+    def _submit_n(self, batcher, address, descriptor, n, flush_at=None):
+        threads = [threading.Thread(
+            target=batcher.submit,
+            args=(address, descriptor, request_to_xml(_request(i))))
+            for i in range(n)]
+        for thread in threads:
+            thread.start()
+        if flush_at is not None:
+            # a partial bucket never size-flushes: wait until every
+            # submitter is parked, then force the flush ourselves
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with batcher._lock:
+                    bucket = batcher._buckets.get(address)
+                    parked = len(bucket.entries) if bucket else 0
+                if parked >= flush_at:
+                    break
+                time.sleep(0.005)
+            batcher.flush()
+        for thread in threads:
+            thread.join(10)
+
+    def test_full_envelope_scales_to_the_cap(self):
+        transport, batcher, descriptor, address = self._world(
+            0.5, max_batch=8, max_timeout_scale=4)
+        try:
+            self._submit_n(batcher, address, descriptor, 8)
+        finally:
+            batcher.stop()
+        # 8 entries, cap 4: 0.5s/request -> 2.0s for the envelope
+        assert transport.batch_timeouts == [pytest.approx(2.0)]
+
+    def test_small_envelope_scales_linearly(self):
+        transport, batcher, descriptor, address = self._world(
+            0.5, max_batch=8, max_timeout_scale=4)
+        try:
+            self._submit_n(batcher, address, descriptor, 2, flush_at=2)
+        finally:
+            batcher.stop()
+        assert transport.batch_timeouts == [pytest.approx(1.0)]
+
+    def test_no_policy_timeout_means_no_deadline(self):
+        transport, batcher, descriptor, address = self._world(
+            None, max_batch=4)
+        try:
+            self._submit_n(batcher, address, descriptor, 4)
+        finally:
+            batcher.stop()
+        assert transport.batch_timeouts == [None]
+
+    def test_rejects_bad_scale(self):
+        registry = LanguageRegistry()
+        grh = GenericRequestHandler(registry, InProcessTransport())
+        with pytest.raises(ValueError):
+            DispatchBatcher(grh, max_timeout_scale=0)

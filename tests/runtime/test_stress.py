@@ -46,7 +46,9 @@ class FlakyHttpService:
             self.calls += 1
             flaky = self._rng.random() < self.failure_rate
         if flaky:
-            raise RuntimeError("transient outage (simulated)")
+            # connection abort → transient in the §11 taxonomy (an HTTP
+            # 500 would be a non-retryable service report)
+            raise ConnectionResetError("transient outage (simulated)")
         return relation_to_answers(Relation([{"Q": "ok"}]))
 
 
