@@ -1,0 +1,11 @@
+"""Deterministic chaos injection for the replica/failover layer
+(PROTOCOL.md §12): seeded fault plans, client- and server-side
+injectors, and a kill/restart replica cluster harness."""
+
+from .inject import ChaosService, ChaosTransport, ReplicaCluster
+from .plan import FAULT_KINDS, FaultDecision, FaultPlan, KillWindow
+
+__all__ = [
+    "FAULT_KINDS", "FaultDecision", "KillWindow", "FaultPlan",
+    "ChaosTransport", "ChaosService", "ReplicaCluster",
+]

@@ -1,0 +1,157 @@
+"""Seeded, deterministic fault plans (PROTOCOL.md §12).
+
+A :class:`FaultPlan` is a pure function from ``(seed, replica, request
+index)`` to an injected fault: the decision for request *n* against
+replica *r* is derived by hashing, not drawn from mutable RNG state, so
+the same plan replays *exactly* — across runs, processes and Python
+versions — regardless of request interleaving.  That is the property
+the chaos tests assert and the availability bench relies on: a failure
+found under ``FaultPlan(seed=7)`` is reproduced by constructing
+``FaultPlan(seed=7)`` again, nothing else.
+
+Fault taxonomy (applied by :class:`~repro.chaos.ChaosTransport` on the
+client side or :class:`~repro.chaos.ChaosService` on the server side):
+
+* ``latency``   — a delay spike before the request is forwarded;
+* ``reset``     — the connection dies without a response;
+* ``blackhole`` — the request hangs (bounded by ``blackhole_hold``),
+  then the socket dies — the slow-failure mode that stacks timeouts;
+* ``error``     — an injected HTTP error status: 502/503/504 replay the
+  §11 *transient* path, anything else the *service-reported* path;
+* ``slow_body`` — the response arrives, but drips in slowly.
+
+Replica kill/restart is modeled separately as :class:`KillWindow`
+intervals on the plan's logical clock (seconds since the run's epoch),
+because killing a replica is a state the *harness* enacts — by stopping
+a real :class:`~repro.services.HttpServiceServer` or by having the
+transport black-hole every request in the window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["FAULT_KINDS", "FaultDecision", "KillWindow", "FaultPlan"]
+
+FAULT_KINDS = ("latency", "reset", "blackhole", "error", "slow_body")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injected fault: what to do to one request."""
+
+    kind: str
+    #: seconds — the spike for ``latency``, the drip for ``slow_body``
+    delay: float = 0.0
+    #: HTTP status for ``error`` faults
+    status: int = 0
+
+
+@dataclass(frozen=True)
+class KillWindow:
+    """Replica *replica* is dead from ``start`` for ``duration`` seconds
+    (plan-relative logical time)."""
+
+    replica: str
+    start: float
+    duration: float
+
+    def covers(self, replica: str, elapsed: float) -> bool:
+        return (replica == self.replica
+                and self.start <= elapsed < self.start + self.duration)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Rates are per-request probabilities (summing to at most 1); the
+    fault kind and its parameters for request ``index`` against
+    ``replica`` are fixed by ``seed`` alone.  ``decision()`` is pure —
+    calling it twice, in any order, from any thread, yields the same
+    answer, which is what makes a chaos run replayable.
+    """
+
+    def __init__(self, seed: int, *,
+                 latency_rate: float = 0.0,
+                 latency_range: tuple[float, float] = (0.02, 0.2),
+                 reset_rate: float = 0.0,
+                 blackhole_rate: float = 0.0,
+                 blackhole_hold: float = 0.5,
+                 error_rate: float = 0.0,
+                 error_statuses: Sequence[int] = (500, 503),
+                 slow_body_rate: float = 0.0,
+                 slow_body_range: tuple[float, float] = (0.02, 0.1),
+                 kills: Sequence[KillWindow] = ()) -> None:
+        total = (latency_rate + reset_rate + blackhole_rate + error_rate
+                 + slow_body_rate)
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("fault rates must be in [0, 1] and sum to <= 1")
+        self.seed = seed
+        self.latency_range = latency_range
+        self.blackhole_hold = blackhole_hold
+        self.error_statuses = tuple(error_statuses)
+        self.slow_body_range = slow_body_range
+        self.kills = tuple(kills)
+        #: cumulative (threshold, kind) ladder walked by decision()
+        self._ladder: list[tuple[float, str]] = []
+        edge = 0.0
+        for rate, kind in ((latency_rate, "latency"),
+                           (reset_rate, "reset"),
+                           (blackhole_rate, "blackhole"),
+                           (error_rate, "error"),
+                           (slow_body_rate, "slow_body")):
+            edge += rate
+            self._ladder.append((edge, kind))
+
+    def _unit(self, *parts) -> float:
+        """Uniform [0, 1) from a stable hash of ``(seed, *parts)``."""
+        key = repr((self.seed,) + parts).encode()
+        digest = hashlib.sha256(key).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def decision(self, replica: str, index: int) -> FaultDecision | None:
+        """The fault injected into request ``index`` against ``replica``
+        (``None`` = the request passes untouched)."""
+        roll = self._unit(replica, index, "kind")
+        kind = None
+        for edge, candidate in self._ladder:
+            if roll < edge:
+                kind = candidate
+                break
+        if kind is None:
+            return None
+        scale = self._unit(replica, index, "param")
+        if kind == "latency":
+            low, high = self.latency_range
+            return FaultDecision("latency", delay=low + scale * (high - low))
+        if kind == "slow_body":
+            low, high = self.slow_body_range
+            return FaultDecision("slow_body",
+                                 delay=low + scale * (high - low))
+        if kind == "error":
+            status = self.error_statuses[
+                int(scale * len(self.error_statuses))
+                % len(self.error_statuses)]
+            return FaultDecision("error", status=status)
+        if kind == "blackhole":
+            return FaultDecision("blackhole", delay=self.blackhole_hold)
+        return FaultDecision("reset")
+
+    def schedule(self, replica: str, count: int) -> list[FaultDecision | None]:
+        """The first ``count`` decisions for ``replica`` — the replay
+        tests compare two plans' schedules element-wise."""
+        return [self.decision(replica, index) for index in range(count)]
+
+    def fingerprint(self, replicas: Sequence[str], count: int = 256) -> str:
+        """Stable digest of the whole schedule across ``replicas`` —
+        two runs injected the same faults iff fingerprints match."""
+        digest = hashlib.sha256()
+        for replica in replicas:
+            digest.update(repr(self.schedule(replica, count)).encode())
+        return digest.hexdigest()
+
+    def killed(self, replica: str, elapsed: float) -> bool:
+        """Is ``replica`` inside a kill window at plan time ``elapsed``?"""
+        return any(window.covers(replica, elapsed) for window in self.kills)

@@ -626,14 +626,20 @@ class ECAEngine:
         return True
 
     def shutdown(self, timeout: float | None = None) -> bool:
-        """Drain and stop the concurrent runtime (no-op when absent).
+        """Drain and stop the concurrent runtime, then release the
+        GRH's background resources: the health prober thread, the hedge
+        executor, and the transport's connection pools — a finished test
+        run or process leaves no threads behind (PROTOCOL.md §12).
 
         Returns ``True`` when the runtime quiesced within *timeout*.
-        The engine remains usable afterwards on the synchronous path.
+        The engine remains usable afterwards on the synchronous path
+        (pools rebuild on demand; hedging and probing stay off).
         """
+        quiesced = True
         if self.runtime is not None:
-            return self.runtime.shutdown(timeout)
-        return True
+            quiesced = self.runtime.shutdown(timeout)
+        self.grh.close()
+        return quiesced
 
     def _priority_of(self, detection: Detection) -> int:
         rule_id = self._by_component.get(detection.component_id)

@@ -35,7 +35,8 @@ from ..xmlmodel import Element, LOG_NS, QName, XMLSyntaxError, parse
 from .component import ComponentSpec
 from .messages import (Detection, MessageError, Request, detection_to_xml,
                        error_text, is_error, request_to_xml, xml_to_detection)
-from .registry import LanguageDescriptor, LanguageRegistry, RegistryError
+from .registry import (HealthProber, LanguageDescriptor, LanguageRegistry,
+                       RegistryError)
 from .resilience import (ActionExecutionError, DeadLetter, GRHError,
                          ResilienceManager, ServiceReportedError,
                          TransientServiceFailure)
@@ -60,8 +61,16 @@ class GenericRequestHandler:
         #: opens a breaker after 5 consecutive transport failures
         self.resilience = resilience if resilience is not None \
             else ResilienceManager()
+        #: the registry's replica health board feeds the manager's
+        #: routing decisions (PROTOCOL.md §12)
+        self.resilience.health = registry.health
         self._detection_callbacks: list[Callable[[Detection], None]] = []
-        self._endpoints: dict[str, str] = {}
+        self._endpoints: dict[str, tuple[str, ...]] = {}
+        #: background ``/healthz`` prober, started lazily when the first
+        #: multi-replica HTTP language registers; stopped by
+        #: :meth:`close` (engine shutdown)
+        self.health_prober: HealthProber | None = None
+        self.health_probe_interval = 1.0
         #: lock-protected counters (repro.obs.metrics.Counter): dispatch
         #: may be driven from several threads at once, and a plain
         #: ``int += 1`` loses increments under contention
@@ -118,24 +127,96 @@ class GenericRequestHandler:
             self.transport.bind(address, service.handle)
         else:
             self.transport.bind_opaque(address, service.execute)
-        self._endpoints[descriptor.uri] = address
+        self._endpoints[descriptor.uri] = (address,)
 
     def add_remote_language(self, descriptor: LanguageDescriptor,
                             address: str | None = None) -> None:
         """Register a language whose service is already reachable at an
-        address (e.g. an HTTP URL) without binding anything locally."""
-        self.registry.register(descriptor)
-        endpoint = address or descriptor.endpoint
-        if endpoint is None:
-            raise GRHError(f"no endpoint known for {descriptor.name!r}")
-        self._endpoints[descriptor.uri] = endpoint
+        address (e.g. an HTTP URL) without binding anything locally.
 
-    def _address_of(self, descriptor: LanguageDescriptor) -> str:
-        address = self._endpoints.get(descriptor.uri) or descriptor.endpoint
-        if address is None:
+        A descriptor carrying a ``replicas`` tuple registers the whole
+        replica set; the explicit ``address`` argument remains the
+        back-compatible single-replica form (PROTOCOL.md §12).
+        """
+        self.registry.register(descriptor)
+        if descriptor.replicas:
+            addresses = descriptor.replicas
+        else:
+            endpoint = address or descriptor.endpoint
+            if endpoint is None:
+                raise GRHError(f"no endpoint known for {descriptor.name!r}")
+            addresses = (endpoint,)
+        self._endpoints[descriptor.uri] = addresses
+        if len(addresses) > 1:
+            for replica in addresses:
+                self.registry.health.track(replica)
+            if any(replica.startswith(("http://", "https://"))
+                   for replica in addresses):
+                self.ensure_health_prober()
+
+    def set_replicas(self, uri: str, addresses) -> None:
+        """Re-point a registered language at a new replica set.
+
+        Replica churn (restarts on new ports) flows through here: stale
+        addresses are evicted from the breaker/stats maps and the health
+        board, so those structures stay bounded by what is registered.
+        """
+        addresses = tuple(addresses)
+        if not addresses:
+            raise GRHError("a language needs at least one replica")
+        self.registry.lookup(uri)  # raises RegistryError when unknown
+        self._endpoints[uri] = addresses
+        self._inline_cache.clear()
+        if len(addresses) > 1:
+            for replica in addresses:
+                self.registry.health.track(replica)
+        self.resilience.prune(self.active_addresses())
+
+    def active_addresses(self) -> set[str]:
+        """Every address currently registered across all languages."""
+        return {address for addresses in self._endpoints.values()
+                for address in addresses}
+
+    def _addresses_of(self,
+                      descriptor: LanguageDescriptor) -> tuple[str, ...]:
+        addresses = self._endpoints.get(descriptor.uri) \
+            or descriptor.addresses
+        if not addresses:
             raise GRHError(
                 f"language {descriptor.name!r} has no service endpoint")
-        return address
+        return addresses
+
+    def _address_of(self, descriptor: LanguageDescriptor) -> str:
+        return self._addresses_of(descriptor)[0]
+
+    # -- availability plumbing (PROTOCOL.md §12) -----------------------------
+
+    def ensure_health_prober(self) -> HealthProber:
+        """Create and start the background ``/healthz`` prober (idempotent)."""
+        if self.health_prober is None:
+            self.health_prober = HealthProber(
+                self.registry.health, self._probed_addresses,
+                interval=self.health_probe_interval)
+        self.health_prober.start()
+        return self.health_prober
+
+    def _probed_addresses(self) -> list[str]:
+        """Only replicated languages are probed — a single-address
+        language has no routing choice for the probe to inform."""
+        return [address for addresses in self._endpoints.values()
+                if len(addresses) > 1 for address in addresses]
+
+    def close(self) -> None:
+        """Release background resources: the health prober, the hedge
+        executor, and the transport's connection pools.  Synchronous
+        dispatch keeps working afterwards (pools rebuild on demand;
+        hedging and probing stay off)."""
+        if self.health_prober is not None:
+            self.health_prober.stop()
+        self.resilience.close()
+        closer = getattr(self.transport, "close", None)
+        if closer is not None:
+            closer()
 
     def notify(self, detection_xml: Element) -> None:
         """Entry point for event services signalling a detection."""
@@ -164,13 +245,17 @@ class GenericRequestHandler:
     def _send(self, descriptor: LanguageDescriptor,
               request: Request) -> Element:
         self._requests.inc()
-        address = self._address_of(descriptor)
+        addresses = self._addresses_of(descriptor)
         obs = self.observability
         span = None
         payload = request_to_xml(request)
-        inline = self._inline_cache.get(address)
+        # the inline memo keys on the primary address: a replicated
+        # language is remote (never inline), a single-address one keeps
+        # the seed behavior
+        inline = self._inline_cache.get(addresses[0])
         if inline is None:
-            inline = self._probe_inline(address)
+            inline = self._probe_inline(addresses[0])
+        inline = inline and len(addresses) == 1
         if obs is not None:
             # the request span's identity rides in the envelope; an
             # observability-aware service across a process boundary
@@ -185,7 +270,7 @@ class GenericRequestHandler:
                 payload.attributes[_TRACEPARENT_ATTR] = span.traceparent
         timeout = self.resilience.timeout_for(descriptor)
 
-        def attempt_once() -> Element:
+        def attempt_once(address: str) -> Element:
             # a sink catches server-side span records from co-located
             # services without them riding the serialized response; a
             # real remote service annotates the response instead and is
@@ -230,19 +315,30 @@ class GenericRequestHandler:
                    and request.kind in ("query", "test")
                    and getattr(self.transport, "supports_batch",
                                None) is not None
-                   and self.transport.supports_batch(address))
+                   and self.transport.supports_batch(addresses[0]))
+        # failover is always safe for read-only kinds; an action may
+        # only retarget when its dedup key makes re-dispatch exactly
+        # once on the service side (PROTOCOL.md §12)
+        read_only = request.kind in ("query", "test", "register-event",
+                                     "unregister-event")
+        failover_ok = read_only or request.dedup is not None
         try:
             if batched:
                 # read-only request under a concurrent runtime: park it
                 # with the batcher, which ships one log:batch per
                 # address/window through the same resilience path and
-                # fans the log:batchresults back per caller
-                result = batcher.submit(address, descriptor, payload)
+                # fans the log:batchresults back per caller; the
+                # envelope's address is routed once, at submit time
+                result = batcher.submit(
+                    self.resilience.route(addresses, descriptor),
+                    descriptor, payload)
                 if obs is not None:
                     self._strip_spans(result, obs)
             else:
-                result = self.resilience.call(address, descriptor,
-                                              attempt_once)
+                result = self.resilience.call_routed(
+                    addresses, descriptor, attempt_once,
+                    kind=request.kind, failover_ok=failover_ok,
+                    hedge_ok=request.kind in ("query", "test"))
         except TransientServiceFailure as exc:
             if span is not None:
                 _log_dispatch_failure(obs, request.kind, descriptor.name,
@@ -383,26 +479,28 @@ class GenericRequestHandler:
                 f"language {descriptor.name!r} is framework-unaware; its "
                 "components must be opaque")
         out: list[Binding] = []
-        address = self._address_of(descriptor)
+        addresses = self._addresses_of(descriptor)
         for binding in bindings:
             query = _substitute(spec.opaque, binding)
             if self.cache_opaque_requests:
-                key = (address, query)
+                # cache key stays on the primary address: replicas serve
+                # the same data, so one entry covers the set
+                key = (addresses[0], query)
                 if key in self._opaque_cache:
                     self._cache_hits.inc()
                     raw = self._opaque_cache[key]
                 else:
                     self._requests.inc()
-                    raw = self._fetch(descriptor, address, query)
+                    raw = self._fetch(descriptor, addresses, query)
                     self._opaque_cache[key] = raw
             else:
                 self._requests.inc()
-                raw = self._fetch(descriptor, address, query)
+                raw = self._fetch(descriptor, addresses, query)
             out.extend(self._bind_raw_results(raw, binding, spec))
         return Relation(out)
 
-    def _fetch(self, descriptor: LanguageDescriptor, address: str,
-               query: str) -> str:
+    def _fetch(self, descriptor: LanguageDescriptor,
+               addresses: tuple[str, ...], query: str) -> str:
         timeout = self.resilience.timeout_for(descriptor)
         obs = self.observability
         # framework-unaware services speak their own query language, not
@@ -413,7 +511,7 @@ class GenericRequestHandler:
             span = obs.tracer.begin("grh.fetch",
                                     {"language": descriptor.name})
 
-        def attempt_once() -> str:
+        def attempt_once(address: str) -> str:
             try:
                 if timeout is not None:
                     return self.transport.fetch(address, query,
@@ -428,7 +526,9 @@ class GenericRequestHandler:
                 raise TransientServiceFailure(str(exc)) from exc
 
         try:
-            result = self.resilience.call(address, descriptor, attempt_once)
+            result = self.resilience.call_routed(
+                addresses, descriptor, attempt_once, kind="fetch",
+                failover_ok=True, hedge_ok=True)
         except TransientServiceFailure as exc:
             if span is not None:
                 _log_dispatch_failure(obs, "fetch", descriptor.name, exc)

@@ -31,12 +31,13 @@ opts in) and never trips the breaker.
 
 from __future__ import annotations
 
+import concurrent.futures
 import threading
 import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, TYPE_CHECKING
+from typing import Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
 
 from .messages import Detection, Request, dead_letter_to_xml, request_to_xml
 
@@ -44,11 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from ..bindings import Relation
     from ..xmlmodel import Element
     from .component import ComponentSpec
-    from .registry import LanguageDescriptor
+    from .registry import LanguageDescriptor, ReplicaHealthBoard
 
 __all__ = ["GRHError", "CircuitOpenError", "ActionExecutionError",
            "TransientServiceFailure", "ServiceReportedError",
-           "RetryPolicy", "BreakerPolicy", "CircuitBreaker",
+           "RetryPolicy", "BreakerPolicy", "HedgePolicy", "CircuitBreaker",
            "DeadLetter", "DeadLetterQueue", "ResilienceManager"]
 
 
@@ -135,13 +136,39 @@ class BreakerPolicy:
             raise ValueError("reset_timeout must be non-negative")
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When a replicated read sends a hedged second request.
+
+    ``delay`` pins the hedge delay; ``None`` (the default) adapts it to
+    the replica set's observed p95 latency, clamped to
+    ``[min_delay, max_delay]``, falling back to ``initial_delay`` until
+    enough samples exist.  ``max_threads`` bounds the shared executor
+    the racing branches run on (PROTOCOL.md §12).
+    """
+
+    delay: float | None = None
+    initial_delay: float = 0.05
+    min_delay: float = 0.005
+    max_delay: float = 2.0
+    max_threads: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_threads < 2:
+            raise ValueError("max_threads must be >= 2")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+
+
 class CircuitBreaker:
     """Closed → open → half-open breaker for one endpoint.
 
     Closed: requests pass; consecutive transient failures count toward
     the threshold.  Open: requests are shed without touching the
-    transport until ``reset_timeout`` has elapsed.  Half-open: one probe
-    request passes; success closes the breaker, failure reopens it.
+    transport until ``reset_timeout`` has elapsed.  Half-open: exactly
+    *one* probe request passes (``probing`` latches under the manager's
+    lock; concurrent callers are shed until the probe settles); success
+    closes the breaker, failure reopens it.
     """
 
     def __init__(self, policy: BreakerPolicy) -> None:
@@ -150,22 +177,43 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = 0.0
         self.opens = 0
+        #: a half-open probe request is in flight; cleared when the
+        #: probe settles (success, transient failure, or release)
+        self.probing = False
 
     def allow(self, now: float) -> bool:
         if self.state == "open":
             if now - self.opened_at >= self.policy.reset_timeout:
                 self.state = "half_open"
+                self.probing = True
                 return True
             return False
+        if self.state == "half_open":
+            if self.probing:
+                return False
+            self.probing = True
+            return True
         return True
 
     def retry_after(self, now: float) -> float:
-        if self.state != "open":
-            return 0.0
-        return max(0.0, self.policy.reset_timeout - (now - self.opened_at))
+        if self.state == "open":
+            return max(0.0,
+                       self.policy.reset_timeout - (now - self.opened_at))
+        if self.state == "half_open" and self.probing:
+            # conservative: the in-flight probe either closes the
+            # breaker soon or reopens it for a full reset window
+            return self.policy.reset_timeout
+        return 0.0
+
+    def release_probe(self) -> None:
+        """The probe ended without reaching the breaker (e.g. a clean
+        service-reported error): let the next caller probe instead of
+        latching half-open shut forever."""
+        self.probing = False
 
     def record_success(self) -> None:
         self.failures = 0
+        self.probing = False
         if self.state != "closed":
             self.state = "closed"
 
@@ -173,6 +221,7 @@ class CircuitBreaker:
         """Count one transient failure; returns True if this opened
         (or re-opened) the breaker."""
         self.failures += 1
+        self.probing = False
         if (self.state == "half_open"
                 or self.failures >= self.policy.failure_threshold):
             self.state = "open"
@@ -379,10 +428,12 @@ class ResilienceManager:
                  breaker: BreakerPolicy | None = _DEFAULT,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep,
-                 max_dead_letters: int = 1000) -> None:
+                 max_dead_letters: int = 1000,
+                 hedge: HedgePolicy | None = _DEFAULT) -> None:
         self.default_retry = retry if retry is not None else RetryPolicy()
         self.default_breaker = (BreakerPolicy() if breaker is _DEFAULT
                                 else breaker)
+        self.default_hedge = (HedgePolicy() if hedge is _DEFAULT else hedge)
         self.clock = clock
         self.sleep = sleep
         self.dead_letters = DeadLetterQueue(max_dead_letters)
@@ -391,17 +442,30 @@ class ResilienceManager:
         self.attempts = 0
         self.breaker_opens = 0
         self.breaker_rejections = 0
+        self.failovers = 0
+        self.hedges_launched = 0
+        self.hedge_outcomes = {"primary_won": 0, "hedge_won": 0,
+                               "discarded": 0}
         self._per_service: dict[str, dict[str, int]] = {}
         #: guards the counters, per-service tallies and breaker state:
         #: the GRH may be dispatched from several threads at once, and
         #: plain ``int += 1`` loses increments under contention
         self._lock = threading.Lock()
         #: observability hook: called as ``observer(event, address)`` for
-        #: ``"retry"``, ``"breaker_open"``, ``"breaker_close"`` and
-        #: ``"breaker_reject"`` — always *outside* ``_lock``, so the
-        #: observer may take its own locks (tracer, log sink) without
-        #: risking lock-order deadlocks.  ``None`` (default) is free.
+        #: ``"retry"``, ``"breaker_open"``, ``"breaker_close"``,
+        #: ``"breaker_reject"`` and ``"failover"`` — always *outside*
+        #: ``_lock``, so the observer may take its own locks (tracer,
+        #: log sink) without risking lock-order deadlocks.  ``None``
+        #: (default) is free.
         self.observer: Callable[[str, str], None] | None = None
+        #: per-replica health/load signals
+        #: (:class:`~repro.grh.registry.ReplicaHealthBoard`); wired by
+        #: the GRH — ``None`` keeps the pre-replica behavior
+        self.health: "ReplicaHealthBoard | None" = None
+        #: deterministic rotation for power-of-two-choices candidates
+        self._route_turn = 0
+        self._hedge_pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._closed = False
 
     # -- policy resolution ---------------------------------------------------
 
@@ -433,55 +497,198 @@ class ResilienceManager:
              attempt_once: Callable[[], object]):
         """Run one logical service request under retry + breaker.
 
-        ``attempt_once`` raises :class:`TransientServiceFailure` for
-        transport-level failures (retryable, breaker-counted) or
-        :class:`ServiceReportedError` for clean ``log:error`` responses
-        (retried only when the policy opts in, never breaker-counted);
-        anything else propagates untouched.
+        The legacy single-address entry (the batcher and external
+        callers use it): no failover, no hedging — the pre-replica
+        semantics.  ``attempt_once`` raises
+        :class:`TransientServiceFailure` for transport-level failures
+        (retryable, breaker-counted) or :class:`ServiceReportedError`
+        for clean ``log:error`` responses (retried only when the policy
+        opts in, never breaker-counted); anything else propagates
+        untouched.
+        """
+        return self._call_failover((address,), descriptor,
+                                   lambda _address: attempt_once(),
+                                   failover_ok=False)
+
+    def call_routed(self, addresses: Sequence[str],
+                    descriptor: "LanguageDescriptor",
+                    attempt: Callable[[str], object], *,
+                    kind: str | None = None,
+                    failover_ok: bool | None = None,
+                    hedge_ok: bool = False):
+        """Run one logical request against a replica set.
+
+        ``attempt`` receives the address the router selected (power of
+        two choices over in-flight count × latency EWMA, skipping
+        replicas marked down).  On a connection-level failure the
+        request fails over to the next live replica when ``failover_ok``
+        (default: whenever there is more than one address — the caller
+        gates actions on dedup safety, PROTOCOL.md §12).  ``hedge_ok``
+        additionally races a hedged second request on another replica
+        after a p95-based delay — read-only kinds only; first response
+        wins, the loser is discarded and counted.
+        """
+        addresses = tuple(addresses)
+        if not addresses:
+            raise GRHError(
+                f"language {descriptor.name!r} has no service endpoint")
+        if failover_ok is None:
+            failover_ok = len(addresses) > 1
+        if hedge_ok and len(addresses) > 1 and not self._closed:
+            policy = descriptor.hedge if descriptor.hedge is not None \
+                else self.default_hedge
+            if policy is not None:
+                live = self.health.live(addresses) \
+                    if self.health is not None else list(addresses)
+                if len(live) > 1:
+                    return self._call_hedged(addresses, descriptor, attempt,
+                                             policy, failover_ok)
+        return self._call_failover(addresses, descriptor, attempt,
+                                   failover_ok=failover_ok)
+
+    def _admit(self, addresses: Sequence[str],
+               descriptor: "LanguageDescriptor",
+               excluded: set[str]) -> tuple[str, CircuitBreaker | None, bool]:
+        """Select and admit one replica; ``(address, breaker, probing)``.
+
+        Candidates exclude replicas that already failed this pass (all
+        of them eligible again when that empties the set) and replicas
+        the health board marks down; among the survivors, power of two
+        choices — a deterministic rotation picks two neighbours, the
+        lower score wins.  Raises :class:`CircuitOpenError` when every
+        candidate's breaker sheds the request.
+        """
+        candidates = [address for address in addresses
+                      if address not in excluded] or list(addresses)
+        board = self.health
+        if board is not None and len(candidates) > 1:
+            candidates = board.live(candidates)
+        if len(candidates) > 1:
+            with self._lock:
+                turn = self._route_turn
+                self._route_turn += 1
+            first = candidates[turn % len(candidates)]
+            second = candidates[(turn + 1) % len(candidates)]
+            if board is not None and \
+                    board.score(second) < board.score(first):
+                first, second = second, first
+            order = [first, second] + [address for address in candidates
+                                       if address not in (first, second)]
+        else:
+            order = candidates
+        rejected: list[tuple[str, CircuitBreaker]] = []
+        for address in order:
+            breaker = self.breaker_for(address, descriptor)
+            # happy path: a closed breaker admits everything — skip the
+            # clock read (allow() only needs the time to leave "open")
+            if breaker is None or breaker.state == "closed":
+                return address, breaker, False
+            with self._lock:
+                admitted = breaker.allow(self.clock())
+                probing = admitted and breaker.state == "half_open"
+            if admitted:
+                return address, breaker, probing
+            rejected.append((address, breaker))
+        with self._lock:
+            self.breaker_rejections += 1
+        now = self.clock()
+        address, breaker = min(rejected,
+                               key=lambda pair: pair[1].retry_after(now))
+        observer = self.observer
+        if observer is not None:
+            observer("breaker_reject", address)
+        raise CircuitOpenError(
+            f"circuit open for service {descriptor.name!r} at "
+            f"{address!r}; retry after {breaker.retry_after(now):.3g}s")
+
+    def _has_alternative(self, addresses: Sequence[str],
+                         failed: set[str]) -> bool:
+        """Is there a live, non-shed replica left to fail over to?"""
+        board = self.health
+        now = None
+        for address in addresses:
+            if address in failed:
+                continue
+            if board is not None and board.is_down(address):
+                continue
+            breaker = self._breakers.get(address)
+            if breaker is not None and breaker.state == "open":
+                if now is None:
+                    now = self.clock()
+                if breaker.retry_after(now) > 0:
+                    continue
+            return True
+        return False
+
+    def _call_failover(self, addresses: Sequence[str],
+                       descriptor: "LanguageDescriptor",
+                       attempt: Callable[[str], object], *,
+                       failover_ok: bool,
+                       exclude: frozenset[str] = frozenset(),
+                       on_pick: Callable[[str], None] | None = None):
+        """The retry + breaker + failover loop for one logical request.
+
+        Failover (connection-level failure, another live replica
+        available) retargets *immediately* and does not consume a retry
+        pass; exhausting the live candidates falls back to the retry
+        policy's backoff, after which every replica is eligible again.
         """
         policy = descriptor.retry if descriptor.retry is not None \
             else self.default_retry
-        breaker = self.breaker_for(address, descriptor)
-        # happy path: a closed breaker admits everything — skip the
-        # clock read (allow() only needs the time to leave "open")
         observer = self.observer
-        if breaker is not None and breaker.state != "closed":
-            with self._lock:
-                admitted = breaker.allow(self.clock())
-                if not admitted:
-                    self.breaker_rejections += 1
-            if not admitted:
-                if observer is not None:
-                    observer("breaker_reject", address)
-                raise CircuitOpenError(
-                    f"circuit open for service {descriptor.name!r} at "
-                    f"{address!r}; retry after "
-                    f"{breaker.retry_after(self.clock()):.3g}s")
-        attempt = 1
+        # health accounting only matters when there is a routing choice;
+        # single-address dispatch keeps the pre-replica happy path
+        board = self.health if len(addresses) > 1 else None
+        passes = 1
+        failed: set[str] = set(exclude)
         while True:
+            address, breaker, probing = self._admit(addresses, descriptor,
+                                                    failed)
+            if on_pick is not None:
+                on_pick(address)
+                on_pick = None
             with self._lock:
                 self.attempts += 1
+            if board is not None:
+                board.begin(address)
+            started = self.clock()
+            settled = False
             try:
-                result = attempt_once()
+                result = attempt(address)
             except TransientServiceFailure:
+                settled = True
                 with self._lock:
                     opened = breaker is not None and \
                         breaker.record_failure(self.clock())
                     if opened:
                         self.breaker_opens += 1
                     self._record(address, ok=False)
+                if board is not None:
+                    board.record_failure(address)
+                    if opened:
+                        board.mark_down(address)
                 if opened and observer is not None:
                     observer("breaker_open", address)
+                failed.add(address)
+                if failover_ok and self._has_alternative(addresses, failed):
+                    with self._lock:
+                        self.failovers += 1
+                    if observer is not None:
+                        observer("failover", address)
+                    continue
                 shed = breaker is not None and breaker.state == "open"
-                if attempt >= policy.max_attempts or shed:
+                if passes >= policy.max_attempts or shed:
                     raise
             except ServiceReportedError:
                 with self._lock:
                     self._record(address, ok=False)
-                if attempt >= policy.max_attempts or \
+                if board is not None:
+                    board.record_error(address)
+                if passes >= policy.max_attempts or \
                         not policy.retry_on_service_errors:
                     raise
             else:
+                settled = True
                 recovered = False
                 with self._lock:
                     if breaker is not None and (breaker.failures
@@ -489,15 +696,169 @@ class ResilienceManager:
                         recovered = breaker.state != "closed"
                         breaker.record_success()
                     self._record(address, ok=True)
+                if board is not None:
+                    board.record_success(address, self.clock() - started)
                 if recovered and observer is not None:
                     observer("breaker_close", address)
                 return result
+            finally:
+                if board is not None:
+                    board.end(address)
+                if probing and not settled:
+                    # the probe ended without reaching the breaker (a
+                    # service-reported error, or a foreign exception):
+                    # free the half-open slot for the next caller
+                    with self._lock:
+                        breaker.release_probe()
             with self._lock:
                 self.retries += 1
             if observer is not None:
                 observer("retry", address)
-            self.sleep(policy.delay_for(attempt, address))
-            attempt += 1
+            self.sleep(policy.delay_for(passes, address))
+            passes += 1
+            failed = set(exclude)
+
+    # -- hedged reads (PROTOCOL.md §12) --------------------------------------
+
+    def hedge_delay(self, addresses: Sequence[str],
+                    policy: HedgePolicy) -> float:
+        """The delay before a hedged second read: pinned, or adaptive
+        p95 over the replicas' recent latencies, clamped."""
+        if policy.delay is not None:
+            return policy.delay
+        p95 = self.health.p95(addresses) if self.health is not None else None
+        if p95 is None:
+            return policy.initial_delay
+        return min(max(p95, policy.min_delay), policy.max_delay)
+
+    def _executor(self, policy: HedgePolicy):
+        with self._lock:
+            if self._closed:
+                return None
+            if self._hedge_pool is None:
+                self._hedge_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=policy.max_threads,
+                    thread_name_prefix="eca-hedge")
+            return self._hedge_pool
+
+    def _discard_hedge(self, future) -> None:
+        """The losing branch completed after the race was decided:
+        swallow its outcome, count the discard."""
+        if not future.cancelled():
+            future.exception()
+        with self._lock:
+            self.hedge_outcomes["discarded"] += 1
+
+    def _call_hedged(self, addresses: Sequence[str],
+                     descriptor: "LanguageDescriptor",
+                     attempt: Callable[[str], object],
+                     policy: HedgePolicy, failover_ok: bool):
+        """Race a primary and (after the hedge delay) a second replica.
+
+        First successful response wins; the loser is left to finish on
+        the executor and its result is discarded and counted.  If one
+        branch fails the other's answer is awaited; if both fail, the
+        primary's error propagates.
+        """
+        executor = self._executor(policy)
+        if executor is None:  # closed mid-flight: plain failover path
+            return self._call_failover(addresses, descriptor, attempt,
+                                       failover_ok=failover_ok)
+        delay = self.hedge_delay(addresses, policy)
+        picked: list[str] = []
+        primary = executor.submit(
+            self._call_failover, addresses, descriptor, attempt,
+            failover_ok=failover_ok, on_pick=picked.append)
+        try:
+            return primary.result(timeout=delay)
+        except TimeoutError:
+            if primary.done():  # the call itself failed with a timeout
+                raise
+        with self._lock:
+            self.hedges_launched += 1
+        hedge = executor.submit(
+            self._call_failover, addresses, descriptor, attempt,
+            failover_ok=failover_ok, exclude=frozenset(picked[:1]))
+        pending = {primary: "primary_won", hedge: "hedge_won"}
+        first_error: BaseException | None = None
+        while pending:
+            done, _ = concurrent.futures.wait(
+                list(pending), return_when=concurrent.futures.FIRST_COMPLETED)
+            for future in done:
+                outcome = pending.pop(future)
+                error = future.exception()
+                if error is None:
+                    for loser in pending:
+                        loser.add_done_callback(self._discard_hedge)
+                    with self._lock:
+                        self.hedge_outcomes[outcome] += 1
+                    return future.result()
+                if outcome == "primary_won" or first_error is None:
+                    first_error = error
+        raise first_error
+
+    def route(self, addresses: Sequence[str],
+              descriptor: "LanguageDescriptor | None" = None) -> str:
+        """One-shot replica selection without dispatching (the batcher
+        picks its envelope's address here): p2c over live replicas, no
+        breaker admission consumed."""
+        addresses = tuple(addresses)
+        if len(addresses) == 1:
+            return addresses[0]
+        board = self.health
+        candidates = board.live(addresses) if board is not None \
+            else list(addresses)
+        if len(candidates) == 1:
+            return candidates[0]
+        with self._lock:
+            turn = self._route_turn
+            self._route_turn += 1
+        first = candidates[turn % len(candidates)]
+        second = candidates[(turn + 1) % len(candidates)]
+        if board is not None and board.score(second) < board.score(first):
+            return second
+        return first
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def evict(self, address: str) -> None:
+        """Drop the breaker, stats and health record of one churned-out
+        address (a replica that restarted on a new port)."""
+        with self._lock:
+            self._breakers.pop(address, None)
+            self._per_service.pop(address, None)
+        if self.health is not None:
+            self.health.forget(address)
+
+    def prune(self, active: Iterable[str]) -> int:
+        """Evict every address not in *active*; returns the eviction
+        count.  Called by the GRH when replica sets are re-pointed, so
+        the breaker and stats maps stay bounded by the registered
+        addresses rather than growing with historical churn."""
+        active = set(active)
+        evicted: set[str] = set()
+        with self._lock:
+            for address in [a for a in self._breakers if a not in active]:
+                del self._breakers[address]
+                evicted.add(address)
+            for address in [a for a in self._per_service
+                            if a not in active]:
+                del self._per_service[address]
+                evicted.add(address)
+        if self.health is not None:
+            for address in set(self.health.addresses()) - active:
+                self.health.forget(address)
+                evicted.add(address)
+        return len(evicted)
+
+    def close(self) -> None:
+        """Stop the hedge executor (engine shutdown).  Dispatch keeps
+        working afterwards — hedging is simply skipped."""
+        with self._lock:
+            self._closed = True
+            pool, self._hedge_pool = self._hedge_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _record(self, address: str, ok: bool) -> None:
         """Tally one outcome; the caller holds ``self._lock``."""
@@ -522,18 +883,26 @@ class ResilienceManager:
             retries, attempts = self.retries, self.attempts
             opens = self.breaker_opens
             rejections = self.breaker_rejections
+            failovers = self.failovers
+            hedges = dict(self.hedge_outcomes,
+                          launched=self.hedges_launched)
         for address, counts in per_service.items():
             total = counts["successes"] + counts["failures"]
             services[address] = dict(counts,
                                      failure_rate=counts["failures"] / total
                                      if total else 0.0)
-        return {
+        snapshot = {
             "retries": retries,
             "attempts": attempts,
             "breaker_opens": opens,
             "breaker_rejections": rejections,
+            "failovers": failovers,
+            "hedges": hedges,
             "breakers": breakers,
             "dead_letters": len(self.dead_letters),
             "dead_letters_dropped": self.dead_letters.dropped,
             "services": services,
         }
+        if self.health is not None:
+            snapshot["replicas"] = self.health.snapshot()
+        return snapshot

@@ -34,6 +34,9 @@ name                                      kind       source
 ``eca_breaker_rejections_total``          counter    resilience
 ``eca_breaker_state{endpoint}``           gauge      0 closed, 0.5 half, 1 open
 ``eca_service_requests_total{endpoint,outcome}``  counter  resilience
+``eca_failover_total``                    counter    replica failovers
+``eca_hedge_total{outcome}``              counter    hedged reads
+``eca_replica_health{replica,state}``     gauge      replica health board
 ``eca_dead_letters``                      gauge      dead letter queue
 ``eca_dead_letters_dropped_total``        counter    dead letter queue
 ``eca_journal_records_total``             counter    durability journal
@@ -254,6 +257,24 @@ class Observability:
                 (address, outcome): count
                 for address, counts in resilience._per_service.items()
                 for outcome, count in counts.items()})
+        metrics.counter("eca_failover_total",
+                        "Mid-call retargets onto an alternative replica",
+                        callback=lambda: resilience.failovers)
+        metrics.counter(
+            "eca_hedge_total",
+            "Hedged read requests by outcome (plus launches)",
+            labels=("outcome",),
+            callback=lambda: dict(resilience.hedge_outcomes,
+                                  launched=resilience.hedges_launched))
+        metrics.gauge(
+            "eca_replica_health",
+            "Replica health board (1 on the current state's row)",
+            labels=("replica", "state"),
+            callback=lambda: {
+                (address, info["state"]): 1.0
+                for address, info in (
+                    resilience.health.snapshot()
+                    if resilience.health is not None else {}).items()})
         queue = resilience.dead_letters
         metrics.gauge("eca_dead_letters", "Dead letters awaiting replay",
                       callback=lambda: len(queue))

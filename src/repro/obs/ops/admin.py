@@ -12,11 +12,12 @@ standalone :class:`ObsAdminServer`:
   carries a breaker summary so an operator sees *why* a ready engine is
   degraded;
 * ``GET /introspect/rules | /instances | /breakers | /dead-letters |
-  /journal | /runtime`` — JSON snapshots of the rule table, retained
-  rule instances (``?rule=…&limit=…``), per-endpoint breaker/retry
-  state, parked dead letters, the durability journal and the
+  /journal | /runtime | /replicas`` — JSON snapshots of the rule table,
+  retained rule instances (``?rule=…&limit=…``), per-endpoint
+  breaker/retry state, parked dead letters, the durability journal, the
   concurrent runtime (per-shard queue depths, utilization, admission
-  and batcher counters).
+  and batcher counters) and the replica health board (per-replica
+  state, failover/hedge counters, prober status — PROTOCOL.md §12).
 
 Snapshot discipline: every view first *copies* the shared state it
 reads (under the owning component's lock where one exists, e.g.
@@ -36,7 +37,7 @@ __all__ = ["IntrospectionSurface", "ObsAdminServer", "INTROSPECTION_ROUTES"]
 INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
                         "/introspect/instances", "/introspect/breakers",
                         "/introspect/dead-letters", "/introspect/journal",
-                        "/introspect/runtime")
+                        "/introspect/runtime", "/introspect/replicas")
 
 #: how many times a copy retries when a scrape races an engine mutation
 _SNAPSHOT_RETRIES = 5
@@ -96,6 +97,8 @@ class IntrospectionSurface:
             return 200, self.journal()
         if path == "/introspect/runtime":
             return 200, self.runtime()
+        if path == "/introspect/replicas":
+            return 200, self.replicas()
         return 404, {"error": f"unknown introspection route {path!r}"}
 
     # -- probes --------------------------------------------------------------
@@ -209,6 +212,28 @@ class IntrospectionSurface:
         status = durability.journal_status()
         status["durable"] = True
         return status
+
+    def replicas(self):
+        """Replica routing view (PROTOCOL.md §12): the health board,
+        per-service replica sets, failover/hedge counters and prober
+        status."""
+        grh = self.engine.grh
+        resilience = grh.resilience
+        board = resilience.health
+        view = {
+            "replicas": board.snapshot() if board is not None else {},
+            "services": _copy(lambda: {
+                uri: list(addresses)
+                for uri, addresses in grh._endpoints.items()}),
+            "failovers": resilience.failovers,
+            "hedges": dict(resilience.hedge_outcomes,
+                           launched=resilience.hedges_launched),
+        }
+        prober = getattr(grh, "health_prober", None)
+        view["prober"] = {
+            "running": prober.running, "cycles": prober.cycles,
+        } if prober is not None else None
+        return view
 
     def runtime(self):
         runtime = self.engine.runtime

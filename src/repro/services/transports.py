@@ -323,13 +323,16 @@ class HttpServiceServer:
 
     def __init__(self, aware_handler: AwareHandler | None = None,
                  opaque_handler: OpaqueHandler | None = None,
-                 metrics=None, introspection=None) -> None:
+                 metrics=None, introspection=None, port: int = 0) -> None:
         # ``metrics`` is a MetricsRegistry (or anything with a
         # ``render_prometheus()`` method); when given, the server also
         # answers ``GET /metrics``.  ``introspection`` is an
         # IntrospectionSurface (anything with ``handles(path)`` and
         # ``handle(path, params) -> (status, payload)``); when given,
-        # the server also answers the health and /introspect/* routes
+        # the server also answers the health and /introspect/* routes.
+        # ``port`` pins the listen port (0 = ephemeral): a killed
+        # replica restarting on its *registered* address needs its old
+        # port back (PROTOCOL.md §12; SO_REUSEADDR makes this safe)
         handler_class = type("BoundHandler", (_ServiceHTTPHandler,),
                              {"aware_handler": staticmethod(aware_handler)
                               if aware_handler else None,
@@ -352,7 +355,7 @@ class HttpServiceServer:
                     return
                 super().handle_error(request, client_address)
 
-        self._server = _QuietServer(("127.0.0.1", 0), handler_class)
+        self._server = _QuietServer(("127.0.0.1", port), handler_class)
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         daemon=True)
         self._started = False

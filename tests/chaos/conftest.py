@@ -1,0 +1,38 @@
+"""Shared fixtures for the chaos suite (PROTOCOL.md §12).
+
+``no_thread_leaks`` is autouse: every chaos test must return the
+process to its pre-test thread set — the availability layer spawns
+probers, hedge pools and HTTP servers, and an undisposed one here is
+exactly the daemon-thread leak the engine's ``shutdown()`` contract
+forbids.  A short grace window absorbs per-request HTTP worker threads
+that are already on their way out.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    before = set(threading.enumerate())
+    yield
+    deadline = time.monotonic() + 5.0
+    leaked = []
+    while time.monotonic() < deadline:
+        leaked = [thread for thread in threading.enumerate()
+                  if thread not in before and thread.is_alive()]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        "threads leaked by test: "
+        + ", ".join(thread.name for thread in leaked))
+
+
+@pytest.fixture
+def chaos_seed():
+    """The fault-plan seed; CI sweeps it via the CHAOS_SEED env var."""
+    return int(os.environ.get("CHAOS_SEED", "0"))

@@ -1,0 +1,107 @@
+"""Chaos injection replays exactly: same plan + same request sequence
+→ same injected faults, same failure classes, same delays."""
+
+import pytest
+
+from repro.chaos import ChaosService, ChaosTransport, FaultPlan, KillWindow
+from repro.grh import ok_message
+from repro.services import InProcessTransport, ServiceStatusError
+from repro.services.transports import TransportError
+
+
+def echo(message):
+    return ok_message()
+
+
+def run_storm(seed, requests=120):
+    """Drive one deterministic request sequence through an injecting
+    transport; returns everything observable about the run."""
+    sleeps = []
+    transport = ChaosTransport(
+        InProcessTransport(),
+        FaultPlan(seed, latency_rate=0.2, reset_rate=0.15, error_rate=0.15,
+                  slow_body_rate=0.1, error_statuses=(500, 503)),
+        sleep=sleeps.append)
+    transport.bind("svc:r0", echo)
+    outcomes = []
+    for _ in range(requests):
+        try:
+            transport.send("svc:r0", ok_message())
+            outcomes.append("ok")
+        except ServiceStatusError as exc:
+            outcomes.append(f"status:{exc.status}")
+        except TransportError:
+            outcomes.append("transient")
+    return outcomes, list(transport.injected), sleeps
+
+
+class TestTransportReplay:
+    def test_two_runs_replay_identically(self, chaos_seed):
+        assert run_storm(chaos_seed) == run_storm(chaos_seed)
+
+    def test_different_seeds_inject_differently(self):
+        assert run_storm(11)[1] != run_storm(12)[1]
+
+    def test_taxonomy_gateway_statuses_stay_transient(self):
+        # every injected error is 503 → TransportError (§11: gateway
+        # statuses are transient), never ServiceStatusError
+        transport = ChaosTransport(InProcessTransport(),
+                                   FaultPlan(1, error_rate=1.0,
+                                             error_statuses=(503,)),
+                                   sleep=lambda s: None)
+        transport.bind("svc:r0", echo)
+        with pytest.raises(TransportError) as excinfo:
+            transport.send("svc:r0", ok_message())
+        assert not isinstance(excinfo.value, ServiceStatusError)
+
+    def test_taxonomy_500_is_service_reported(self):
+        transport = ChaosTransport(InProcessTransport(),
+                                   FaultPlan(1, error_rate=1.0,
+                                             error_statuses=(500,)),
+                                   sleep=lambda s: None)
+        transport.bind("svc:r0", echo)
+        with pytest.raises(ServiceStatusError) as excinfo:
+            transport.send("svc:r0", ok_message())
+        assert excinfo.value.status == 500
+        assert excinfo.value.service_reported
+
+    def test_kill_window_blackholes_the_replica(self):
+        clock = iter([0.0, 1.0, 11.0]).__next__
+        transport = ChaosTransport(
+            InProcessTransport(),
+            FaultPlan(0, kills=[KillWindow("svc:r0", 0.0, 10.0)]),
+            clock=clock, sleep=lambda s: None)
+        transport.bind("svc:r0", echo)
+        transport.start()                        # epoch at 0.0
+        with pytest.raises(TransportError):      # elapsed 1.0: killed
+            transport.send("svc:r0", ok_message())
+        transport.send("svc:r0", ok_message())   # elapsed 11.0: restored
+
+
+class TestServiceShim:
+    def test_service_shim_replays_identically(self, chaos_seed):
+        def run():
+            plan = FaultPlan(chaos_seed, latency_rate=0.3, reset_rate=0.2)
+            shim = ChaosService(echo, plan, "r0", sleep=lambda s: None)
+            outcomes = []
+            for _ in range(80):
+                try:
+                    shim(ok_message())
+                    outcomes.append("ok")
+                except ConnectionResetError:
+                    outcomes.append("reset")
+            return outcomes, list(shim.injected)
+        assert run() == run()
+
+    def test_reset_after_work_still_runs_the_handler(self):
+        calls = []
+
+        def counting(message):
+            calls.append(message)
+            return ok_message()
+
+        shim = ChaosService(counting, FaultPlan(0, reset_rate=1.0), "r0",
+                            reset_after_work=True)
+        with pytest.raises(ConnectionResetError):
+            shim(ok_message())
+        assert len(calls) == 1  # the work happened; only the ack died

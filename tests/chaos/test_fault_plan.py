@@ -1,0 +1,81 @@
+"""FaultPlan: seeded, stateless, exactly replayable."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultPlan, KillWindow
+
+
+def storm(seed):
+    return FaultPlan(seed, latency_rate=0.2, reset_rate=0.1,
+                     blackhole_rate=0.05, error_rate=0.1,
+                     slow_body_rate=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, chaos_seed):
+        one = storm(chaos_seed).schedule("r0", 500)
+        two = storm(chaos_seed).schedule("r0", 500)
+        assert one == two
+
+    def test_decision_is_pure(self, chaos_seed):
+        plan = storm(chaos_seed)
+        # order and repetition do not matter: no hidden RNG state
+        backwards = [plan.decision("r1", index)
+                     for index in reversed(range(100))]
+        forwards = [plan.decision("r1", index) for index in range(100)]
+        assert backwards == list(reversed(forwards))
+
+    def test_fingerprint_matches_across_instances(self, chaos_seed):
+        replicas = ("r0", "r1", "r2")
+        assert storm(chaos_seed).fingerprint(replicas) \
+            == storm(chaos_seed).fingerprint(replicas)
+
+    def test_different_seeds_differ(self):
+        assert storm(1).fingerprint(("r0",)) != storm(2).fingerprint(("r0",))
+
+    def test_replicas_get_independent_schedules(self, chaos_seed):
+        plan = storm(chaos_seed)
+        assert plan.schedule("r0", 200) != plan.schedule("r1", 200)
+
+
+class TestDecisions:
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, latency_rate=0.7, reset_rate=0.4)
+
+    def test_zero_rates_inject_nothing(self):
+        plan = FaultPlan(3)
+        assert plan.schedule("r0", 100) == [None] * 100
+
+    def test_full_latency_rate_hits_every_request(self):
+        plan = FaultPlan(5, latency_rate=1.0, latency_range=(0.01, 0.05))
+        for decision in plan.schedule("r0", 50):
+            assert decision is not None and decision.kind == "latency"
+            assert 0.01 <= decision.delay <= 0.05
+
+    def test_all_kinds_eventually_appear(self):
+        plan = FaultPlan(7, latency_rate=0.2, reset_rate=0.2,
+                         blackhole_rate=0.2, error_rate=0.2,
+                         slow_body_rate=0.2)
+        kinds = {decision.kind for decision in plan.schedule("r0", 400)
+                 if decision is not None}
+        assert kinds == set(FAULT_KINDS)
+
+    def test_error_statuses_come_from_the_configured_set(self):
+        plan = FaultPlan(9, error_rate=1.0, error_statuses=(500, 503))
+        statuses = {decision.status for decision in plan.schedule("r0", 60)}
+        assert statuses == {500, 503}
+
+
+class TestKillWindows:
+    def test_kill_window_covers_its_interval(self):
+        plan = FaultPlan(0, kills=[KillWindow("r1", start=2.0, duration=3.0)])
+        assert not plan.killed("r1", 1.9)
+        assert plan.killed("r1", 2.0)
+        assert plan.killed("r1", 4.9)
+        assert not plan.killed("r1", 5.0)
+
+    def test_kill_window_is_per_replica(self):
+        plan = FaultPlan(0, kills=[KillWindow("r1", start=0.0, duration=9.0)])
+        assert plan.killed("r1", 1.0)
+        assert not plan.killed("r0", 1.0)
