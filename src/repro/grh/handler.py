@@ -71,6 +71,9 @@ class GenericRequestHandler:
         #: :meth:`close` (engine shutdown)
         self.health_prober: HealthProber | None = None
         self.health_probe_interval = 1.0
+        #: set by :meth:`close`; keeps late replica registrations from
+        #: restarting the prober thread after engine shutdown
+        self._closed = False
         #: lock-protected counters (repro.obs.metrics.Counter): dispatch
         #: may be driven from several threads at once, and a plain
         #: ``int += 1`` loses increments under contention
@@ -192,12 +195,15 @@ class GenericRequestHandler:
     # -- availability plumbing (PROTOCOL.md §12) -----------------------------
 
     def ensure_health_prober(self) -> HealthProber:
-        """Create and start the background ``/healthz`` prober (idempotent)."""
+        """Create and start the background ``/healthz`` prober
+        (idempotent; after :meth:`close` the prober is returned but not
+        started — probing stays off once the engine has shut down)."""
         if self.health_prober is None:
             self.health_prober = HealthProber(
                 self.registry.health, self._probed_addresses,
                 interval=self.health_probe_interval)
-        self.health_prober.start()
+        if not self._closed:
+            self.health_prober.start()
         return self.health_prober
 
     def _probed_addresses(self) -> list[str]:
@@ -211,6 +217,7 @@ class GenericRequestHandler:
         executor, and the transport's connection pools.  Synchronous
         dispatch keeps working afterwards (pools rebuild on demand;
         hedging and probing stay off)."""
+        self._closed = True
         if self.health_prober is not None:
             self.health_prober.stop()
         self.resilience.close()

@@ -299,7 +299,12 @@ class ReplicaHealthBoard:
             state.probes += 1
             if alive:
                 state.failures = 0
-                self._move(state, HEALTHY)
+                # liveness is all a probe proves: revive DOWN replicas,
+                # but leave SUSPECT for record_success on real traffic —
+                # a replica answering /healthz while erroring on real
+                # requests must keep its routing penalty
+                if state.state == DOWN:
+                    self._move(state, HEALTHY)
             else:
                 state.probe_failures += 1
                 self._move(state, DOWN)
@@ -394,7 +399,10 @@ class HealthProber:
             connection.request("GET", path)
             connection.getresponse().read()
             return True
-        except OSError:
+        # HTTPException covers garbage/partial responses (BadStatusLine,
+        # LineTooLong, ...) which are not OSErrors — a replica answering
+        # gibberish is not provably alive
+        except (OSError, http.client.HTTPException):
             return False
         finally:
             connection.close()
@@ -412,7 +420,13 @@ class HealthProber:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            self.probe_once()
+            try:
+                self.probe_once()
+            except Exception:
+                # one bad sweep (an injected probe raising, a URL that
+                # fails to parse) must not kill the loop: a silently dead
+                # prober would leave DOWN replicas out of rotation forever
+                continue
 
     def start(self) -> None:
         if self._thread is not None and self._thread.is_alive():

@@ -771,9 +771,18 @@ class ResilienceManager:
             failover_ok=failover_ok, on_pick=picked.append)
         try:
             return primary.result(timeout=delay)
-        except TimeoutError:
+        # concurrent.futures.TimeoutError: a distinct class from the
+        # builtin until 3.11 (where it became an alias, so this clause
+        # covers both) — Future.result raises the futures one
+        except concurrent.futures.TimeoutError:
             if primary.done():  # the call itself failed with a timeout
                 raise
+        if not picked:
+            # the primary is still queued (hedge pool saturated) and has
+            # not routed yet: a hedge launched now could land on the very
+            # replica the primary later picks, doubling its load instead
+            # of spreading it — await the primary alone
+            return primary.result()
         with self._lock:
             self.hedges_launched += 1
         hedge = executor.submit(

@@ -74,6 +74,24 @@ class TestShutdown:
                 server.stop()
             grh.close()
 
+    def test_late_registration_keeps_probing_off_after_shutdown(self):
+        engine, grh, servers, addresses = replicated_world()
+        try:
+            engine.shutdown()
+            assert not grh.health_prober.running
+            # registering another replicated HTTP language after
+            # shutdown must not restart the prober thread the teardown
+            # just reaped
+            grh.add_remote_language(
+                LanguageDescriptor("urn:test:late", "query", "late",
+                                   replicas=addresses))
+            assert not grh.health_prober.running
+            names = {thread.name for thread in threading.enumerate()}
+            assert "eca-health-prober" not in names
+        finally:
+            for server in servers:
+                server.stop()
+
     def test_probe_marks_killed_replica_down(self):
         engine, grh, servers, addresses = replicated_world()
         board = grh.registry.health

@@ -104,6 +104,43 @@ class TestHedgedReads:
         finally:
             manager.close()
 
+    def test_saturated_pool_skips_the_hedge(self):
+        import threading
+
+        from repro.grh import ReplicaHealthBoard, ResilienceManager
+        policy = HedgePolicy(delay=0.05, max_threads=2)
+        manager = ResilienceManager(hedge=policy)
+        manager.health = ReplicaHealthBoard()
+        try:
+            release = threading.Event()
+            pool = manager._executor(policy)
+            blockers = [pool.submit(release.wait, 5.0) for _ in range(2)]
+            calls = []
+
+            def attempt(address):
+                calls.append(address)
+                return "ok:" + address
+
+            results = []
+            caller = threading.Thread(
+                target=lambda: results.append(manager.call_routed(
+                    ("a", "b"), DESCRIPTOR, attempt, kind="query",
+                    hedge_ok=True)))
+            caller.start()
+            # the hedge delay expires while the primary is still queued
+            # behind the blocker — it has not routed yet, so a hedge
+            # could land on the primary's own replica; it must be skipped
+            time.sleep(0.2)
+            release.set()
+            caller.join(2.0)
+            for blocker in blockers:
+                blocker.result(2.0)
+            assert results and results[0].startswith("ok:")
+            assert len(calls) == 1  # no second dispatch raced the first
+            assert manager.hedges_launched == 0
+        finally:
+            manager.close()
+
     def test_closed_manager_stops_hedging_but_keeps_dispatching(self):
         manager = make_manager(delay=0.0)
         manager.close()

@@ -1,9 +1,13 @@
 """Replica routing: health-scored selection, failover, eviction."""
 
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.grh import (DOWN, GenericRequestHandler, GRHError, HEALTHY,
-                       LanguageDescriptor, LanguageRegistry,
+                       HealthProber, LanguageDescriptor, LanguageRegistry,
                        ReplicaHealthBoard, ResilienceManager, SUSPECT)
 from repro.grh.resilience import TransientServiceFailure
 from repro.services import InProcessTransport
@@ -44,6 +48,17 @@ class TestHealthBoard:
         board = ReplicaHealthBoard()
         board.mark_down("a")
         board.record_probe("a", alive=True)
+        assert board.state_of("a") == HEALTHY
+
+    def test_probe_does_not_clear_suspect(self):
+        board = ReplicaHealthBoard()
+        board.record_error("a")
+        assert board.state_of("a") == SUSPECT
+        # liveness is all a probe proves: a replica serving /healthz
+        # while erroring on real traffic keeps its routing penalty
+        board.record_probe("a", alive=True)
+        assert board.state_of("a") == SUSPECT
+        board.record_success("a", 0.01)
         assert board.state_of("a") == HEALTHY
 
     def test_live_falls_back_to_all_when_everything_is_down(self):
@@ -181,3 +196,55 @@ class TestEviction:
             "urn:test:many", "query", "many",
             replicas=["svc:r0", "svc:r1"])  # any iterable normalizes
         assert replicated.addresses == ("svc:r0", "svc:r1")
+
+
+class TestProberRobustness:
+    """The prober thread must survive bad probes: a dead prober leaves
+    DOWN replicas out of rotation forever."""
+
+    def test_probe_loop_survives_a_raising_probe(self):
+        board = ReplicaHealthBoard()
+        calls = []
+
+        def flaky_probe(address):
+            calls.append(address)
+            if len(calls) == 1:
+                raise ValueError("garbage response")
+            return True
+
+        prober = HealthProber(board, lambda: ["http://replica:1/"],
+                              interval=0.01, probe=flaky_probe)
+        prober.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while len(calls) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(calls) >= 3  # kept sweeping past the bad one
+            assert prober.running
+        finally:
+            prober.stop()
+
+    def test_garbage_http_response_is_not_alive(self):
+        # a replica speaking something other than HTTP raises
+        # BadStatusLine (an HTTPException, not an OSError) — the probe
+        # must report it dead, not blow up the sweep
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def serve_garbage():
+            connection, _ = server.accept()
+            connection.recv(1024)
+            connection.sendall(b"this is not http\r\n\r\n")
+            connection.close()
+
+        thread = threading.Thread(target=serve_garbage, daemon=True)
+        thread.start()
+        board = ReplicaHealthBoard()
+        prober = HealthProber(board, lambda: [], timeout=2.0)
+        try:
+            assert prober._http_probe(f"http://127.0.0.1:{port}") is False
+        finally:
+            server.close()
+            thread.join(2.0)
