@@ -1,0 +1,207 @@
+"""The pattern analyzer: compiles detectors into discrimination keys.
+
+A registered event component is a tree of detector nodes whose leaves
+are :class:`~repro.events.atomic.AtomicPattern` templates.  The analyzer
+answers two questions about such a tree *once, at registration time*:
+
+* **Which events can possibly advance it?**  Every known operator of the
+  SNOOP and XChange algebras changes state only when one of its leaf
+  patterns produces an occurrence, so an event that matches no leaf can
+  be withheld from the whole tree without changing its behaviour — the
+  basis of the discrimination network (PROTOCOL.md §13).
+* **What is the cheapest necessary condition for each leaf?**  Each leaf
+  is compiled to one :class:`LeafKey` — a hashable index key the network
+  buckets alpha nodes under.  An incoming event derives its own (small)
+  set of :func:`probe_keys`; a leaf can only match the event if the
+  leaf's *home key* is among the event's probe keys, so one hash lookup
+  per probe key finds every candidate leaf.
+
+Key grammar, most selective first:
+
+``attr``
+    the pattern's root carries a constant attribute equality
+    (``person="mehl"``); keyed on ``(root tag, attribute, value)``.
+``child-text``
+    a childless child element of the root carries constant text
+    (``<to>Vienna</to>``); keyed on ``(root tag, child tag, text)``.
+``text``
+    the (childless) root itself carries constant text; keyed on
+    ``(root tag, text)``.
+``tag``
+    anything else — variable-only templates index on the root tag alone
+    (always a concrete expanded name: templates are literal XML).
+
+Trees the analyzer cannot prove event-driven go to the network's
+*fallback bucket* and are offered every event, exactly like the linear
+path: ``snoop:periodic`` (its ``feed`` advances a clock, so even a
+non-matching event can fire detections) and any detector type outside
+the two built-in algebras (exact-type checks — a subclass may override
+``feed`` arbitrarily).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.atomic import AtomicPattern, _classify
+from ..events.snoop import (And, Any, Aperiodic, AperiodicCumulative, Atomic,
+                            Detector, Not, Or, Periodic, Seq)
+from ..events.xchange import (AndQuery, OrQuery, PatternQuery, SeqQuery,
+                              WithoutQuery)
+from ..xmlmodel import Element, QName, canonicalize
+
+__all__ = ["LeafKey", "Analysis", "analyze", "compile_pattern",
+           "pattern_identity", "probe_keys"]
+
+
+@dataclass(frozen=True)
+class LeafKey:
+    """One hash-index key: ``kind`` ∈ {tag, attr, text, child-text}."""
+
+    kind: str
+    tag: QName
+    detail: tuple = ()
+
+
+def compile_pattern(pattern: AtomicPattern) -> LeafKey:
+    """The *home key* of one leaf — its most selective constant test.
+
+    Every test encoded in a key is a **necessary** condition for
+    :meth:`AtomicPattern.match`, so bucketing the leaf's alpha node
+    under its home key never hides it from an event it could match.
+    """
+    template = pattern.template
+    constant_attrs = sorted(
+        ((name, value) for name, value in template.attributes.items()
+         if _classify(value)[0] == "lit"),
+        key=lambda item: (item[0].uri or "", item[0].local, item[1]))
+    if constant_attrs:
+        return LeafKey("attr", template.name, constant_attrs[0])
+    children = list(template.elements())
+    child_texts = []
+    for child in children:
+        if next(child.elements(), None) is not None:
+            continue
+        text = child.text().strip()
+        if text and _classify(text)[0] == "lit":
+            child_texts.append((child.name.uri or "", child.name.local,
+                                text, child.name))
+    if child_texts:
+        _, _, text, name = min(child_texts)
+        return LeafKey("child-text", template.name, (name, text))
+    if not children:
+        text = template.text().strip()
+        if text and _classify(text)[0] == "lit":
+            return LeafKey("text", template.name, (text,))
+    return LeafKey("tag", template.name)
+
+
+def probe_keys(payload: Element) -> list[LeafKey]:
+    """Every home key an event with this payload could light up.
+
+    Mirrors :func:`compile_pattern`: one ``tag`` key, one ``attr`` key
+    per attribute, one ``text`` key when the root has text, and one
+    ``child-text`` key per child element with text.  The list is small
+    (bounded by the event's own size) and independent of how many
+    patterns are registered.
+    """
+    name = payload.name
+    keys = [LeafKey("tag", name)]
+    seen = {keys[0]}
+    for attribute, value in payload.attributes.items():
+        key = LeafKey("attr", name, (attribute, value))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    text = payload.text().strip()
+    if text:
+        key = LeafKey("text", name, (text,))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    for child in payload.elements():
+        child_text = child.text().strip()
+        if child_text:
+            key = LeafKey("child-text", name, (child.name, child_text))
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
+def pattern_identity(pattern: AtomicPattern) -> str:
+    """A canonical identity under which equivalent leaves share one
+    alpha node (and therefore one match per event).
+
+    Two leaves share iff their templates are structurally equal (same
+    canonical serialization — attribute order and prefixes ignored) and
+    they bind the matched event to the same variable.
+    """
+    return (canonicalize(pattern.template) + "\x00"
+            + (pattern.bind_event_to or ""))
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """What the analyzer concluded about one registered detector."""
+
+    patterns: tuple[AtomicPattern, ...] = ()
+    fallback: bool = False
+    reason: str | None = None
+    #: the tree is (or may be) time-driven: its ``poll`` can produce
+    #: detections, so the service must keep polling it
+    pollable: bool = False
+
+
+def analyze(detector: Detector) -> Analysis:
+    """Analyze a detector tree for discrimination-network insertion."""
+    leaves: list[AtomicPattern] = []
+    reason = _collect(detector, leaves)
+    if reason is not None:
+        return Analysis(fallback=True, reason=reason, pollable=True)
+    return Analysis(patterns=tuple(leaves))
+
+
+def _collect(detector: Detector, out: list[AtomicPattern]) -> str | None:
+    """Gather leaf patterns; a string reason means *not indexable*.
+
+    Exact-type dispatch on the built-in operator classes only: every
+    operator listed here provably changes state and produces output
+    only via leaf occurrences, so leaf discrimination is sound.  A
+    subclass could override ``feed``/``poll``, so it falls back.
+    """
+    kind = type(detector)
+    if kind is Atomic or kind is PatternQuery:
+        out.append(detector.pattern)
+        return None
+    if kind is Or:
+        return _collect_all(detector.children, out)
+    if kind is And or kind is Seq:
+        return _collect_all((detector.left, detector.right), out)
+    if kind is Any:
+        return _collect_all(detector.children, out)
+    if kind is Not:
+        # the forbidden child's events mutate state too (they record
+        # blocking times), so its leaves route events just the same
+        return _collect_all((detector.initiator, detector.forbidden,
+                             detector.terminator), out)
+    if kind is Aperiodic or kind is AperiodicCumulative:
+        return _collect_all((detector.opener, detector.body,
+                             detector.closer), out)
+    if kind is Periodic:
+        return "snoop:periodic is time-driven (feed advances its clock)"
+    if kind is AndQuery or kind is SeqQuery:
+        return _collect_all(detector.queries, out)
+    if kind is OrQuery:
+        return _collect_all(detector.queries, out)
+    if kind is WithoutQuery:
+        return _collect_all((detector.positive, detector.without), out)
+    return f"unknown detector type {kind.__name__}"
+
+
+def _collect_all(children, out: list[AtomicPattern]) -> str | None:
+    for child in children:
+        reason = _collect(child, out)
+        if reason is not None:
+            return reason
+    return None

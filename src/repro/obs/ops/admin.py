@@ -12,12 +12,15 @@ standalone :class:`ObsAdminServer`:
   carries a breaker summary so an operator sees *why* a ready engine is
   degraded;
 * ``GET /introspect/rules | /instances | /breakers | /dead-letters |
-  /journal | /runtime | /replicas`` — JSON snapshots of the rule table,
-  retained rule instances (``?rule=…&limit=…``), per-endpoint
-  breaker/retry state, parked dead letters, the durability journal, the
-  concurrent runtime (per-shard queue depths, utilization, admission
-  and batcher counters) and the replica health board (per-replica
-  state, failover/hedge counters, prober status — PROTOCOL.md §12).
+  /journal | /runtime | /replicas | /match`` — JSON snapshots of the
+  rule table, retained rule instances (``?rule=…&limit=…``),
+  per-endpoint breaker/retry state, parked dead letters, the durability
+  journal, the concurrent runtime (per-shard queue depths, utilization,
+  admission and batcher counters), the replica health board
+  (per-replica state, failover/hedge counters, prober status —
+  PROTOCOL.md §12) and the event discrimination networks hosted in this
+  process (alpha nodes, shared memories, fallback buckets,
+  candidates-per-event — PROTOCOL.md §13).
 
 Snapshot discipline: every view first *copies* the shared state it
 reads (under the owning component's lock where one exists, e.g.
@@ -37,7 +40,8 @@ __all__ = ["IntrospectionSurface", "ObsAdminServer", "INTROSPECTION_ROUTES"]
 INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
                         "/introspect/instances", "/introspect/breakers",
                         "/introspect/dead-letters", "/introspect/journal",
-                        "/introspect/runtime", "/introspect/replicas")
+                        "/introspect/runtime", "/introspect/replicas",
+                        "/introspect/match")
 
 #: how many times a copy retries when a scrape races an engine mutation
 _SNAPSHOT_RETRIES = 5
@@ -99,6 +103,8 @@ class IntrospectionSurface:
             return 200, self.runtime()
         if path == "/introspect/replicas":
             return 200, self.replicas()
+        if path == "/introspect/match":
+            return 200, self.match()
         return 404, {"error": f"unknown introspection route {path!r}"}
 
     # -- probes --------------------------------------------------------------
@@ -234,6 +240,18 @@ class IntrospectionSurface:
             "running": prober.running, "cycles": prober.cycles,
         } if prober is not None else None
         return view
+
+    def match(self):
+        """Discrimination-network view (PROTOCOL.md §13): one snapshot
+        per live network in the process — event services are autonomous
+        (they may not even share the engine's process), so the view
+        reports whatever this process hosts rather than reaching
+        through the engine."""
+        from ...match import live_snapshots
+        networks = _copy(live_snapshots)
+        return {"networks": networks,
+                "total_registered": sum(view["registered"]
+                                        for view in networks)}
 
     def runtime(self):
         runtime = self.engine.runtime

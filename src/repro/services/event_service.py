@@ -6,11 +6,21 @@ three share the same machinery: they keep one detector per registered
 component id, subscribe to an event stream, and signal each detection to
 the GRH as a ``log:detection`` message carrying the component id, the
 occurrence interval and the variable bindings.
+
+Since PROTOCOL.md §13 the shared machinery routes events through a
+Rete-style :class:`~repro.match.DiscriminationNetwork`: each incoming
+event is offered only to the detectors one of whose leaf patterns can
+match it (plus the non-indexable fallback bucket), so per-event cost
+tracks the *affected* components rather than the registered population.
+The delivered detection sequence — ordering, intervals, bindings,
+constituents and detection ids — is byte-for-byte what the preserved
+linear path (``use_network=False``) produces.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Callable
 
@@ -18,6 +28,7 @@ from ..events import (Detector, Event, EventStream, parse_atomic,
                       parse_snoop, parse_xchange)
 from ..events.snoop import Atomic
 from ..grh.messages import Request, detection_to_xml, Detection
+from ..match import DiscriminationNetwork, install_match_metrics
 from ..xmlmodel import Element
 from .base import LanguageService, ServiceError
 
@@ -33,14 +44,33 @@ _BOOT = f"{time.time_ns():x}"
 
 
 class EventDetectionService(LanguageService):
-    """Shared base of the three event-language services."""
+    """Shared base of the three event-language services.
+
+    ``use_network=False`` keeps the seed's linear scan — every event
+    offered to every detector — as the differential/bench baseline.
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) installs
+    the §13 match instruments; without it routing is uninstrumented.
+
+    Registration churn and stream delivery are serialized under one
+    re-entrant lock, so ``register_event``/``unregister_event`` racing a
+    ``feed``/``poll`` can neither miss nor double-deliver a component:
+    a registration either happens-before an event (and is offered it)
+    or after (and is not) — never half-indexed.
+    """
 
     service_name = "event-detection"
 
     def __init__(self, notify: Callable[[Element], None], *,
-                 incarnation: str | None = None) -> None:
+                 incarnation: str | None = None,
+                 use_network: bool = True,
+                 metrics=None) -> None:
         self._notify = notify
         self._detectors: dict[str, Detector] = {}
+        self._lock = threading.RLock()
+        self._network = (DiscriminationNetwork(self.service_name)
+                         if use_network else None)
+        self._instruments = (install_match_metrics(metrics)
+                             if metrics is not None else None)
         #: per-service monotonic detection sequence; stamped on every
         #: log:detection as ``detection-id`` so a durable engine can
         #: deduplicate at-least-once redelivery (PROTOCOL.md §7).
@@ -71,14 +101,20 @@ class EventDetectionService(LanguageService):
     def register_event(self, request: Request) -> None:
         if request.content is None:
             raise ServiceError("event registration carries no pattern")
-        if request.component_id in self._detectors:
-            raise ServiceError(
-                f"component {request.component_id!r} already registered")
-        self._detectors[request.component_id] = self.build_detector(
-            request.content)
+        detector = self.build_detector(request.content)
+        with self._lock:
+            if request.component_id in self._detectors:
+                raise ServiceError(
+                    f"component {request.component_id!r} already registered")
+            self._detectors[request.component_id] = detector
+            if self._network is not None:
+                self._network.insert(request.component_id, detector)
 
     def unregister_event(self, request: Request) -> None:
-        self._detectors.pop(request.component_id, None)
+        with self._lock:
+            self._detectors.pop(request.component_id, None)
+            if self._network is not None:
+                self._network.remove(request.component_id)
 
     # -- stream side ----------------------------------------------------------------
 
@@ -89,29 +125,63 @@ class EventDetectionService(LanguageService):
         """Process one event; signal every detection to the GRH.
 
         The detection message carries the matched event sequence along
-        with the bindings (Fig. 6 (1) of the paper).
+        with the bindings (Fig. 6 (1) of the paper).  With the
+        discrimination network the event is offered only to affected
+        detectors; a component whose whole pattern is one indexed leaf
+        reuses the network's shared alpha memory instead of re-matching.
         """
-        for component_id, detector in list(self._detectors.items()):
-            for occurrence in detector.feed(event):
-                self._notify(detection_to_xml(Detection(
-                    component_id, occurrence.start, occurrence.end,
-                    occurrence.bindings,
-                    tuple(constituent.payload
-                          for constituent in occurrence.constituents),
-                    detection_id=self._next_detection_id())))
+        with self._lock:
+            if self._network is None:
+                candidates = [(component_id, detector, None)
+                              for component_id, detector
+                              in self._detectors.items()]
+            else:
+                candidates = self._network.route(event)
+            if self._instruments is not None:
+                self._instruments.observe(self.service_name,
+                                          len(candidates))
+            for component_id, detector, shared in candidates:
+                occurrences = (shared if shared is not None
+                               else detector.feed(event))
+                for occurrence in occurrences:
+                    self._notify(detection_to_xml(Detection(
+                        component_id, occurrence.start, occurrence.end,
+                        occurrence.bindings,
+                        tuple(constituent.payload
+                              for constituent in occurrence.constituents),
+                        detection_id=self._next_detection_id())))
 
     def poll(self, now: float) -> None:
-        """Drive time-based operators (snoop:periodic)."""
-        for component_id, detector in list(self._detectors.items()):
-            for occurrence in detector.poll(now):
-                self._notify(detection_to_xml(Detection(
-                    component_id, occurrence.start, occurrence.end,
-                    occurrence.bindings,
-                    detection_id=self._next_detection_id())))
+        """Drive time-based operators (snoop:periodic).
+
+        Only time-driven (and fallback) detectors are polled through the
+        network — every other built-in operator's ``poll`` provably
+        yields nothing.  Like ``feed``, the emitted detection carries
+        the matched constituent events alongside the bindings.
+        """
+        with self._lock:
+            if self._network is None:
+                pollable = list(self._detectors.items())
+            else:
+                pollable = self._network.pollable()
+            for component_id, detector in pollable:
+                for occurrence in detector.poll(now):
+                    self._notify(detection_to_xml(Detection(
+                        component_id, occurrence.start, occurrence.end,
+                        occurrence.bindings,
+                        tuple(constituent.payload
+                              for constituent in occurrence.constituents),
+                        detection_id=self._next_detection_id())))
 
     @property
     def registered_ids(self) -> list[str]:
-        return list(self._detectors)
+        with self._lock:
+            return list(self._detectors)
+
+    @property
+    def network(self) -> DiscriminationNetwork | None:
+        """The discrimination network, or None on the linear path."""
+        return self._network
 
 
 class AtomicEventService(EventDetectionService):

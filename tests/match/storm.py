@@ -1,0 +1,130 @@
+"""Seeded random rule-set and event-storm generators for match tests.
+
+Shared by the differential suite and ``benchmarks/bench_match.py``: a
+:class:`random.Random` seed fully determines both the registered rule
+population and the event storm, so any divergence between the network
+and linear paths replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlmodel import Element, QName
+
+DOMAIN_NS = "urn:storm:domain"
+SNOOP_NS = "http://www.semwebtech.org/languages/2006/snoop"
+XCHANGE_NS = "http://www.semwebtech.org/languages/2006/xchange"
+ECA_NS = "http://www.semwebtech.org/languages/2006/eca-ml"
+
+TYPE_POOL = ("booking", "delayed", "cancelled", "checkin", "payment",
+             "upgrade", "refund", "alert")
+ATTR_POOL = ("person", "flight", "to", "status", "kind")
+VALUE_POOL = ("mehl", "olsen", "f77", "f42", "vienna", "oslo", "gold",
+              "ok", "late")
+VAR_POOL = ("P", "F", "T", "S", "K")
+CONTEXTS = ("unrestricted", "recent", "chronicle", "continuous",
+            "cumulative")
+
+
+def _qname(local: str) -> QName:
+    return QName(DOMAIN_NS, local)
+
+
+def random_pattern(rng: random.Random, *, bind: bool = True) -> Element:
+    """A domain pattern template: constant/variable attrs, maybe a
+    child element with constant/variable text, maybe an eca:bind."""
+    element = Element(_qname(rng.choice(TYPE_POOL)),
+                      nsdecls={"d": DOMAIN_NS})
+    for name in rng.sample(ATTR_POOL, k=rng.randint(0, 3)):
+        if rng.random() < 0.55:
+            element.set(QName(None, name), rng.choice(VALUE_POOL))
+        else:
+            element.set(QName(None, name),
+                        "{%s}" % rng.choice(VAR_POOL))
+    roll = rng.random()
+    if roll < 0.2:
+        child = Element(_qname(rng.choice(ATTR_POOL)))
+        child.append(rng.choice(VALUE_POOL) if rng.random() < 0.6
+                     else "{%s}" % rng.choice(VAR_POOL))
+        element.append(child)
+    elif roll < 0.3:
+        element.append(rng.choice(VALUE_POOL) if rng.random() < 0.6
+                       else "{%s}" % rng.choice(VAR_POOL))
+    if bind and rng.random() < 0.15:
+        element.set(QName(ECA_NS, "bind"), rng.choice(("Ev", "Raw")))
+    return element
+
+
+def random_snoop(rng: random.Random, depth: int = 2) -> Element:
+    """A SNOOP operator tree (markup) of bounded depth."""
+    if depth <= 0 or rng.random() < 0.35:
+        return random_pattern(rng)
+    operator = rng.choice(("or", "and", "seq", "any", "not",
+                           "aperiodic", "periodic"))
+    element = Element(QName(SNOOP_NS, operator),
+                      nsdecls={"snoop": SNOOP_NS})
+    child = lambda: random_snoop(rng, depth - 1)  # noqa: E731
+    if operator == "or":
+        for _ in range(rng.randint(1, 3)):
+            element.append(child())
+    elif operator in ("and", "seq"):
+        element.set(QName(None, "context"), rng.choice(CONTEXTS))
+        for _ in range(2):
+            element.append(child())
+    elif operator == "any":
+        children = [child() for _ in range(rng.randint(2, 3))]
+        element.set(QName(None, "m"), str(rng.randint(1, len(children))))
+        for node in children:
+            element.append(node)
+    elif operator == "not":
+        for _ in range(3):
+            element.append(child())
+    elif operator == "aperiodic":
+        if rng.random() < 0.5:
+            element.set(QName(None, "cumulative"), "true")
+        for _ in range(3):
+            element.append(child())
+    else:  # periodic — lands in the fallback bucket (time-driven)
+        element.set(QName(None, "period"), str(rng.randint(2, 5)))
+        for _ in range(2):
+            element.append(child())
+    return element
+
+
+def random_xchange(rng: random.Random, depth: int = 2) -> Element:
+    """An XChange-style query tree (markup) of bounded depth."""
+    if depth <= 0 or rng.random() < 0.35:
+        return random_pattern(rng)
+    operator = rng.choice(("or", "and", "seq", "without"))
+    element = Element(QName(XCHANGE_NS, operator),
+                      nsdecls={"xchange": XCHANGE_NS})
+    child = lambda: random_xchange(rng, depth - 1)  # noqa: E731
+    if operator == "or":
+        for _ in range(rng.randint(1, 3)):
+            element.append(child())
+    elif operator in ("and", "seq"):
+        if rng.random() < 0.5:
+            element.set(QName(None, "within"), str(rng.randint(3, 12)))
+        for _ in range(2):
+            element.append(child())
+    else:
+        for _ in range(2):
+            element.append(child())
+    return element
+
+
+def random_event_payload(rng: random.Random) -> Element:
+    """One domain event: concrete type, attrs, sometimes a child/text."""
+    element = Element(_qname(rng.choice(TYPE_POOL)),
+                      nsdecls={"d": DOMAIN_NS})
+    for name in rng.sample(ATTR_POOL, k=rng.randint(0, 4)):
+        element.set(QName(None, name), rng.choice(VALUE_POOL))
+    roll = rng.random()
+    if roll < 0.25:
+        child = Element(_qname(rng.choice(ATTR_POOL)))
+        child.append(rng.choice(VALUE_POOL))
+        element.append(child)
+    elif roll < 0.35:
+        element.append(rng.choice(VALUE_POOL))
+    return element

@@ -1,0 +1,175 @@
+"""Unit tests for the pattern analyzer: key grammar and tree analysis."""
+
+import random
+
+from repro.events import parse_atomic, parse_snoop, parse_xchange
+from repro.events.base import Event
+from repro.events.snoop import Atomic, Detector, Periodic, Seq
+from repro.match import (analyze, compile_pattern, pattern_identity,
+                         probe_keys)
+from repro.xmlmodel import QName, parse
+
+from .storm import DOMAIN_NS, random_event_payload, random_pattern
+
+SNOOP = 'xmlns:snoop="http://www.semwebtech.org/languages/2006/snoop"'
+XCHANGE = 'xmlns:xc="http://www.semwebtech.org/languages/2006/xchange"'
+D = f'xmlns:d="{DOMAIN_NS}"'
+
+
+def pattern(markup):
+    return parse_atomic(parse(markup))
+
+
+class TestKeyGrammar:
+    def test_constant_attribute_wins(self):
+        key = compile_pattern(pattern(
+            f'<d:booking {D} person="{{P}}" to="oslo">x</d:booking>'))
+        assert key.kind == "attr"
+        assert key.tag == QName(DOMAIN_NS, "booking")
+        assert key.detail == (QName(None, "to"), "oslo")
+
+    def test_attribute_choice_is_deterministic(self):
+        first = compile_pattern(pattern(
+            f'<d:a {D} b="1" c="2"/>'))
+        second = compile_pattern(pattern(
+            f'<d:a {D} c="2" b="1"/>'))
+        assert first == second
+
+    def test_child_text_when_no_constant_attribute(self):
+        key = compile_pattern(pattern(
+            f'<d:booking {D} person="{{P}}"><d:to>vienna</d:to>'
+            '</d:booking>'))
+        assert key.kind == "child-text"
+        assert key.detail == (QName(DOMAIN_NS, "to"), "vienna")
+
+    def test_root_text_key(self):
+        key = compile_pattern(pattern(f'<d:alert {D}>red</d:alert>'))
+        assert key.kind == "text"
+        assert key.detail == ("red",)
+
+    def test_variable_only_template_keys_on_tag(self):
+        key = compile_pattern(pattern(
+            f'<d:booking {D} person="{{P}}">{{T}}</d:booking>'))
+        assert key.kind == "tag"
+        assert key.detail == ()
+
+    def test_variable_child_text_is_not_indexed(self):
+        key = compile_pattern(pattern(
+            f'<d:booking {D}><d:to>{{T}}</d:to></d:booking>'))
+        assert key.kind == "tag"
+
+
+class TestProbeCoverage:
+    def test_probe_keys_cover_every_matching_pattern(self):
+        """Soundness invariant of the whole index: if a pattern matches
+        an event, the pattern's home key is among the event's probes."""
+        rng = random.Random(7)
+        patterns = [parse_atomic(random_pattern(rng)) for _ in range(300)]
+        checked = 0
+        for index in range(300):
+            payload = random_event_payload(rng)
+            event = Event(payload, float(index), index)
+            probes = set(probe_keys(payload))
+            for candidate in patterns:
+                if candidate.match(event) is not None:
+                    checked += 1
+                    assert compile_pattern(candidate) in probes
+        assert checked > 50  # the sweep really exercised matches
+
+
+class TestIdentity:
+    def test_attribute_order_and_prefixes_ignored(self):
+        first = pattern(f'<d:a {D} x="1" y="2"/>')
+        second = parse_atomic(parse(
+            f'<q:a xmlns:q="{DOMAIN_NS}" y="2" x="1"/>'))
+        assert pattern_identity(first) == pattern_identity(second)
+
+    def test_variable_names_distinguish(self):
+        assert pattern_identity(pattern(f'<d:a {D} x="{{P}}"/>')) != \
+            pattern_identity(pattern(f'<d:a {D} x="{{Q}}"/>'))
+
+    def test_bind_distinguishes(self):
+        eca = 'xmlns:eca="http://www.semwebtech.org/languages/2006/eca-ml"'
+        assert pattern_identity(pattern(
+            f'<d:a {D} {eca} eca:bind="E"/>')) != \
+            pattern_identity(pattern(f'<d:a {D}/>'))
+
+
+class TestTreeAnalysis:
+    def test_atomic_tree(self):
+        analysis = analyze(Atomic(pattern(f'<d:a {D} x="1"/>')))
+        assert not analysis.fallback
+        assert len(analysis.patterns) == 1
+
+    def test_composite_collects_all_leaves(self):
+        detector = parse_snoop(parse(f"""
+            <snoop:not {SNOOP}>
+              <d:open {D}/>
+              <d:forbidden {D}/>
+              <d:close {D}/>
+            </snoop:not>"""))
+        analysis = analyze(detector)
+        assert not analysis.fallback
+        locals_ = sorted(p.template.name.local for p in analysis.patterns)
+        assert locals_ == ["close", "forbidden", "open"]
+
+    def test_periodic_falls_back_and_polls(self):
+        detector = parse_snoop(parse(f"""
+            <snoop:periodic {SNOOP} period="5">
+              <d:open {D}/>
+              <d:close {D}/>
+            </snoop:periodic>"""))
+        analysis = analyze(detector)
+        assert analysis.fallback and analysis.pollable
+        assert "periodic" in analysis.reason
+
+    def test_periodic_nested_anywhere_falls_back(self):
+        detector = parse_snoop(parse(f"""
+            <snoop:or {SNOOP}>
+              <d:plain {D}/>
+              <snoop:periodic period="5">
+                <d:open {D}/>
+                <d:close {D}/>
+              </snoop:periodic>
+            </snoop:or>"""))
+        assert analyze(detector).fallback
+
+    def test_unknown_detector_type_falls_back(self):
+        class Custom(Detector):
+            def feed(self, event):
+                return []
+
+            def reset(self):
+                pass
+
+        analysis = analyze(Custom())
+        assert analysis.fallback
+        assert "Custom" in analysis.reason
+
+    def test_subclass_of_known_operator_falls_back(self):
+        class Sneaky(Atomic):
+            pass
+
+        analysis = analyze(Sneaky(pattern(f'<d:a {D}/>')))
+        assert analysis.fallback
+
+    def test_seq_chain_and_xchange_trees(self):
+        detector = parse_snoop(parse(f"""
+            <snoop:seq {SNOOP}>
+              <d:a {D}/><d:b {D}/><d:c {D}/>
+            </snoop:seq>"""))
+        assert isinstance(detector, Seq)
+        assert len(analyze(detector).patterns) == 3
+        query = parse_xchange(parse(f"""
+            <xc:and {XCHANGE} within="9">
+              <d:a {D}/>
+              <xc:without>
+                 <d:b {D}/><d:c {D}/>
+              </xc:without>
+            </xc:and>"""))
+        assert len(analyze(query).patterns) == 3
+
+    def test_periodic_instance_check_is_exact(self):
+        assert analyze(
+            Periodic(Atomic(pattern(f'<d:a {D}/>')), 2.0,
+                     Atomic(pattern(f'<d:b {D}/>')))).fallback

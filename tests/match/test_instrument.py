@@ -1,0 +1,114 @@
+"""Match observability: metrics scrape and the admin view."""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.bindings import Relation
+from repro.core import ECAEngine
+from repro.events.base import Event
+from repro.grh.messages import Request
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.ops import IntrospectionSurface, ObsAdminServer
+from repro.services import standard_deployment
+from repro.services.event_service import AtomicEventService
+from repro.xmlmodel import parse
+
+from .storm import DOMAIN_NS
+
+D = f'xmlns:d="{DOMAIN_NS}"'
+SNOOP = 'xmlns:snoop="http://www.semwebtech.org/languages/2006/snoop"'
+
+
+def build_service(registry):
+    service = AtomicEventService(lambda element: None, incarnation="",
+                                 metrics=registry)
+    for index in range(6):
+        service.register_event(Request(
+            "register-event", f"c{index}::event",
+            parse(f'<d:a {D} to="oslo"/>'), Relation.unit()))
+    service.register_event(Request(
+        "register-event", "other::event",
+        parse(f'<d:b {D} person="{{P}}"/>'), Relation.unit()))
+    return service
+
+
+class TestMetrics:
+    def test_gauges_and_histogram_scrape(self):
+        registry = MetricsRegistry()
+        service = build_service(registry)
+        service.feed(Event(parse(f'<d:a {D} to="oslo"/>'), 0.0, 0))
+        service.feed(Event(parse(f'<d:miss {D}/>'), 1.0, 1))
+        text = registry.render_prometheus()
+        assert ('eca_match_alpha_nodes{service="atomic-event-matcher"} 2'
+                in text)
+        assert ('eca_match_shared_memories'
+                '{service="atomic-event-matcher"} 1' in text)
+        assert ('eca_match_events_total'
+                '{service="atomic-event-matcher"} 2' in text)
+        # candidate histogram: one 6-candidate event, one 0-candidate
+        assert ('eca_match_candidates_bucket'
+                '{service="atomic-event-matcher",le="0.0"} 1' in text)
+        assert ('eca_match_candidates_bucket'
+                '{service="atomic-event-matcher",le="10.0"} 2' in text)
+        assert ('eca_match_candidates_count'
+                '{service="atomic-event-matcher"} 2' in text)
+
+    def test_install_is_idempotent_across_services(self):
+        registry = MetricsRegistry()
+        build_service(registry)
+        build_service(registry)  # second install must not raise
+        assert "eca_match_alpha_nodes" in registry.render_prometheus()
+
+    def test_fallback_gauge(self):
+        registry = MetricsRegistry()
+        service = build_service(registry)
+        from repro.services.event_service import SnoopService
+        snoop = SnoopService(lambda element: None, incarnation="",
+                             metrics=registry)
+        snoop.register_event(Request(
+            "register-event", "tick::event", parse(f"""
+                <snoop:periodic {SNOOP} period="3">
+                  <d:open {D}/><d:close {D}/>
+                </snoop:periodic>"""), Relation.unit()))
+        text = registry.render_prometheus()
+        assert ('eca_match_fallback_patterns'
+                '{service="snoop-detector"} 1' in text)
+        assert service.network.fallback_count == 0
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestAdminView:
+    def test_introspect_match_surface(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh)
+        surface = IntrospectionSurface(engine, Observability())
+        status, view = surface.handle("/introspect/match")
+        assert status == 200
+        services = {entry["service"] for entry in view["networks"]}
+        # the three deployment services at least (other live networks
+        # from the test process may appear too — the view is
+        # process-wide by design)
+        assert {"atomic-event-matcher", "snoop-detector",
+                "xchange-detector"} <= services
+        for entry in view["networks"]:
+            assert {"registered", "alpha_nodes", "shared_memories",
+                    "fallback", "key_families",
+                    "fallback_reasons"} <= set(entry)
+
+    def test_scrape_over_http(self):
+        deployment = standard_deployment()
+        engine = ECAEngine(deployment.grh, observability=Observability())
+        with ObsAdminServer(engine) as address:
+            status, view = http_get(f"{address}/introspect/match")
+        assert status == 200
+        assert view["total_registered"] == sum(
+            entry["registered"] for entry in view["networks"])

@@ -1,0 +1,177 @@
+"""Unit tests for the discrimination network: sharing, routing, churn."""
+
+from repro.events import parse_atomic, parse_snoop
+from repro.events.base import Event
+from repro.events.snoop import Atomic, Detector
+from repro.match import DiscriminationNetwork
+from repro.xmlmodel import parse
+
+from .storm import DOMAIN_NS
+
+D = f'xmlns:d="{DOMAIN_NS}"'
+SNOOP = 'xmlns:snoop="http://www.semwebtech.org/languages/2006/snoop"'
+
+
+def atomic(markup):
+    return Atomic(parse_atomic(parse(markup)))
+
+
+def event(markup, at=0.0, sequence=0):
+    return Event(parse(markup), at, sequence)
+
+
+class TestSharing:
+    def test_identical_leaves_share_one_alpha_node(self):
+        network = DiscriminationNetwork("t")
+        for index in range(500):
+            network.insert(f"c{index}",
+                           atomic(f'<d:a {D} person="{{P}}" to="oslo"/>'))
+        assert network.alpha_node_count == 1
+        assert network.shared_memory_count == 1
+        assert len(network) == 500
+
+    def test_shared_node_tests_once_per_event(self):
+        network = DiscriminationNetwork("t")
+        for index in range(100):
+            network.insert(f"c{index}", atomic(f'<d:a {D} to="oslo"/>'))
+        probe = event(f'<d:a {D} to="oslo"/>')
+        candidates = network.route(probe)
+        assert len(candidates) == 100
+        assert network.stats()["alpha_tests"] == 1
+
+    def test_leaf_components_reuse_the_alpha_memory(self):
+        network = DiscriminationNetwork("t")
+        network.insert("c0", atomic(f'<d:a {D} to="{{T}}"/>'))
+        network.insert("c1", atomic(f'<d:a {D} to="{{T}}"/>'))
+        candidates = network.route(event(f'<d:a {D} to="oslo"/>'))
+        shared = [occurrences for _, _, occurrences in candidates]
+        assert all(batch is not None for batch in shared)
+        assert shared[0][0] is shared[1][0]  # one occurrence, shared
+
+    def test_composite_components_are_fed_not_precomputed(self):
+        network = DiscriminationNetwork("t")
+        network.insert("c0", parse_snoop(parse(f"""
+            <snoop:seq {SNOOP}><d:a {D}/><d:b {D}/></snoop:seq>""")))
+        candidates = network.route(event(f'<d:a {D}/>'))
+        assert candidates == [("c0", network._entries["c0"].detector, None)]
+
+
+class TestRouting:
+    def test_events_only_reach_affected_components(self):
+        network = DiscriminationNetwork("t")
+        network.insert("a", atomic(f'<d:a {D}/>'))
+        network.insert("b", atomic(f'<d:b {D}/>'))
+        network.insert("a-oslo", atomic(f'<d:a {D} to="oslo"/>'))
+        hits = [cid for cid, _, _ in
+                network.route(event(f'<d:a {D} to="vienna"/>'))]
+        assert hits == ["a"]
+        hits = [cid for cid, _, _ in
+                network.route(event(f'<d:a {D} to="oslo"/>'))]
+        assert hits == ["a", "a-oslo"]
+
+    def test_candidates_arrive_in_registration_order(self):
+        network = DiscriminationNetwork("t")
+        network.insert("late", atomic(f'<d:a {D}/>'))
+        network.insert("periodic", parse_snoop(parse(f"""
+            <snoop:periodic {SNOOP} period="2">
+              <d:a {D}/><d:z {D}/>
+            </snoop:periodic>""")))
+        network.insert("early", atomic(f'<d:a {D} to="oslo"/>'))
+        hits = [cid for cid, _, _ in
+                network.route(event(f'<d:a {D} to="oslo"/>'))]
+        assert hits == ["late", "periodic", "early"]
+
+    def test_reregistration_moves_to_the_back(self):
+        """Mirrors dict re-insertion order on the linear path."""
+        network = DiscriminationNetwork("t")
+        network.insert("x", atomic(f'<d:a {D}/>'))
+        network.insert("y", atomic(f'<d:a {D}/>'))
+        network.insert("x", atomic(f'<d:a {D}/>'))
+        hits = [cid for cid, _, _ in network.route(event(f'<d:a {D}/>'))]
+        assert hits == ["y", "x"]
+
+    def test_fallback_offered_every_event(self):
+        network = DiscriminationNetwork("t")
+
+        class Custom(Detector):
+            def feed(self, inbound):
+                return []
+
+            def reset(self):
+                pass
+
+        network.insert("odd", Custom())
+        hits = [cid for cid, _, _ in
+                network.route(event(f'<d:unrelated {D}/>'))]
+        assert hits == ["odd"]
+        assert network.fallback_count == 1
+        assert network.pollable() == [("odd",
+                                       network._entries["odd"].detector)]
+
+    def test_indexed_components_are_not_polled(self):
+        network = DiscriminationNetwork("t")
+        network.insert("plain", atomic(f'<d:a {D}/>'))
+        assert network.pollable() == []
+
+
+class TestChurn:
+    def test_remove_erases_empty_nodes_and_buckets(self):
+        network = DiscriminationNetwork("t")
+        network.insert("c0", atomic(f'<d:a {D} to="oslo"/>'))
+        network.insert("c1", atomic(f'<d:a {D} to="oslo"/>'))
+        assert network.remove("c0")
+        assert network.alpha_node_count == 1
+        assert network.remove("c1")
+        assert network.alpha_node_count == 0
+        assert not network._buckets
+        assert not network.remove("c1")
+        assert network.route(event(f'<d:a {D} to="oslo"/>')) == []
+
+    def test_remove_only_detaches_one_subscription(self):
+        network = DiscriminationNetwork("t")
+        network.insert("keep", atomic(f'<d:a {D}/>'))
+        network.insert("drop", atomic(f'<d:a {D}/>'))
+        network.remove("drop")
+        hits = [cid for cid, _, _ in network.route(event(f'<d:a {D}/>'))]
+        assert hits == ["keep"]
+
+    def test_duplicate_leaves_in_one_component_subscribe_once(self):
+        network = DiscriminationNetwork("t")
+        network.insert("dup", parse_snoop(parse(f"""
+            <snoop:or {SNOOP}><d:a {D}/><d:a {D}/></snoop:or>""")))
+        assert network.alpha_node_count == 1
+        hits = [cid for cid, _, _ in network.route(event(f'<d:a {D}/>'))]
+        assert hits == ["dup"]
+        network.remove("dup")
+        assert network.alpha_node_count == 0
+
+    def test_clear(self):
+        network = DiscriminationNetwork("t")
+        for index in range(10):
+            network.insert(f"c{index}", atomic(f'<d:a {D} k="{index}"/>'))
+        network.clear()
+        assert len(network) == 0
+        assert network.alpha_node_count == 0
+
+
+class TestSnapshots:
+    def test_stats_and_snapshot_shape(self):
+        network = DiscriminationNetwork("svc")
+        network.insert("c0", atomic(f'<d:a {D} to="oslo"/>'))
+        network.insert("c1", atomic(f'<d:a {D} to="oslo"/>'))
+        network.insert("per", parse_snoop(parse(f"""
+            <snoop:periodic {SNOOP} period="2">
+              <d:a {D}/><d:z {D}/>
+            </snoop:periodic>""")))
+        network.route(event(f'<d:a {D} to="oslo"/>'))
+        stats = network.stats()
+        assert stats["service"] == "svc"
+        assert stats["registered"] == 3
+        assert stats["indexed"] == 2
+        assert stats["fallback"] == 1
+        assert stats["shared_memories"] == 1
+        assert stats["events_routed"] == 1
+        assert stats["last_candidates"] == 3
+        view = network.snapshot()
+        assert view["key_families"] == {"attr": 1}
+        assert list(view["fallback_reasons"].values()) == [1]
