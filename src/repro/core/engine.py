@@ -690,6 +690,14 @@ class ECAEngine:
             root_span = obs.tracer.begin(
                 "rule", {"rule": rule_id, "instance": instance_id},
                 parent=None)
+            runtime = self.runtime
+            if runtime is not None:
+                # time the detection sat in the runtime queue before a
+                # worker picked it up — part of the instance's latency
+                # budget even though the instance had not started yet
+                waited = runtime.take_queue_wait()
+                if waited:
+                    root_span.set_attribute("queue_wait", waited)
             event_span = obs.begin_phase("event", detection.component_id)
             event_span.set_attribute("tuples", len(detection.bindings))
             obs.end_phase("event", event_span)

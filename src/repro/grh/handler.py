@@ -28,6 +28,7 @@ from typing import Callable
 from ..bindings import (Binding, BindingError, Relation, answer_to_binding,
                         answers_to_relation, results_from_answer,
                         value_to_text)
+from ..obs.attribution import pop_wait_scope, push_wait_scope
 from ..obs.metrics import Counter
 from ..obs.trace import (SPANS_QNAME, pop_span_sink, push_span_sink,
                          xml_to_span_dicts)
@@ -46,6 +47,23 @@ __all__ = ["GenericRequestHandler", "GRHError"]
 _ANSWERS = QName(LOG_NS, "answers")
 _ANSWER = QName(LOG_NS, "answer")
 _TRACEPARENT_ATTR = QName(None, "traceparent")
+
+
+def _finish_request_span(obs, span, kind, scope, status="ok") -> None:
+    """Stamp the dispatch's accumulated waits onto the request span and
+    finish it.
+
+    The wait attributes (``batch_park``/``pool_wait``/``retry_backoff``/
+    ``hedge_wait``) must land *before* ``tracer.finish`` — exporters
+    (JSONL, the critical-path analyzer) read the attributes at export
+    time, and success and error paths alike need the budget
+    (PROTOCOL.md §14).
+    """
+    if scope is not None:
+        for kind_key, seconds in scope.items():
+            span.set_attribute(kind_key, seconds)
+    obs.tracer.finish(span, status=status)
+    obs.observe_request(kind, span)
 
 
 class GenericRequestHandler:
@@ -329,49 +347,57 @@ class GenericRequestHandler:
         read_only = request.kind in ("query", "test", "register-event",
                                      "unregister-event")
         failover_ok = read_only or request.dedup is not None
+        # a wait scope collects where this dispatch blocked (batcher
+        # park, pool acquisition, backoff, hedge race); the layers
+        # below record into it and _finish_request_span copies the
+        # totals onto the span for the critical-path analyzer
+        scope = push_wait_scope() if span is not None else None
         try:
-            if batched:
-                # read-only request under a concurrent runtime: park it
-                # with the batcher, which ships one log:batch per
-                # address/window through the same resilience path and
-                # fans the log:batchresults back per caller; the
-                # envelope's address is routed once, at submit time
-                result = batcher.submit(
-                    self.resilience.route(addresses, descriptor),
-                    descriptor, payload)
-                if obs is not None:
-                    self._strip_spans(result, obs)
-            else:
-                result = self.resilience.call_routed(
-                    addresses, descriptor, attempt_once,
-                    kind=request.kind, failover_ok=failover_ok,
-                    hedge_ok=request.kind in ("query", "test"))
-        except TransientServiceFailure as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, request.kind, descriptor.name,
-                                      exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request(request.kind, span)
-            raise GRHError(f"service {descriptor.name!r} unreachable or "
-                           f"crashed: {exc}") from exc
-        except ServiceReportedError as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, request.kind, descriptor.name,
-                                      exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request(request.kind, span)
-            raise GRHError(f"service {descriptor.name!r} reported: "
-                           f"{exc}") from exc
-        except GRHError as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, request.kind, descriptor.name,
-                                      exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request(request.kind, span)
-            raise
+            try:
+                if batched:
+                    # read-only request under a concurrent runtime: park
+                    # it with the batcher, which ships one log:batch per
+                    # address/window through the same resilience path
+                    # and fans the log:batchresults back per caller; the
+                    # envelope's address is routed once, at submit time
+                    result = batcher.submit(
+                        self.resilience.route(addresses, descriptor),
+                        descriptor, payload)
+                    if obs is not None:
+                        self._strip_spans(result, obs)
+                else:
+                    result = self.resilience.call_routed(
+                        addresses, descriptor, attempt_once,
+                        kind=request.kind, failover_ok=failover_ok,
+                        hedge_ok=request.kind in ("query", "test"))
+            except TransientServiceFailure as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, request.kind,
+                                          descriptor.name, exc)
+                    _finish_request_span(obs, span, request.kind, scope,
+                                         status="error")
+                raise GRHError(f"service {descriptor.name!r} unreachable "
+                               f"or crashed: {exc}") from exc
+            except ServiceReportedError as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, request.kind,
+                                          descriptor.name, exc)
+                    _finish_request_span(obs, span, request.kind, scope,
+                                         status="error")
+                raise GRHError(f"service {descriptor.name!r} reported: "
+                               f"{exc}") from exc
+            except GRHError as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, request.kind,
+                                          descriptor.name, exc)
+                    _finish_request_span(obs, span, request.kind, scope,
+                                         status="error")
+                raise
+        finally:
+            if scope is not None:
+                pop_wait_scope()
         if span is not None:
-            obs.tracer.finish(span)
-            obs.observe_request(request.kind, span)
+            _finish_request_span(obs, span, request.kind, scope)
         return result
 
     def _probe_inline(self, address: str) -> bool:
@@ -532,33 +558,40 @@ class GenericRequestHandler:
                     raise ServiceReportedError(str(exc)) from exc
                 raise TransientServiceFailure(str(exc)) from exc
 
+        scope = push_wait_scope() if span is not None else None
         try:
-            result = self.resilience.call_routed(
-                addresses, descriptor, attempt_once, kind="fetch",
-                failover_ok=True, hedge_ok=True)
-        except TransientServiceFailure as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request("fetch", span)
-            raise GRHError(f"service {descriptor.name!r} unreachable or "
-                           f"crashed: {exc}") from exc
-        except ServiceReportedError as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request("fetch", span)
-            raise GRHError(f"service {descriptor.name!r} reported: "
-                           f"{exc}") from exc
-        except GRHError as exc:
-            if span is not None:
-                _log_dispatch_failure(obs, "fetch", descriptor.name, exc)
-                obs.tracer.finish(span, status="error")
-                obs.observe_request("fetch", span)
-            raise
+            try:
+                result = self.resilience.call_routed(
+                    addresses, descriptor, attempt_once, kind="fetch",
+                    failover_ok=True, hedge_ok=True)
+            except TransientServiceFailure as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, "fetch", descriptor.name,
+                                          exc)
+                    _finish_request_span(obs, span, "fetch", scope,
+                                         status="error")
+                raise GRHError(f"service {descriptor.name!r} unreachable "
+                               f"or crashed: {exc}") from exc
+            except ServiceReportedError as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, "fetch", descriptor.name,
+                                          exc)
+                    _finish_request_span(obs, span, "fetch", scope,
+                                         status="error")
+                raise GRHError(f"service {descriptor.name!r} reported: "
+                               f"{exc}") from exc
+            except GRHError as exc:
+                if span is not None:
+                    _log_dispatch_failure(obs, "fetch", descriptor.name,
+                                          exc)
+                    _finish_request_span(obs, span, "fetch", scope,
+                                         status="error")
+                raise
+        finally:
+            if scope is not None:
+                pop_wait_scope()
         if span is not None:
-            obs.tracer.finish(span)
-            obs.observe_request("fetch", span)
+            _finish_request_span(obs, span, "fetch", scope)
         return result
 
     def _bind_raw_results(self, raw: str, binding: Binding,

@@ -39,6 +39,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
 
+from ..obs.attribution import (bind_wait_scope, current_wait_scope,
+                               record_wait, unbind_wait_scope)
 from .messages import Detection, Request, dead_letter_to_xml, request_to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -714,7 +716,12 @@ class ResilienceManager:
                 self.retries += 1
             if observer is not None:
                 observer("retry", address)
+            slept_from = self.clock()
             self.sleep(policy.delay_for(passes, address))
+            # backoff is idle time, not service time: attribute the gap
+            # so the critical path separates "the service is slow" from
+            # "we kept backing off" (PROTOCOL.md §14)
+            record_wait("retry_backoff", self.clock() - slept_from)
             passes += 1
             failed = set(exclude)
 
@@ -766,8 +773,22 @@ class ResilienceManager:
                                        failover_ok=failover_ok)
         delay = self.hedge_delay(addresses, policy)
         picked: list[str] = []
+        # both branches run on executor threads, off the dispatching
+        # caller — bind the caller's wait scope into them so pool and
+        # backoff waits inside the attempts still attribute to this
+        # request (concurrent adds are safe; the analyzer clamps any
+        # joint over-report into the request's wall budget)
+        scope = current_wait_scope()
+        call = self._call_failover
+        if scope is not None:
+            def call(*args, _scope=scope, **kwargs):
+                bind_wait_scope(_scope)
+                try:
+                    return self._call_failover(*args, **kwargs)
+                finally:
+                    unbind_wait_scope()
         primary = executor.submit(
-            self._call_failover, addresses, descriptor, attempt,
+            call, addresses, descriptor, attempt,
             failover_ok=failover_ok, on_pick=picked.append)
         try:
             return primary.result(timeout=delay)
@@ -786,24 +807,31 @@ class ResilienceManager:
         with self._lock:
             self.hedges_launched += 1
         hedge = executor.submit(
-            self._call_failover, addresses, descriptor, attempt,
+            call, addresses, descriptor, attempt,
             failover_ok=failover_ok, exclude=frozenset(picked[:1]))
         pending = {primary: "primary_won", hedge: "hedge_won"}
         first_error: BaseException | None = None
-        while pending:
-            done, _ = concurrent.futures.wait(
-                list(pending), return_when=concurrent.futures.FIRST_COMPLETED)
-            for future in done:
-                outcome = pending.pop(future)
-                error = future.exception()
-                if error is None:
-                    for loser in pending:
-                        loser.add_done_callback(self._discard_hedge)
-                    with self._lock:
-                        self.hedge_outcomes[outcome] += 1
-                    return future.result()
-                if outcome == "primary_won" or first_error is None:
-                    first_error = error
+        # from here the caller only waits on the race; that idle time is
+        # hedge wait, not network time (PROTOCOL.md §14)
+        hedged_from = self.clock()
+        try:
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    list(pending),
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    outcome = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        for loser in pending:
+                            loser.add_done_callback(self._discard_hedge)
+                        with self._lock:
+                            self.hedge_outcomes[outcome] += 1
+                        return future.result()
+                    if outcome == "primary_won" or first_error is None:
+                        first_error = error
+        finally:
+            record_wait("hedge_wait", self.clock() - hedged_from)
         raise first_error
 
     def route(self, addresses: Sequence[str],

@@ -13,6 +13,15 @@ this package makes that pipeline visible:
 * :mod:`repro.obs.config` — the :class:`Observability` object that owns
   both and wires them into an engine
   (``ECAEngine(..., observability=Observability())``);
+* :mod:`repro.obs.profile` — the latency observatory: a continuous
+  wall-clock sampling profiler (folded-stack flamegraph export,
+  per-subsystem attribution) and the critical-path analyzer that
+  decomposes each completed rule-instance trace into a latency budget
+  (queue / engine / phase compute / waits / service / network —
+  PROTOCOL.md §14);
+* :mod:`repro.obs.attribution` — thread-local wait scopes the runtime
+  layers record blocking time into (batch park, pool acquisition,
+  retry backoff, hedge waits), surfaced as request-span attributes;
 * :mod:`repro.obs.ops` — production operations on top: head/tail trace
   sampling, structured JSON-lines logging, and the live
   introspection/health surface (``/healthz``, ``/readyz``,
@@ -21,9 +30,14 @@ this package makes that pipeline visible:
 Everything is off by default and costs nothing when off.
 """
 
+from .attribution import (WAIT_KINDS, WaitScope, bind_wait_scope,
+                          current_wait_scope, pop_wait_scope,
+                          push_wait_scope, record_wait, unbind_wait_scope)
 from .config import Observability
 from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
                       MetricsRegistry)
+from .profile import (BUDGET_PHASES, CriticalPathAnalyzer,
+                      PROFILE_SUBSYSTEMS, SamplingProfiler, subsystem_of)
 from .sink import RotatingSink
 from .trace import (JsonlExporter, NOOP_TRACER, NoopSpan, NoopTracer,
                     RingBufferExporter, Span, Tracer, format_traceparent,
@@ -35,4 +49,9 @@ __all__ = ["Observability", "Counter", "Gauge", "Histogram",
            "Tracer", "NoopSpan", "NoopTracer", "NOOP_TRACER",
            "RingBufferExporter", "JsonlExporter", "format_traceparent",
            "parse_traceparent", "render_trace", "span_to_dict",
-           "spans_to_xml", "traceparent_sampled", "xml_to_span_dicts"]
+           "spans_to_xml", "traceparent_sampled", "xml_to_span_dicts",
+           "SamplingProfiler", "CriticalPathAnalyzer", "subsystem_of",
+           "BUDGET_PHASES", "PROFILE_SUBSYSTEMS", "WAIT_KINDS",
+           "WaitScope", "push_wait_scope", "pop_wait_scope",
+           "current_wait_scope", "bind_wait_scope", "unbind_wait_scope",
+           "record_wait"]

@@ -1,0 +1,122 @@
+"""Thread-local wait attribution: where a request's milliseconds went.
+
+A GRH request span measures one wall-clock interval, but that interval
+hides several qualitatively different waits: the request may have been
+parked in the :class:`~repro.runtime.DispatchBatcher`, blocked on HTTP
+pool acquisition, slept through retry backoff, or idled out a hedge
+delay.  The aggregate histograms (``eca_runtime_queue_wait_seconds``
+and friends) see these in bulk; the critical-path analyzer
+(:mod:`repro.obs.profile`) needs them *per request*, attached to the
+request span itself.
+
+This module is the hand-off.  It mirrors the span-sink pattern of
+:mod:`repro.obs.trace`: the GRH opens a *wait scope* on its own thread
+for the duration of one dispatch, the layers underneath call
+:func:`record_wait` as they block, and the GRH copies the totals onto
+the request span before finishing it.  With no scope open (tracing off,
+or a call outside the GRH) ``record_wait`` is a no-op costing one
+thread-local read — the instrumented layers never need to know whether
+anybody is listening.
+
+Cross-thread hand-off: the hedged-read path runs its attempts on a
+shared executor (``ResilienceManager._call_hedged``), off the thread
+that owns the scope.  :func:`bind_wait_scope` pushes an *existing*
+scope onto another thread's stack so those attempts attribute into the
+caller's scope; :class:`WaitScope` takes a lock per add, so concurrent
+branches (primary + hedge) accumulate safely.  Concurrent branches can
+both record the same kind of wait (each branch really did back off),
+which may over-attribute relative to the caller's wall interval — the
+analyzer clamps every wait into the request span's remaining budget,
+so the phase sum stays exact (PROTOCOL.md §14).
+
+Everything here is stdlib-``threading`` only; no imports from the rest
+of the package, so any layer (transports, resilience, batcher) can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["WaitScope", "WAIT_KINDS", "push_wait_scope", "pop_wait_scope",
+           "current_wait_scope", "bind_wait_scope", "unbind_wait_scope",
+           "record_wait"]
+
+#: the wait kinds the instrumented layers record, and the span-attribute
+#: keys the critical-path analyzer reads back (PROTOCOL.md §14)
+WAIT_KINDS = ("batch_park", "pool_wait", "retry_backoff", "hedge_wait")
+
+_LOCAL = threading.local()
+
+
+class WaitScope:
+    """Accumulated waits of one logical GRH dispatch, by kind."""
+
+    __slots__ = ("_waits", "_lock")
+
+    def __init__(self) -> None:
+        self._waits: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def add(self, kind: str, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            self._waits[kind] = self._waits.get(kind, 0.0) + seconds
+
+    def items(self) -> list[tuple[str, float]]:
+        with self._lock:
+            return list(self._waits.items())
+
+    def total(self, kind: str) -> float:
+        with self._lock:
+            return self._waits.get(kind, 0.0)
+
+    def __bool__(self) -> bool:
+        return bool(self._waits)
+
+
+def _stack() -> list:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def push_wait_scope() -> WaitScope:
+    """Open a fresh scope on this thread (scopes nest: a cascaded
+    dispatch inside a co-located service gets its own)."""
+    scope = WaitScope()
+    _stack().append(scope)
+    return scope
+
+
+def pop_wait_scope() -> WaitScope:
+    return _stack().pop()
+
+
+def current_wait_scope() -> WaitScope | None:
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+def bind_wait_scope(scope: WaitScope) -> None:
+    """Make an existing scope current on *this* thread (the hedge
+    executor binding the dispatching caller's scope).  Pairs with
+    :func:`unbind_wait_scope`."""
+    _stack().append(scope)
+
+
+def unbind_wait_scope() -> None:
+    _stack().pop()
+
+
+def record_wait(kind: str, seconds: float) -> None:
+    """Attribute *seconds* of blocking to the innermost open scope.
+
+    No scope open → no-op.  Never raises: the instrumented layers call
+    this inside hot paths and error paths alike.
+    """
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        stack[-1].add(kind, seconds)

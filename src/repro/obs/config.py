@@ -49,6 +49,11 @@ name                                      kind       source
 ``eca_runtime_queue_wait_seconds``        histogram  concurrent runtime
 ``eca_runtime_batches_total``             counter    dispatch batcher
 ``eca_runtime_batched_requests_total``    counter    dispatch batcher
+``eca_latency_budget_seconds{phase}``     histogram  critical-path analyzer
+``eca_latency_selfcheck_total{outcome}``  counter    critical-path analyzer
+``eca_profile_samples_total``             counter    sampling profiler
+``eca_profile_overhead_fraction``         gauge      sampling profiler
+``eca_metrics_dropped_labels_total``      counter    registry cardinality cap
 ========================================  =========  =======================
 """
 
@@ -56,6 +61,7 @@ from __future__ import annotations
 
 from .metrics import MetricsRegistry
 from .ops.logs import StructuredLogger
+from .profile import CriticalPathAnalyzer, SamplingProfiler
 from .trace import (JsonlExporter, NOOP_TRACER, RingBufferExporter, Span,
                     Tracer, render_trace)
 
@@ -94,7 +100,15 @@ class Observability:
       healthy rest;
     * ``log_path=``/``log_stream=`` — a :class:`StructuredLogger`
       (exposed as ``self.log``) that the engine, GRH and resilience
-      layer emit trace-correlated JSON records through.
+      layer emit trace-correlated JSON records through;
+    * ``profiler=`` — ``True`` (or a :class:`SamplingProfiler`) starts
+      a continuous wall-clock sampling profiler at engine install;
+      snapshots via ``self.profiler`` or ``/introspect/profile``;
+    * ``critical=`` — ``True`` (or a :class:`CriticalPathAnalyzer`)
+      splices a latency-budget analyzer onto the exporter chain: every
+      completed rule-instance trace is decomposed into queue / engine
+      / wait / service / network phases (``self.critical``,
+      ``/introspect/latency``, ``eca_latency_budget_seconds``).
     """
 
     def __init__(self, enabled: bool = True, trace_buffer: int = 4096,
@@ -106,7 +120,9 @@ class Observability:
                  trace_jsonl_backups: int = 3,
                  log_path: str | None = None, log_stream=None,
                  log_level="INFO", log_max_bytes: int | None = None,
-                 log_backups: int = 3) -> None:
+                 log_backups: int = 3,
+                 profiler: bool | SamplingProfiler | None = None,
+                 critical: bool | CriticalPathAnalyzer | None = None) -> None:
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ring: RingBufferExporter | None = None
@@ -114,11 +130,20 @@ class Observability:
         self.sampler = None
         self.tail = None
         self.log: StructuredLogger | None = None
+        self.profiler: SamplingProfiler | None = None
+        self.critical: CriticalPathAnalyzer | None = None
         if not enabled:
             self.tracer = NOOP_TRACER
             self._phase_hist = {}
             self._grh_hist = {}
             return
+        if profiler:
+            self.profiler = profiler if isinstance(
+                profiler, SamplingProfiler) else SamplingProfiler()
+        if critical:
+            self.critical = critical if isinstance(
+                critical, CriticalPathAnalyzer) else CriticalPathAnalyzer()
+            self.critical.bind_metrics(self.metrics)
         if tracer is None:
             self.ring = RingBufferExporter(trace_buffer)
             exporters = [self.ring]
@@ -134,9 +159,17 @@ class Observability:
                     tail.downstream.extend(exporters)
                 exporters = [tail]
                 self.tail = tail
+            if self.critical is not None:
+                # the analyzer sits beside the chain head, not behind
+                # the tail sampler: it must see EVERY completed trace,
+                # including the healthy ones the tail discards
+                exporters.append(self.critical)
             tracer = Tracer(exporters, sampler=sampler)
-        elif sampler is not None and tracer.sampler is None:
-            tracer.sampler = sampler
+        else:
+            if sampler is not None and tracer.sampler is None:
+                tracer.sampler = sampler
+            if self.critical is not None:
+                tracer.add_exporter(self.critical)
         self.sampler = tracer.sampler
         self.tracer = tracer
         if log_path is not None or log_stream is not None:
@@ -199,6 +232,16 @@ class Observability:
         if not self.enabled:
             return
         metrics = self.metrics
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.start()
+            metrics.counter("eca_profile_samples_total",
+                            "Stack samples taken by the profiler",
+                            callback=lambda: profiler.samples)
+            metrics.gauge(
+                "eca_profile_overhead_fraction",
+                "Fraction of wall time spent taking stack samples",
+                callback=profiler.overhead)
         stats = engine.stats
         metrics.counter("eca_detections_total",
                         "Detections accepted by the engine",
@@ -419,6 +462,8 @@ class Observability:
         return self.metrics.render_prometheus()
 
     def close(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.jsonl is not None:
             self.jsonl.close()
         if self.log is not None:

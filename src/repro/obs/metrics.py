@@ -129,14 +129,28 @@ class Histogram:
 
 
 class _Family:
-    """A labelled family of instruments of one kind."""
+    """A labelled family of instruments of one kind.
+
+    ``max_children`` caps label cardinality: once the family holds that
+    many children, unseen label combinations share one hidden overflow
+    instrument — writes to it land somewhere harmless instead of
+    allocating, and it is never rendered, so a label built from an
+    unbounded input (an attacker-chosen endpoint, a replayed rule id)
+    cannot grow the exposition without limit.  ``on_overflow`` is
+    called once per rejected lookup so the registry can count drops.
+    """
 
     def __init__(self, make: Callable[[], object],
-                 label_names: tuple[str, ...]) -> None:
+                 label_names: tuple[str, ...],
+                 max_children: int | None = None,
+                 on_overflow: Callable[[], None] | None = None) -> None:
         self._make = make
         self.label_names = label_names
         self._children: dict[tuple[str, ...], object] = {}
         self._lock = threading.Lock()
+        self.max_children = max_children
+        self._on_overflow = on_overflow
+        self._overflow: object | None = None
 
     def labels(self, *values: str):
         """The child instrument for one label-value combination."""
@@ -148,7 +162,17 @@ class _Family:
         child = self._children.get(key)
         if child is None:
             with self._lock:
-                child = self._children.setdefault(key, self._make())
+                child = self._children.get(key)
+                if child is None:
+                    if self.max_children is not None and \
+                            len(self._children) >= self.max_children:
+                        if self._overflow is None:
+                            self._overflow = self._make()
+                        child = self._overflow
+                    else:
+                        child = self._children[key] = self._make()
+            if child is self._overflow and self._on_overflow is not None:
+                self._on_overflow()
         return child
 
     def items(self) -> list[tuple[tuple[str, ...], object]]:
@@ -199,11 +223,27 @@ def _render_labels(names: tuple[str, ...], values: tuple[str, ...],
 
 
 class MetricsRegistry:
-    """Owns every instrument and renders the exposition text."""
+    """Owns every instrument and renders the exposition text.
 
-    def __init__(self) -> None:
+    ``max_label_values`` bounds every labelled family's cardinality
+    (see :class:`_Family`); lookups beyond the cap are tallied in the
+    self-metric ``eca_metrics_dropped_labels_total``.
+    """
+
+    def __init__(self, max_label_values: int | None = 1024) -> None:
         self._metrics: dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        self.max_label_values = max_label_values
+        self._dropped_labels = Counter()
+        self._metrics["eca_metrics_dropped_labels_total"] = _Metric(
+            "eca_metrics_dropped_labels_total",
+            "Label lookups rejected by the cardinality cap",
+            "counter", self._dropped_labels, None, ())
+
+    @property
+    def dropped_labels(self) -> int:
+        """Label lookups absorbed by overflow instruments so far."""
+        return self._dropped_labels.value
 
     # -- registration ------------------------------------------------------
 
@@ -227,7 +267,9 @@ class MetricsRegistry:
             if callback is not None:
                 instrument = None
             elif labels:
-                instrument = _Family(make, labels)
+                instrument = _Family(make, labels,
+                                     max_children=self.max_label_values,
+                                     on_overflow=self._dropped_labels.inc)
             else:
                 instrument = make()
             self._metrics[name] = _Metric(name, help_text, kind, instrument,

@@ -20,7 +20,13 @@ standalone :class:`ObsAdminServer`:
   (per-replica state, failover/hedge counters, prober status —
   PROTOCOL.md §12) and the event discrimination networks hosted in this
   process (alpha nodes, shared memories, fallback buckets,
-  candidates-per-event — PROTOCOL.md §13).
+  candidates-per-event — PROTOCOL.md §13);
+* ``GET /introspect/profile`` — the sampling profiler's recent window
+  (per-subsystem shares, hottest stacks); ``?seconds=N`` takes a fresh
+  blocking capture, ``?format=folded`` adds flamegraph-ready folded
+  stacks (PROTOCOL.md §14);
+* ``GET /introspect/latency`` — the critical-path analyzer's latency
+  budget: per-phase shares and per-rule p50/p99 (PROTOCOL.md §14).
 
 Snapshot discipline: every view first *copies* the shared state it
 reads (under the owning component's lock where one exists, e.g.
@@ -41,7 +47,8 @@ INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
                         "/introspect/instances", "/introspect/breakers",
                         "/introspect/dead-letters", "/introspect/journal",
                         "/introspect/runtime", "/introspect/replicas",
-                        "/introspect/match")
+                        "/introspect/match", "/introspect/profile",
+                        "/introspect/latency")
 
 #: how many times a copy retries when a scrape races an engine mutation
 _SNAPSHOT_RETRIES = 5
@@ -49,6 +56,9 @@ _SNAPSHOT_RETRIES = 5
 #: default and hard cap for the instances view
 _DEFAULT_INSTANCE_LIMIT = 100
 _MAX_INSTANCE_LIMIT = 1000
+
+#: longest blocking capture ``/introspect/profile?seconds=`` will honour
+_MAX_CAPTURE_SECONDS = 30.0
 
 
 def _copy(make):
@@ -105,6 +115,10 @@ class IntrospectionSurface:
             return 200, self.replicas()
         if path == "/introspect/match":
             return 200, self.match()
+        if path == "/introspect/profile":
+            return self.profile(params)
+        if path == "/introspect/latency":
+            return 200, self.latency()
         return 404, {"error": f"unknown introspection route {path!r}"}
 
     # -- probes --------------------------------------------------------------
@@ -252,6 +266,44 @@ class IntrospectionSurface:
         return {"networks": networks,
                 "total_registered": sum(view["registered"]
                                         for view in networks)}
+
+    def profile(self, params: dict | None = None):
+        """Sampling-profiler view (PROTOCOL.md §14).
+
+        Without parameters, a snapshot of the running profiler's recent
+        window; ``?seconds=N`` blocks this HTTP worker up to
+        ``_MAX_CAPTURE_SECONDS`` while a fresh capture accumulates
+        (starting the profiler transiently when it is not running);
+        ``?format=folded`` adds flamegraph-ready folded stack lines.
+        """
+        obs = self.observability
+        profiler = obs.profiler if obs is not None else None
+        if profiler is None:
+            return 200, {"enabled": False}
+        params = params or {}
+        folded = params.get("format") == "folded"
+        raw = params.get("seconds")
+        if raw is not None:
+            try:
+                seconds = float(raw)
+            except ValueError:
+                return 400, {"error": f"bad seconds value {raw!r}"}
+            seconds = max(0.0, min(seconds, _MAX_CAPTURE_SECONDS))
+            view = profiler.capture(seconds, folded=folded)
+        else:
+            view = profiler.snapshot(folded=folded)
+        view["enabled"] = True
+        return 200, view
+
+    def latency(self):
+        """Critical-path latency budget view (PROTOCOL.md §14)."""
+        obs = self.observability
+        analyzer = obs.critical if obs is not None else None
+        if analyzer is None:
+            return {"enabled": False}
+        view = analyzer.snapshot()
+        view["enabled"] = True
+        return view
 
     def runtime(self):
         runtime = self.engine.runtime

@@ -222,6 +222,11 @@ class Tracer:
         self._stats_lock = threading.Lock()
         self._all_stats: list[_TracerThreadStats] = []
 
+    def add_exporter(self, exporter) -> None:
+        """Append an exporter to the chain (before any span finishes)."""
+        self._exporters.append(exporter)
+        self._exports.append(exporter.export)
+
     def _stats(self) -> _TracerThreadStats:
         local = self._local
         stats = getattr(local, "stats", None)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 from ..grh.messages import (batch_to_xml, error_text, is_error,
                             xml_to_batch_results)
 from ..grh.resilience import ServiceReportedError, TransientServiceFailure
+from ..obs.attribution import record_wait
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..grh.handler import GenericRequestHandler
@@ -60,13 +61,19 @@ def _scoped_copy(exc: BaseException) -> BaseException:
 class _Entry:
     """One parked request: its payload and the caller's wakeup slot."""
 
-    __slots__ = ("payload", "event", "result", "error")
+    __slots__ = ("payload", "event", "result", "error", "parked_at",
+                 "parked")
 
     def __init__(self, payload: "Element") -> None:
         self.payload = payload
         self.event = threading.Event()
         self.result: Element | None = None
         self.error: BaseException | None = None
+        #: when this request was parked; the flush stamps ``parked``
+        #: (seconds spent waiting for co-travellers) so the caller can
+        #: attribute its park time (PROTOCOL.md §14)
+        self.parked_at = time.monotonic()
+        self.parked: float | None = None
 
 
 class _Bucket:
@@ -149,6 +156,10 @@ class DispatchBatcher:
             if self._stop:
                 raise TransientServiceFailure(
                     "dispatch batcher stopped while request was parked")
+        if entry.parked is not None:
+            # attributed on the caller's thread, where the GRH's wait
+            # scope for this dispatch is open
+            record_wait("batch_park", entry.parked)
         if entry.error is not None:
             raise entry.error
         return entry.result
@@ -174,6 +185,11 @@ class DispatchBatcher:
         grh = self.grh
         entries = bucket.entries
         descriptor = bucket.descriptor
+        flush_started = time.monotonic()
+        for entry in entries:
+            # park time ends when the envelope starts travelling; the
+            # round-trip after this point is network/service time
+            entry.parked = flush_started - entry.parked_at
         envelope = batch_to_xml([entry.payload for entry in entries])
         timeout = grh.resilience.timeout_for(descriptor)
         if timeout is not None:

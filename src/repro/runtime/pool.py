@@ -202,6 +202,10 @@ class Runtime:
         #: queued before a worker picked it up (obs wires a histogram)
         self.on_wait: Callable[[float], None] | None = None
 
+        #: submit-time stamps keyed by ``id(detection)``; every exit
+        #: path pops its entry (pickup, drop-oldest shed, shutdown
+        #: sweep), so the map is bounded by the queued depth — see
+        #: tests/runtime/test_enqueued_bookkeeping.py
         self._enqueued_at: dict[int, float] = {}
         self._busy_time = [0.0] * workers
         self._started_at: float | None = None
@@ -364,6 +368,9 @@ class Runtime:
                     hook(waited)
                 except Exception:
                     pass
+            # hand the wait to the engine: _handle stamps it onto the
+            # instance's root span for the critical-path analyzer
+            self._worker_local.last_wait = waited
             engine = self._engine
             ok = False
             try:
@@ -388,6 +395,21 @@ class Runtime:
                         self.errors += 1
                     if self._size == 0 and self._active == 0:
                         self._idle.notify_all()
+
+    def take_queue_wait(self) -> float | None:
+        """Consume this worker thread's pending queue-wait hand-off.
+
+        The worker (or lane) records how long the detection it is about
+        to execute waited — shard queue plus in-flight lane — just
+        before calling ``engine._handle``; the engine reads it here
+        exactly once and stamps it onto the instance's root span as the
+        ``queue_wait`` attribute (PROTOCOL.md §14).  Returns ``None``
+        off a worker thread or when already consumed.
+        """
+        waited = getattr(self._worker_local, "last_wait", None)
+        if waited is not None:
+            self._worker_local.last_wait = None
+        return waited
 
     # -- execution: in-flight window (inflight > 1) --------------------------
 
@@ -443,10 +465,10 @@ class Runtime:
                 pending = shard.busy.get(key)
                 if pending is not None:
                     # same source already executing: chain behind it
-                    pending.append(detection)
+                    pending.append((detection, waited, start))
                 else:
                     shard.busy[key] = deque()
-                    shard.ready.append((key, detection))
+                    shard.ready.append((key, detection, waited, start))
                     shard.work.notify()
         with shard.lock:
             shard.dispatcher_done = True
@@ -462,15 +484,21 @@ class Runtime:
                     if shard.dispatcher_done:
                         return
                     shard.work.wait(self._poll_interval)
-                key, detection = shard.ready.popleft()
+                key, detection, waited, popped_at = shard.ready.popleft()
             while True:
+                # queue wait for attribution includes the lane wait: the
+                # time between the dispatcher's pop and this lane
+                # actually starting the instance is still time the
+                # detection spent waiting on the runtime
+                self._worker_local.last_wait = \
+                    waited + (time.monotonic() - popped_at)
                 self._execute(index, detection)
                 shard.permits.release()
                 with shard.lock:
                     pending = shard.busy[key]
                     if pending:
                         # drain the same-source chain in pop order
-                        detection = pending.popleft()
+                        detection, waited, popped_at = pending.popleft()
                     else:
                         del shard.busy[key]
                         break
@@ -550,6 +578,12 @@ class Runtime:
         for thread in self._threads:
             thread.join(timeout=self._poll_interval * 4)
         self._threads.clear()
+        with self._lock:
+            # bookkeeping sweep: a shutdown that timed out mid-drain can
+            # leave queued detections whose submit stamps nobody will
+            # pop (workers are gone); clearing here keeps _enqueued_at
+            # bounded across stop/attach cycles of long-lived processes
+            self._enqueued_at.clear()
         batcher = self.batcher
         if batcher is not None:
             batcher.stop()
@@ -586,4 +620,7 @@ class Runtime:
             "queued": self._size,
             "active": self._active,
             "inflight": self._inflight,
+            # wait-stamp map size; tracks queued depth (regression
+            # guard: a leak here would grow it past the queue bound)
+            "wait_stamps": len(self._enqueued_at),
         }

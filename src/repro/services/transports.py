@@ -45,6 +45,7 @@ from typing import Callable
 
 from ..grh.messages import (batch_results_to_xml, error_message, error_text,
                             is_batch, is_error, xml_to_batch)
+from ..obs.attribution import record_wait
 from ..xmlmodel import Element, parse, serialize
 
 __all__ = ["TransportError", "ServiceStatusError", "InProcessTransport",
@@ -714,7 +715,12 @@ class PooledHttpTransport:
         fresh = False
         retried = False
         while True:
+            waited_from = time.monotonic()
             pooled, reused = pool.acquire(effective, fresh=fresh)
+            # pool-acquisition wait is not network time: attribute it
+            # separately so the critical path names the real bottleneck
+            # (an exhausted pool vs. a slow service) — PROTOCOL.md §14
+            record_wait("pool_wait", time.monotonic() - waited_from)
             try:
                 return self._once(pooled, method, path, body, headers,
                                   effective)

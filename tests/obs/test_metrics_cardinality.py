@@ -1,0 +1,83 @@
+"""Regression: label cardinality is capped, drops are counted.
+
+A labelled family whose values come from unbounded input (endpoint
+addresses, rule ids replayed from a journal) must not grow the
+exposition without limit.  Beyond ``max_label_values`` children, new
+label combinations share one hidden overflow instrument: writes still
+work, nothing new renders, and every rejected lookup bumps
+``eca_metrics_dropped_labels_total``.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry
+
+
+class TestCardinalityCap:
+    def test_counter_family_caps_children(self):
+        registry = MetricsRegistry(max_label_values=5)
+        family = registry.counter("jobs_total", "jobs", labels=("queue",))
+        for n in range(50):
+            family.labels(f"q{n}").inc()
+        assert len(family.items()) == 5
+        assert registry.dropped_labels == 45
+
+    def test_overflow_writes_do_not_render(self):
+        registry = MetricsRegistry(max_label_values=2)
+        family = registry.counter("hits_total", "hits", labels=("who",))
+        family.labels("a").inc()
+        family.labels("b").inc()
+        family.labels("evil").inc(100)
+        text = registry.render_prometheus()
+        assert 'hits_total{who="a"} 1' in text
+        assert 'hits_total{who="b"} 1' in text
+        assert "evil" not in text
+        assert "eca_metrics_dropped_labels_total 1" in text
+
+    def test_known_combinations_keep_working_past_the_cap(self):
+        registry = MetricsRegistry(max_label_values=1)
+        family = registry.counter("x_total", labels=("k",))
+        first = family.labels("known")
+        family.labels("other")          # absorbed
+        assert family.labels("known") is first
+        first.inc()
+        assert first.value == 1
+        assert registry.dropped_labels == 1
+
+    def test_histogram_families_capped_too(self):
+        registry = MetricsRegistry(max_label_values=2)
+        family = registry.histogram("lat_seconds", "lat", labels=("ep",))
+        for n in range(10):
+            family.labels(f"ep{n}").observe(0.01)
+        text = registry.render_prometheus()
+        assert text.count("lat_seconds_count") == 2
+        assert registry.dropped_labels == 8
+
+    def test_uncapped_registry_opts_out(self):
+        registry = MetricsRegistry(max_label_values=None)
+        family = registry.counter("y_total", labels=("k",))
+        for n in range(2000):
+            family.labels(str(n)).inc()
+        assert len(family.items()) == 2000
+        assert registry.dropped_labels == 0
+
+    def test_overflow_instrument_is_shared_and_thread_safe(self):
+        registry = MetricsRegistry(max_label_values=1)
+        family = registry.counter("z_total", labels=("k",))
+        family.labels("keeper")
+
+        def hammer(tag):
+            for _ in range(1000):
+                family.labels(tag).inc()
+
+        threads = [threading.Thread(target=hammer, args=(f"t{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # all four tags collapsed onto one overflow child
+        overflow = family.labels("t0")
+        assert overflow is family.labels("t3")
+        assert overflow.value == 4000
+        assert len(family.items()) == 1

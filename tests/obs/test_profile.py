@@ -1,0 +1,152 @@
+"""The sampling profiler: classification, window, export, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (Observability, PROFILE_SUBSYSTEMS, SamplingProfiler,
+                       subsystem_of)
+
+
+def _synthetic_worker(module: str, stop: threading.Event):
+    """A thread spinning inside a function whose module name claims an
+    engine subsystem, so samples classify deterministically."""
+    source = ("def spin(stop):\n"
+              "    while not stop.is_set():\n"
+              "        sum(range(200))\n")
+    namespace = {"__name__": module}
+    exec(source, namespace)
+    thread = threading.Thread(target=namespace["spin"], args=(stop,),
+                              daemon=True)
+    thread.start()
+    return thread
+
+
+class TestSubsystemClassification:
+    @pytest.mark.parametrize("module,tag", [
+        ("repro.runtime.pool", "runtime"),
+        ("repro.grh.handler", "grh"),
+        ("repro.match.network", "match"),
+        ("repro.durability.journal", "durability"),
+        ("repro.services.transports", "services"),
+        ("repro.obs.trace", "obs"),
+        ("repro.core.engine", "engine"),
+        ("repro.domain.workload", "repro"),
+        ("json.decoder", "external"),
+        (None, "external"),
+    ])
+    def test_module_maps_to_subsystem(self, module, tag):
+        assert subsystem_of(module) == tag
+        assert tag in PROFILE_SUBSYSTEMS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(window=0.5)
+
+
+class TestSampling:
+    def test_samples_attribute_to_the_busy_subsystem(self):
+        stop = threading.Event()
+        thread = _synthetic_worker("repro.match.synthetic", stop)
+        profiler = SamplingProfiler(hz=200.0)
+        try:
+            with profiler:
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            thread.join(1)
+        view = profiler.snapshot()
+        assert view["samples"] > 10
+        # the spinning thread is sampled repeatedly and classified
+        # (other suites may leave daemon threads behind, so assert
+        # presence, not share)
+        assert view["subsystems"].get("match", {}).get("samples", 0) > 5
+        assert any("repro.match.synthetic:spin" in entry["stack"]
+                   for entry in view["top_stacks"])
+
+    def test_folded_lines_are_flamegraph_format(self):
+        stop = threading.Event()
+        thread = _synthetic_worker("repro.grh.synthetic", stop)
+        profiler = SamplingProfiler(hz=200.0)
+        try:
+            with profiler:
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            thread.join(1)
+        lines = profiler.folded_lines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and ";" not in count
+            assert int(count) >= 1
+        assert any("repro.grh.synthetic:spin" in line for line in lines)
+
+    def test_window_is_bounded(self):
+        profiler = SamplingProfiler(hz=50.0, window=2.0)
+        assert profiler._buckets.maxlen == 2
+
+    def test_capture_blocks_and_stops_transient_sampler(self):
+        profiler = SamplingProfiler(hz=200.0)
+        assert not profiler.running
+        started = time.monotonic()
+        view = profiler.capture(0.2)
+        assert time.monotonic() - started >= 0.2
+        assert view["captured_seconds"] == pytest.approx(0.2)
+        assert view["samples_total"] > 0
+        assert not profiler.running          # transient: stopped again
+
+    def test_capture_leaves_a_running_sampler_running(self):
+        profiler = SamplingProfiler(hz=200.0)
+        with profiler:
+            profiler.capture(0.1)
+            assert profiler.running
+
+    def test_overhead_is_self_measured_and_small(self):
+        profiler = SamplingProfiler(hz=99.0)
+        with profiler:
+            time.sleep(0.5)
+        overhead = profiler.overhead()
+        assert 0.0 <= overhead < 0.03
+        assert profiler.ticks > 10
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_stop_joins(self):
+        profiler = SamplingProfiler(hz=100.0)
+        profiler.start()
+        thread = profiler._thread
+        profiler.start()
+        assert profiler._thread is thread
+        profiler.stop()
+        assert not profiler.running
+        profiler.stop()                      # idempotent too
+
+    def test_disabled_means_no_thread(self):
+        """Off is free: no profiler object, no sampler thread."""
+        before = {t.name for t in threading.enumerate()}
+        obs = Observability()
+        assert obs.profiler is None
+        after = {t.name for t in threading.enumerate()}
+        assert not any("profiler" in name for name in after - before)
+        obs.close()
+
+    def test_observability_starts_and_stops_the_profiler(self):
+        from repro.core import ECAEngine
+        from repro.services import standard_deployment
+
+        deployment = standard_deployment()
+        obs = Observability(profiler=SamplingProfiler(hz=50.0))
+        engine = ECAEngine(deployment.grh, observability=obs)
+        try:
+            assert obs.profiler.running
+            rendered = obs.render_prometheus()
+            assert "eca_profile_samples_total" in rendered
+            assert "eca_profile_overhead_fraction" in rendered
+        finally:
+            engine.shutdown(5)
+            obs.close()
+        assert not obs.profiler.running

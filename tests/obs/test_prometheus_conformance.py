@@ -1,0 +1,169 @@
+"""Prometheus text exposition (0.0.4) conformance checks.
+
+Scrapers are unforgiving parsers: a label value with an unescaped
+quote, a histogram missing its ``+Inf`` bucket, or a ``# TYPE`` line
+after its first sample silently corrupts the whole scrape.  These
+tests pin the renderer to the format contract rather than to golden
+strings.
+"""
+
+import math
+import re
+
+from repro.obs import MetricsRegistry
+
+_SAMPLE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$')
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (value.replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\\\", "\\"))
+
+
+def _parse(text: str):
+    """(samples, help_lines, type_lines) from one exposition."""
+    samples = []
+    helps, types = {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            helps[name] = line
+            continue
+        if line.startswith("# TYPE "):
+            name = line.split(" ", 3)[2]
+            types[name] = line
+            continue
+        match = _SAMPLE.match(line)
+        assert match is not None, f"unparseable sample line {line!r}"
+        name, _, raw_labels, value = match.groups()
+        labels = {}
+        if raw_labels:
+            reassembled = ",".join(
+                f'{k}="{v}"' for k, v in _LABEL.findall(raw_labels))
+            assert reassembled == raw_labels, \
+                f"junk between labels in {line!r}"
+            labels = {k: _unescape(v) for k, v in _LABEL.findall(raw_labels)}
+        samples.append((name, labels, float(value)))
+    return samples, helps, types
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_round_trip(self):
+        registry = MetricsRegistry()
+        family = registry.counter("esc_total", "escapes", labels=("v",))
+        nasty = ['plain', 'with "quotes"', 'back\\slash', 'new\nline',
+                 'mix "\\" \n end']
+        for value in nasty:
+            family.labels(value).inc()
+        samples, _, _ = _parse(registry.render_prometheus())
+        seen = {labels["v"] for name, labels, _ in samples
+                if name == "esc_total"}
+        assert seen == set(nasty)
+
+    def test_help_text_stays_single_line(self):
+        registry = MetricsRegistry()
+        registry.counter("h_total", "help text here")
+        for line in registry.render_prometheus().splitlines():
+            if line.startswith("# HELP h_total"):
+                assert line == "# HELP h_total help text here"
+
+
+class TestHistogramContract:
+    def _histogram_text(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "latency",
+                                       buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 7.0):
+            histogram.observe(value)
+        return registry.render_prometheus()
+
+    def test_inf_bucket_present_and_equals_count(self):
+        samples, _, _ = _parse(self._histogram_text())
+        buckets = {labels["le"]: value for name, labels, value in samples
+                   if name == "lat_seconds_bucket"}
+        assert "+Inf" in buckets
+        count = next(value for name, _, value in samples
+                     if name == "lat_seconds_count")
+        assert buckets["+Inf"] == count == 4
+
+    def test_buckets_are_cumulative_and_ordered(self):
+        samples, _, _ = _parse(self._histogram_text())
+        rows = [(labels["le"], value) for name, labels, value in samples
+                if name == "lat_seconds_bucket"]
+        bounds = [float("inf") if le == "+Inf" else float(le)
+                  for le, _ in rows]
+        assert bounds == sorted(bounds)
+        counts = [value for _, value in rows]
+        assert counts == sorted(counts)
+
+    def test_sum_matches_observations(self):
+        samples, _, _ = _parse(self._histogram_text())
+        total = next(value for name, _, value in samples
+                     if name == "lat_seconds_sum")
+        assert math.isclose(total, 0.05 + 0.5 + 0.5 + 7.0)
+
+    def test_labelled_histogram_series_complete_per_child(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("rt_seconds", "rt", labels=("kind",),
+                                    buckets=(1.0,))
+        family.labels("query").observe(0.5)
+        family.labels("action").observe(2.0)
+        samples, _, _ = _parse(registry.render_prometheus())
+        for kind in ("query", "action"):
+            series = [(name, labels) for name, labels, _ in samples
+                      if labels.get("kind") == kind]
+            names = {name for name, _ in series}
+            assert names == {"rt_seconds_bucket", "rt_seconds_sum",
+                             "rt_seconds_count"}
+
+
+class TestMetadataOrdering:
+    def test_help_then_type_then_samples_grouped_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "first", labels=("k",)).labels("x").inc()
+        registry.gauge("b_depth", "second").set(3)
+        registry.histogram("c_seconds", "third").observe(0.2)
+        lines = [line for line in
+                 registry.render_prometheus().splitlines() if line]
+        position = {}
+        for index, line in enumerate(lines):
+            if line.startswith("#"):
+                kind, name = line.split(" ", 3)[1:3]
+                position.setdefault(name, {})[kind] = index
+            else:
+                name = _SAMPLE.match(line).group(1)
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                metric = base if base in position else name
+                position.setdefault(metric, {}).setdefault(
+                    "samples", []).append(index)
+        for name, spots in position.items():
+            if "HELP" in spots:
+                assert spots["HELP"] < spots["TYPE"]
+            assert all(spots["TYPE"] < index for index in spots["samples"]), \
+                f"sample for {name} before its TYPE line"
+            # samples of one metric are contiguous: no other metric's
+            # line interleaves the block
+            block = spots["samples"]
+            assert block == list(range(block[0], block[0] + len(block)))
+
+    def test_every_sample_has_a_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x").inc()
+        registry.histogram("y_seconds", "y").observe(0.1)
+        samples, _, types = _parse(registry.render_prometheus())
+        for name, _, _ in samples:
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert base in types or name in types
+
+    def test_type_lines_match_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c")
+        registry.gauge("g_depth", "g")
+        registry.histogram("h_seconds", "h")
+        _, _, types = _parse(registry.render_prometheus())
+        assert types["c_total"].endswith(" counter")
+        assert types["g_depth"].endswith(" gauge")
+        assert types["h_seconds"].endswith(" histogram")

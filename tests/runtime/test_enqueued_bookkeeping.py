@@ -1,0 +1,135 @@
+"""Regression: ``_enqueued_at`` wait stamps never leak.
+
+The runtime stamps every queued detection's enqueue time keyed by
+``id(detection)`` so the worker that pops it can attribute queue wait.
+Every exit path — normal execution, drop-oldest eviction, rejection,
+block timeout, shutdown with work still queued — must pop (or sweep)
+its entry, or the dict grows for the life of the process and stale ids
+mis-attribute waits when CPython reuses the address.  ``counters()``
+exposes the live stamp count as ``wait_stamps``.
+"""
+
+import threading
+
+from repro.runtime import BackpressureError, Runtime
+from repro.domain import WorkloadConfig, booking_payloads
+from repro.domain.workload import simple_rule_markup
+
+from .harness import build_world
+
+
+def _gated_engine(runtime):
+    deployment, engine = build_world(runtime)
+    release = threading.Event()
+    original = engine._handle
+
+    def gated(detection):
+        release.wait(10)
+        original(detection)
+
+    engine._handle = gated
+    engine.register_rule(simple_rule_markup("r1"))
+    return deployment, engine, release
+
+
+class TestWaitStampBookkeeping:
+    def test_normal_churn_leaves_no_stamps(self):
+        runtime = Runtime(workers=2, queue_capacity=64)
+        deployment, engine = build_world(runtime)
+        engine.register_rule(simple_rule_markup("r1"))
+        try:
+            for payload in booking_payloads(WorkloadConfig(), 50):
+                deployment.stream.emit(payload)
+            assert engine.drain(10)
+            assert runtime.counters()["wait_stamps"] == 0
+        finally:
+            engine.shutdown(5)
+
+    def test_drop_oldest_pops_the_victims_stamp(self):
+        runtime = Runtime(workers=1, queue_capacity=2,
+                          backpressure="drop-oldest")
+        deployment, engine, release = _gated_engine(runtime)
+        try:
+            for payload in booking_payloads(WorkloadConfig(), 10):
+                deployment.stream.emit(payload)
+            assert runtime.dropped > 0
+            # stamps only for what is actually queued (not the dropped)
+            assert runtime.counters()["wait_stamps"] <= \
+                runtime.queue_capacity
+            release.set()
+            assert engine.drain(10)
+            assert runtime.counters()["wait_stamps"] == 0
+        finally:
+            release.set()
+            engine.shutdown(5)
+
+    def test_rejected_submissions_never_stamp(self):
+        runtime = Runtime(workers=1, queue_capacity=2,
+                          backpressure="reject")
+        deployment, engine, release = _gated_engine(runtime)
+        try:
+            rejected = 0
+            for payload in booking_payloads(WorkloadConfig(), 10):
+                try:
+                    deployment.stream.emit(payload)
+                except BackpressureError:
+                    rejected += 1
+            assert rejected > 0
+            assert runtime.counters()["wait_stamps"] <= \
+                runtime.queue_capacity
+            release.set()
+            assert engine.drain(10)
+            assert runtime.counters()["wait_stamps"] == 0
+        finally:
+            release.set()
+            engine.shutdown(5)
+
+    def test_block_timeout_never_stamps(self):
+        runtime = Runtime(workers=1, queue_capacity=1,
+                          backpressure="block", submit_timeout=0.05)
+        deployment, engine, release = _gated_engine(runtime)
+        try:
+            timed_out = 0
+            for payload in booking_payloads(WorkloadConfig(), 5):
+                try:
+                    deployment.stream.emit(payload)
+                except BackpressureError:
+                    timed_out += 1
+            assert timed_out > 0
+            assert runtime.counters()["wait_stamps"] <= \
+                runtime.queue_capacity
+            release.set()
+            assert engine.drain(10)
+            assert runtime.counters()["wait_stamps"] == 0
+        finally:
+            release.set()
+            engine.shutdown(5)
+
+    def test_shutdown_with_queued_work_sweeps_stamps(self):
+        runtime = Runtime(workers=1, queue_capacity=16)
+        deployment, engine, release = _gated_engine(runtime)
+        try:
+            for payload in booking_payloads(WorkloadConfig(), 8):
+                deployment.stream.emit(payload)
+            assert runtime.counters()["wait_stamps"] > 0
+        finally:
+            release.set()
+            engine.shutdown(5)
+        assert runtime.counters()["wait_stamps"] == 0
+
+    def test_sustained_churn_is_bounded(self):
+        """Stamp count never exceeds queued+in-flight work."""
+        runtime = Runtime(workers=4, queue_capacity=32)
+        deployment, engine = build_world(runtime)
+        engine.register_rule(simple_rule_markup("r1"))
+        ceiling = runtime.queue_capacity + runtime.workers * \
+            max(runtime.inflight, 1)
+        try:
+            for round_no in range(5):
+                for payload in booking_payloads(WorkloadConfig(), 20):
+                    deployment.stream.emit(payload)
+                assert runtime.counters()["wait_stamps"] <= ceiling
+                assert engine.drain(10)
+            assert runtime.counters()["wait_stamps"] == 0
+        finally:
+            engine.shutdown(5)
