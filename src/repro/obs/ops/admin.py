@@ -12,15 +12,17 @@ standalone :class:`ObsAdminServer`:
   carries a breaker summary so an operator sees *why* a ready engine is
   degraded;
 * ``GET /introspect/rules | /instances | /breakers | /dead-letters |
-  /journal | /runtime | /replicas | /match`` — JSON snapshots of the
+  /journal | /runtime | /replicas | /match | /sparql`` — JSON snapshots of the
   rule table, retained rule instances (``?rule=…&limit=…``),
   per-endpoint breaker/retry state, parked dead letters, the durability
   journal, the concurrent runtime (per-shard queue depths, utilization,
   admission and batcher counters), the replica health board
   (per-replica state, failover/hedge counters, prober status —
-  PROTOCOL.md §12) and the event discrimination networks hosted in this
+  PROTOCOL.md §12), the event discrimination networks hosted in this
   process (alpha nodes, shared memories, fallback buckets,
-  candidates-per-event — PROTOCOL.md §13);
+  candidates-per-event — PROTOCOL.md §13) and the planned SPARQL
+  backends hosted in this process (store sizes, predicate statistics,
+  recent plans with estimates vs actuals — PROTOCOL.md §15);
 * ``GET /introspect/profile`` — the sampling profiler's recent window
   (per-subsystem shares, hottest stacks); ``?seconds=N`` takes a fresh
   blocking capture, ``?format=folded`` adds flamegraph-ready folded
@@ -47,8 +49,8 @@ INTROSPECTION_ROUTES = ("/healthz", "/readyz", "/introspect/rules",
                         "/introspect/instances", "/introspect/breakers",
                         "/introspect/dead-letters", "/introspect/journal",
                         "/introspect/runtime", "/introspect/replicas",
-                        "/introspect/match", "/introspect/profile",
-                        "/introspect/latency")
+                        "/introspect/match", "/introspect/sparql",
+                        "/introspect/profile", "/introspect/latency")
 
 #: how many times a copy retries when a scrape races an engine mutation
 _SNAPSHOT_RETRIES = 5
@@ -115,6 +117,8 @@ class IntrospectionSurface:
             return 200, self.replicas()
         if path == "/introspect/match":
             return 200, self.match()
+        if path == "/introspect/sparql":
+            return 200, self.sparql()
         if path == "/introspect/profile":
             return self.profile(params)
         if path == "/introspect/latency":
@@ -266,6 +270,18 @@ class IntrospectionSurface:
         return {"networks": networks,
                 "total_registered": sum(view["registered"]
                                         for view in networks)}
+
+    def sparql(self):
+        """SPARQL-backend view (PROTOCOL.md §15): store sizes,
+        per-predicate statistics and recent plans (estimates vs
+        actuals) for every planned SPARQL service this process hosts —
+        like :meth:`match`, the view reports process-local services
+        rather than reaching through the engine."""
+        from ...sparql import live_snapshots
+        services = _copy(live_snapshots)
+        return {"services": services,
+                "total_triples": sum(view["store"]["triples"]
+                                     for view in services)}
 
     def profile(self, params: dict | None = None):
         """Sampling-profiler view (PROTOCOL.md §14).

@@ -24,6 +24,14 @@ class Graph:
         self._spo: dict[Term, dict[Term, set[Term]]] = {}
         self._pos: dict[Term, dict[Term, set[Term]]] = {}
         self._osp: dict[Term, dict[Term, set[Term]]] = {}
+        # per-position triple counts: O(1) cardinality for the three
+        # single-bound patterns (the two-bound ones read index bucket
+        # sizes directly)
+        self._s_count: dict[Term, int] = {}
+        self._p_count: dict[Term, int] = {}
+        self._o_count: dict[Term, int] = {}
+        #: bumped on every successful add/remove; plan caches key on it
+        self.version = 0
         self.namespaces: dict[str, str] = {}
         for triple in triples:
             self.add(*triple)
@@ -40,6 +48,10 @@ class Graph:
         self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(obj)
         self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
         self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        self._s_count[subject] = self._s_count.get(subject, 0) + 1
+        self._p_count[predicate] = self._p_count.get(predicate, 0) + 1
+        self._o_count[obj] = self._o_count.get(obj, 0) + 1
+        self.version += 1
 
     def remove(self, subject: Term, predicate: Term, obj: Term) -> bool:
         """Remove one triple; returns whether it was present."""
@@ -47,10 +59,31 @@ class Graph:
         if triple not in self._triples:
             return False
         self._triples.discard(triple)
-        self._spo[subject][predicate].discard(obj)
-        self._pos[predicate][obj].discard(subject)
-        self._osp[obj][subject].discard(predicate)
+        self._discard(self._spo, subject, predicate, obj)
+        self._discard(self._pos, predicate, obj, subject)
+        self._discard(self._osp, obj, subject, predicate)
+        for counts, term in ((self._s_count, subject),
+                             (self._p_count, predicate),
+                             (self._o_count, obj)):
+            left = counts[term] - 1
+            if left:
+                counts[term] = left
+            else:
+                del counts[term]
+        self.version += 1
         return True
+
+    @staticmethod
+    def _discard(index: dict, first: Term, second: Term, third: Term) -> None:
+        """Drop one entry from a nested index, pruning empty buckets so
+        iteration and bucket-size counts never visit dead keys."""
+        inner = index[first]
+        bucket = inner[second]
+        bucket.discard(third)
+        if not bucket:
+            del inner[second]
+            if not inner:
+                del index[first]
 
     def bind(self, prefix: str, uri: str) -> None:
         """Declare a prefix for parsing/serialization convenience."""
@@ -81,6 +114,12 @@ class Graph:
                 obj: Term | None = None) -> Iterator[Triple]:
         """All triples matching the pattern; ``None`` is a wildcard."""
         if subject is not None:
+            if predicate is None and obj is not None:
+                # (s, ?, o): the OSP index holds exactly the predicates
+                # linking the pair — no scan over the subject's triples
+                for pred in self._osp.get(obj, {}).get(subject, ()):
+                    yield (subject, pred, obj)
+                return
             by_predicate = self._spo.get(subject)
             if by_predicate is None:
                 return
@@ -91,8 +130,7 @@ class Graph:
                 return
             for pred, objects in by_predicate.items():
                 for candidate in objects:
-                    if obj is None or candidate == obj:
-                        yield (subject, pred, candidate)
+                    yield (subject, pred, candidate)
             return
         if predicate is not None:
             by_object = self._pos.get(predicate)
@@ -119,10 +157,24 @@ class Graph:
     def count(self, subject: Term | None = None,
               predicate: Term | None = None,
               obj: Term | None = None) -> int:
-        """Cardinality estimate for a pattern (used for join ordering)."""
-        if subject is None and predicate is None and obj is None:
-            return len(self._triples)
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        """Exact cardinality of a pattern, O(1) for every bound-mask:
+        position counters cover the single-bound patterns, index bucket
+        sizes the double-bound ones, set membership the ground triple."""
+        if subject is None:
+            if predicate is None:
+                if obj is None:
+                    return len(self._triples)
+                return self._o_count.get(obj, 0)
+            if obj is None:
+                return self._p_count.get(predicate, 0)
+            return len(self._pos.get(predicate, {}).get(obj, ()))
+        if predicate is None:
+            if obj is None:
+                return self._s_count.get(subject, 0)
+            return len(self._osp.get(obj, {}).get(subject, ()))
+        if obj is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        return 1 if (subject, predicate, obj) in self._triples else 0
 
     # -- convenience ---------------------------------------------------------------
 

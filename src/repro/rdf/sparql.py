@@ -3,10 +3,15 @@
 Supports: ``PREFIX`` prologue, ``SELECT [DISTINCT] ?vars|* WHERE``,
 ``ASK``, triple patterns with ``;`` / ``,`` lists and ``a``, ``FILTER``
 expressions (comparisons, ``&&`` ``||`` ``!``, ``BOUND``, ``REGEX``,
-``STR``, arithmetic), ``OPTIONAL`` groups, ``ORDER BY`` and ``LIMIT``.
+``STR``, arithmetic), ``OPTIONAL`` groups, braced subgroups joined by
+``UNION``, ``ORDER BY`` and ``LIMIT``.
 
 Evaluation is backtracking BGP matching with greedy selectivity-based
-pattern ordering over the graph's hash indexes.
+pattern ordering over the graph's hash indexes.  Within one group the
+evaluation order is fixed: basic patterns, then ``UNION`` blocks (in
+textual order), then ``OPTIONAL`` groups, then ``FILTER``\\ s — the
+:mod:`repro.sparql` planner reproduces exactly this semantics over an
+indexed store and is differentially tested against this evaluator.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from .graph import Graph
 from .terms import BNode, Literal, RDF, Term, URIRef, XSD
 
 __all__ = ["SparqlSyntaxError", "SparqlEvaluationError", "parse_sparql",
-           "SparqlQuery", "Solution", "select", "ask"]
+           "SparqlQuery", "Solution", "select", "ask", "finalize_select",
+           "Variable", "TriplePattern", "GroupPattern", "OptionalGroup",
+           "UnionGroup", "FilterExpr", "Expr", "BinOp", "NotOp", "VarExpr",
+           "TermExpr", "Call"]
 
 Solution = dict[str, Term]
 
@@ -62,10 +70,34 @@ class OptionalGroup:
 
 
 @dataclass(frozen=True)
+class UnionGroup:
+    """Braced subgroups joined by ``UNION`` (one branch = a plain
+    nested group); joined against the enclosing group's solutions with
+    per-branch duplicates preserved (multiset union, SPARQL spec)."""
+
+    branches: tuple["GroupPattern", ...]
+
+
+@dataclass(frozen=True)
 class GroupPattern:
     patterns: tuple[TriplePattern, ...]
     filters: tuple[FilterExpr, ...]
     optionals: tuple[OptionalGroup, ...]
+    unions: tuple[UnionGroup, ...] = ()
+
+    def mentioned_variables(self) -> set[str]:
+        """Every variable this group (or any nested group) can mention."""
+        names: set[str] = set()
+        for pattern in self.patterns:
+            names |= pattern.variables()
+        for union in self.unions:
+            for branch in union.branches:
+                names |= branch.mentioned_variables()
+        for optional in self.optionals:
+            names |= optional.group.mentioned_variables()
+        for filter_expr in self.filters:
+            names |= expression_variables(filter_expr.expression)
+        return names
 
 
 # filter expression AST ---------------------------------------------------------
@@ -100,6 +132,23 @@ class TermExpr(Expr):
 class Call(Expr):
     name: str
     arguments: tuple[Expr, ...]
+
+
+def expression_variables(expr: Expr) -> set[str]:
+    """All variable names a filter expression mentions."""
+    if isinstance(expr, VarExpr):
+        return {expr.name}
+    if isinstance(expr, BinOp):
+        return expression_variables(expr.left) | \
+            expression_variables(expr.right)
+    if isinstance(expr, NotOp):
+        return expression_variables(expr.operand)
+    if isinstance(expr, Call):
+        out: set[str] = set()
+        for argument in expr.arguments:
+            out |= expression_variables(argument)
+        return out
+    return set()
 
 
 @dataclass(frozen=True)
@@ -270,12 +319,13 @@ class _SparqlParser:
         patterns: list[TriplePattern] = []
         filters: list[FilterExpr] = []
         optionals: list[OptionalGroup] = []
+        unions: list[UnionGroup] = []
         while True:
             token = self.peek()
             if token.kind == "op" and token.value == "}":
                 self.next()
                 return GroupPattern(tuple(patterns), tuple(filters),
-                                    tuple(optionals))
+                                    tuple(optionals), tuple(unions))
             if self.match_word("FILTER"):
                 self.expect_op("(")
                 filters.append(FilterExpr(self._expression()))
@@ -283,6 +333,16 @@ class _SparqlParser:
                 continue
             if self.match_word("OPTIONAL"):
                 optionals.append(OptionalGroup(self._group()))
+                continue
+            if token.kind == "op" and token.value == "{":
+                # a braced subgroup, possibly continued by UNION; a
+                # single branch is the degenerate one-armed union
+                branches = [self._group()]
+                while self.match_word("UNION"):
+                    branches.append(self._group())
+                unions.append(UnionGroup(tuple(branches)))
+                if self.peek().kind == "op" and self.peek().value == ".":
+                    self.next()
                 continue
             patterns.extend(self._triples_same_subject())
             if self.peek().kind == "op" and self.peek().value == ".":
@@ -412,6 +472,9 @@ class _SparqlParser:
             self.expect_op(")")
             return inner
         if token.kind == "word":
+            if token.value in ("true", "false"):
+                return TermExpr(Literal(token.value,
+                                        datatype=XSD.boolean))
             name = token.value.upper()
             self.expect_op("(")
             arguments: list[Expr] = []
@@ -617,11 +680,21 @@ def _eval_call(call: Call, solution: Solution) -> object:
 def _evaluate_group(graph: Graph, group: GroupPattern,
                     base: Solution, reorder: bool = True) -> Iterator[Solution]:
     for solution in _match_bgp(graph, list(group.patterns), base, reorder):
+        # UNION joins each solution against every branch; duplicates
+        # produced by different branches are preserved (multiset union),
+        # and a solution no branch extends is dropped (inner join).
+        extended = [solution]
+        for union in group.unions:
+            next_round: list[Solution] = []
+            for current in extended:
+                for branch in union.branches:
+                    next_round.extend(_evaluate_group(graph, branch,
+                                                      current, reorder))
+            extended = next_round
         # OPTIONAL is a left outer join: keep the solution unextended when
         # the optional group finds no match.
-        extended = [solution]
         for optional in group.optionals:
-            next_round: list[Solution] = []
+            next_round = []
             for current in extended:
                 matches = list(_evaluate_group(graph, optional.group,
                                                current, reorder))
@@ -653,6 +726,15 @@ def select(graph: Graph, query: str | SparqlQuery,
     if parsed.form != "SELECT":
         raise SparqlEvaluationError("select() requires a SELECT query")
     solutions = list(_evaluate_group(graph, parsed.where, {}, reorder))
+    return finalize_select(parsed, solutions)
+
+
+def finalize_select(parsed: SparqlQuery,
+                    solutions: list[Solution]) -> list[Solution]:
+    """Apply the solution-sequence modifiers (projection, DISTINCT,
+    ORDER BY, LIMIT) to raw group solutions.  Shared by this evaluator
+    and the :mod:`repro.sparql` planned executor so the two paths are
+    modifier-for-modifier identical."""
     if parsed.variables:
         solutions = [{name: solution[name] for name in parsed.variables
                       if name in solution}

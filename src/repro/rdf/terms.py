@@ -8,7 +8,7 @@ scratch because no RDF library is available offline.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["URIRef", "BNode", "Literal", "Term", "Namespace",
            "XSD", "RDF", "RDFS"]
@@ -70,10 +70,18 @@ class Literal:
     lexical: str
     datatype: URIRef | None = None
     language: str | None = None
+    #: precomputed so hashing is one attribute read — literals are hash
+    #: keys on the executor's join/filter hot paths
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.datatype is not None and self.language is not None:
             raise ValueError("a literal cannot have both datatype and language")
+        object.__setattr__(self, "_hash", hash(
+            (self.lexical, self.datatype, self.language)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def from_python(cls, value) -> "Literal":
@@ -88,12 +96,11 @@ class Literal:
 
     def to_python(self):
         """The Python value of this literal (falls back to the lexical form)."""
-        if self.datatype == XSD.boolean:
-            return self.lexical == "true"
-        if self.datatype in (XSD.integer, XSD.int, XSD.long):
-            return int(self.lexical)
-        if self.datatype in (XSD.double, XSD.float, XSD.decimal):
-            return float(self.lexical)
+        if self.datatype is None:
+            return self.lexical
+        converter = _DATATYPE_CONVERTERS.get(self.datatype)
+        if converter is not None:
+            return converter(self.lexical)
         return self.lexical
 
     def __repr__(self) -> str:
@@ -102,6 +109,20 @@ class Literal:
         if self.language:
             return f'"{self.lexical}"@{self.language}'
         return f'"{self.lexical}"'
+
+
+#: datatype → lexical converter, precomputed so ``to_python`` is one
+#: dict probe instead of a chain of namespace-attribute constructions
+#: (it sits on the executor's filter hot path)
+_DATATYPE_CONVERTERS = {
+    XSD.boolean: lambda lexical: lexical == "true",
+    XSD.integer: int,
+    XSD.int: int,
+    XSD.long: int,
+    XSD.double: float,
+    XSD.float: float,
+    XSD.decimal: float,
+}
 
 
 Term = URIRef | BNode | Literal

@@ -2,9 +2,10 @@
 
 This is the "variety of such engines, including sample domain services"
 the paper's conclusion mentions, assembled in one call: three event
-languages, four query languages (two functional — one aware, one unaware
-— and two LP-style), the test language and the action language, all
-reachable only through the Generic Request Handler.
+languages, five query languages (two functional — one aware, one unaware
+— and three LP-style, including the planned/indexed SPARQL backend),
+the test language and the action language, all reachable only through
+the Generic Request Handler.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from ..events import ATOMIC_NS, EventStream, SNOOP_NS, XCHANGE_NS
 from ..grh import (GenericRequestHandler, LanguageDescriptor,
                    LanguageRegistry, ResilienceManager)
 from ..rdf import Graph
+from ..sparql import RDF_SPARQL_LANG, SparqlQueryService, TripleStore
 from ..xmlmodel import Element
 from .action_service import ActionExecutionService
 from .event_service import (AtomicEventService, SnoopService, XChangeService)
@@ -44,6 +46,7 @@ class Deployment:
     xq: XQService
     exist: ExistLikeService
     sparql: SparqlService
+    rdf_sparql: SparqlQueryService
     datalog: DatalogService
     tests: TestLanguageService
     actions: ActionExecutionService
@@ -91,7 +94,22 @@ def standard_deployment(serialize_messages: bool = True,
 
     xq = XQService()
     exist = ExistLikeService()
-    sparql = SparqlService(graph)
+    # one shared RDF world: the naive sparql-lite service, the planned
+    # rdf-sparql service and the action runtime all mutate/query the
+    # same object — a plain Graph is upgraded in place (identity
+    # preserved, so caller-held references stay live); a TripleStore
+    # passes through; an exotic Graph subclass is copied as a last
+    # resort (its mutations would then not reach the SPARQL services)
+    if graph is None:
+        store = TripleStore()
+    elif isinstance(graph, TripleStore):
+        store = graph
+    elif type(graph) is Graph:
+        store = TripleStore.adopt(graph)
+    else:
+        store = TripleStore.from_graph(graph)
+    sparql = SparqlService(store)
+    rdf_sparql = SparqlQueryService(store)
     datalog = DatalogService(datalog_program)
     tests = TestLanguageService()
     actions = ActionExecutionService(runtime)
@@ -106,6 +124,8 @@ def standard_deployment(serialize_messages: bool = True,
                                        framework_aware=False), exist)
     grh.add_service(LanguageDescriptor(SPARQL_LANG, "query", "sparql-lite"),
                     sparql)
+    grh.add_service(LanguageDescriptor(RDF_SPARQL_LANG, "query",
+                                       "rdf-sparql"), rdf_sparql)
     grh.add_service(LanguageDescriptor(DATALOG_LANG, "query", "datalog"),
                     datalog)
     grh.add_service(LanguageDescriptor(TEST_NS, "test", "test"), tests)
@@ -114,4 +134,4 @@ def standard_deployment(serialize_messages: bool = True,
 
     return Deployment(registry, transport, grh, stream, runtime,
                       atomic_events, snoop, xchange, xq, exist, sparql,
-                      datalog, tests, actions)
+                      rdf_sparql, datalog, tests, actions)

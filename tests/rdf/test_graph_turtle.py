@@ -89,6 +89,40 @@ class TestGraph:
         assert fleet.count() == 6
         assert fleet.count(predicate=EX.owns) == 2
 
+    def test_subject_object_pattern_answered_by_osp(self, fleet):
+        # (s, ?, o): only the predicates linking the pair, no scan
+        assert list(fleet.triples(EX.john, None, EX.golf)) == \
+            [(EX.john, EX.owns, EX.golf)]
+        assert list(fleet.triples(EX.golf, None, EX.john)) == []
+
+    def test_count_every_bound_mask(self, fleet):
+        assert fleet.count(subject=EX.john) == 2
+        assert fleet.count(obj=EX.golf) == 1
+        assert fleet.count(subject=EX.john, predicate=EX.owns) == 2
+        assert fleet.count(subject=EX.john, obj=EX.golf) == 1
+        assert fleet.count(predicate=RDF.type, obj=EX.Car) == 2
+        assert fleet.count(EX.john, EX.owns, EX.golf) == 1
+        assert fleet.count(EX.nobody) == 0
+        assert fleet.count(obj=EX.nothing) == 0
+
+    def test_counts_walk_back_on_remove(self, fleet):
+        assert fleet.remove(EX.john, EX.owns, EX.golf)
+        assert fleet.count(subject=EX.john) == 1
+        assert fleet.count(obj=EX.golf) == 0
+        # empty index buckets are pruned, not left as dead keys
+        assert list(fleet.triples(None, None, EX.golf)) == []
+        assert fleet.count(EX.john, None, EX.golf) == 0
+
+    def test_version_counts_successful_mutations_only(self, fleet):
+        version = fleet.version
+        fleet.add(EX.extra, EX.owns, EX.golf)
+        assert fleet.version == version + 1
+        fleet.add(EX.extra, EX.owns, EX.golf)  # idempotent duplicate
+        assert fleet.version == version + 1
+        assert fleet.remove(EX.extra, EX.owns, EX.golf)
+        assert not fleet.remove(EX.extra, EX.owns, EX.golf)
+        assert fleet.version == version + 2
+
 
 TURTLE = """
 @prefix ex: <http://example.org/> .

@@ -1,0 +1,78 @@
+"""Serialization round-trips on the travel-domain graph.
+
+A graph must survive Turtle → graph → N-Triples → graph and
+graph → RDF/XML → graph unchanged — including prefixed names, language
+tags, typed literals and escaped literal content — because the ECA
+engine ships RDF fragments between services in both syntaxes.
+"""
+
+from repro.domain import fleet_graph
+from repro.domain.travel import FLEET_NS
+from repro.rdf import (Graph, Literal, Namespace, URIRef, graph_to_rdfxml,
+                       parse_turtle, rdfxml_to_graph, to_ntriples)
+
+FLEET = Namespace(FLEET_NS)
+
+EXTENDED = f"""
+@prefix fleet: <{FLEET_NS}> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+fleet:f1 a fleet:RentalCar ;
+    fleet:model "Polo" ;
+    fleet:seats "5"^^xsd:integer ;
+    fleet:rate "49.5"^^xsd:double ;
+    fleet:available true ;
+    fleet:city "M\\u00fcnchen"@de ;
+    fleet:note "line one\\nline \\"two\\" \\\\ done" .
+fleet:f2 fleet:partner fleet:f1 ;
+    fleet:city "Rome"@en .
+"""
+
+
+def no_bnodes(graph: Graph) -> bool:
+    return all(isinstance(s, URIRef) for s, _p, _o in graph)
+
+
+class TestNTriplesRoundTrip:
+    def test_fleet_graph_survives(self):
+        graph = fleet_graph()
+        again = parse_turtle(to_ntriples(graph))
+        assert set(again) == set(graph)
+        assert len(again) == len(graph)
+
+    def test_prefixed_names_expand_to_the_same_terms(self):
+        graph = fleet_graph()
+        assert (FLEET.f1, FLEET.model, Literal("Polo")) in set(graph)
+
+    def test_language_tags_and_escapes_survive(self):
+        graph = parse_turtle(EXTENDED)
+        again = parse_turtle(to_ntriples(graph))
+        assert set(again) == set(graph)
+        cities = {o for _s, p, o in graph if p == FLEET.city}
+        assert Literal("München", language="de") in cities
+        notes = [o for _s, p, o in again if p == FLEET.note]
+        assert notes == [Literal('line one\nline "two" \\ done')]
+
+    def test_serialization_is_deterministic(self):
+        first = parse_turtle(EXTENDED)
+        second = parse_turtle(EXTENDED)
+        assert to_ntriples(first) == to_ntriples(second)
+
+
+class TestRdfXmlRoundTrip:
+    def test_fleet_graph_survives(self):
+        graph = fleet_graph()
+        assert no_bnodes(graph)
+        again = rdfxml_to_graph(graph_to_rdfxml(graph))
+        assert set(again) == set(graph)
+
+    def test_typed_language_and_escaped_literals_survive(self):
+        graph = parse_turtle(EXTENDED)
+        again = rdfxml_to_graph(graph_to_rdfxml(graph))
+        assert set(again) == set(graph)
+
+    def test_double_round_trip_is_stable(self):
+        graph = parse_turtle(EXTENDED)
+        once = rdfxml_to_graph(graph_to_rdfxml(graph))
+        twice = rdfxml_to_graph(graph_to_rdfxml(once))
+        assert set(twice) == set(once) == set(graph)

@@ -6,6 +6,7 @@ from repro.core import ECAEngine
 from repro.events import ATOMIC_NS, SNOOP_NS, XCHANGE_NS
 from repro.services import (DATALOG_LANG, EXIST_LANG, SPARQL_LANG, XQ_LANG,
                             standard_deployment)
+from repro.sparql import RDF_SPARQL_LANG
 from repro.xmlmodel import E, parse
 
 
@@ -16,7 +17,8 @@ class TestStandardDeployment:
         assert {d.uri for d in registry.languages("event")} == {
             ATOMIC_NS, SNOOP_NS, XCHANGE_NS}
         assert {d.uri for d in registry.languages("query")} == {
-            XQ_LANG, EXIST_LANG, SPARQL_LANG, DATALOG_LANG}
+            XQ_LANG, EXIST_LANG, SPARQL_LANG, DATALOG_LANG,
+            RDF_SPARQL_LANG}
         assert {d.uri for d in registry.languages("test")} == {TEST_NS}
         assert {d.uri for d in registry.languages("action")} == {ACTION_NS}
 

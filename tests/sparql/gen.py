@@ -1,0 +1,115 @@
+"""Seeded random graphs and queries for the differential suite.
+
+Shared by ``tests/sparql/test_differential.py`` and
+``benchmarks/bench_sparql.py``: the planner/executor must produce the
+same solution *multisets* as the naive ``rdf.sparql`` evaluator on
+every seed, so the generator deliberately avoids the two evaluator-
+order-sensitive modifiers (``ORDER BY``, ``LIMIT``) and covers
+everything else: chains and stars of patterns, typed literals, filters
+(including over variables that may be unbound), ``OPTIONAL``,
+``UNION`` and ``DISTINCT``.
+"""
+
+import random
+from collections import Counter
+
+EX = "http://example.org/"
+PROLOGUE = f"PREFIX ex: <{EX}>\n"
+
+
+def random_triples(rng: random.Random, people: int = 40,
+                   cities: int = 6) -> list[tuple]:
+    """A small social graph with typed literals, as term triples."""
+    from repro.rdf import Literal, URIRef, XSD
+
+    triples = []
+    city_terms = [URIRef(f"{EX}city{i}") for i in range(cities)]
+    person_terms = [URIRef(f"{EX}p{i}") for i in range(people)]
+    name = URIRef(EX + "name")
+    age = URIRef(EX + "age")
+    lives = URIRef(EX + "lives")
+    knows = URIRef(EX + "knows")
+    score = URIRef(EX + "score")
+    vip = URIRef(EX + "vip")
+    for index, person in enumerate(person_terms):
+        triples.append((person, name, Literal(f"name{index}")))
+        triples.append((person, age, Literal(str(rng.randint(1, 90)),
+                                             datatype=XSD.integer)))
+        triples.append((person, lives,
+                        city_terms[rng.randrange(cities)]))
+        if rng.random() < 0.6:
+            triples.append((person, knows,
+                            person_terms[rng.randrange(people)]))
+        if rng.random() < 0.4:
+            triples.append((person, score,
+                            Literal(f"{rng.randint(0, 100)}.5",
+                                    datatype=XSD.double)))
+        if rng.random() < 0.25:
+            triples.append((person, vip,
+                            Literal("true", datatype=XSD.boolean)))
+    for index, city in enumerate(city_terms):
+        triples.append((city, name, Literal(f"city{index}")))
+    return triples
+
+
+def random_query(rng: random.Random) -> str:
+    """One random SELECT/ASK over the generator's vocabulary."""
+    variables = ["a", "b", "c", "d"]
+    patterns = [f"?a ex:lives ?c"]
+    used = {"a", "c"}
+    for _ in range(rng.randrange(3)):
+        choice = rng.randrange(4)
+        if choice == 0:
+            patterns.append("?a ex:knows ?b")
+            used |= {"a", "b"}
+        elif choice == 1:
+            patterns.append("?a ex:age ?d")
+            used |= {"a", "d"}
+        elif choice == 2:
+            patterns.append(f"?a ex:name \"name{rng.randrange(40)}\"")
+        else:
+            patterns.append(f"?c ex:name ?n")
+            used |= {"c", "n"}
+    body = " . ".join(patterns)
+    clauses = [body]
+    if rng.random() < 0.4:
+        # a union whose branches bind different variables
+        clauses.append("{ ?a ex:knows ?u } UNION { ?a ex:vip true }")
+        used.add("u")
+    if rng.random() < 0.4:
+        clauses.append("OPTIONAL { ?a ex:score ?s }")
+        used.add("s")
+    filters = []
+    if rng.random() < 0.5:
+        # ?d (age) may be unbound in some generated queries — the
+        # error-eliminates rule is part of what we differentially test
+        filters.append(f"FILTER(?d > {rng.randrange(10, 70)})")
+        used.add("d")
+    if rng.random() < 0.3:
+        filters.append("FILTER(BOUND(?s) || BOUND(?u) || ?a != ?c)")
+    if rng.random() < 0.2:
+        # boolean literal in expression position (may be unbound)
+        filters.append("FILTER(?v = true)")
+        used.add("v")
+        if rng.random() < 0.5:
+            clauses.append("OPTIONAL { ?a ex:vip ?v }")
+    # no "." between clause kinds: the subset grammar separates triple
+    # blocks, groups and filters by juxtaposition
+    where = " ".join(clauses + filters)
+    if rng.random() < 0.1:
+        return f"{PROLOGUE}ASK {{ {where} }}"
+    selected = sorted(used & set(variables) | {"a"})
+    if rng.random() < 0.3:
+        head = "*"
+    else:
+        count = rng.randint(1, len(selected))
+        head = " ".join("?" + name for name in
+                        rng.sample(selected, count))
+    distinct = "DISTINCT " if rng.random() < 0.3 else ""
+    return f"{PROLOGUE}SELECT {distinct}{head} WHERE {{ {where} }}"
+
+
+def solution_multiset(solutions) -> Counter:
+    """Order-insensitive, duplicate-preserving comparison key."""
+    return Counter(tuple(sorted(solution.items()))
+                   for solution in solutions)

@@ -1,0 +1,194 @@
+"""SparqlQueryService: pushdown, caching, metrics, introspection."""
+
+from repro.bindings import Relation, Uri
+from repro.grh import Request, is_error, request_to_xml
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.ops.admin import IntrospectionSurface
+from repro.rdf import Graph, Literal, URIRef
+from repro.sparql import SparqlQueryService, TripleStore, live_snapshots
+from repro.xmlmodel import parse
+
+EX = "http://example.org/"
+
+
+def term(name):
+    return URIRef(EX + name)
+
+
+def build_store():
+    store = TripleStore()
+    for index in range(8):
+        person = term(f"p{index}")
+        store.add(person, term("name"), Literal(f"name{index}"))
+        store.add(person, term("age"),
+                  Literal(str(20 + index), datatype=URIRef(
+                      "http://www.w3.org/2001/XMLSchema#integer")))
+        store.add(person, term("lives"), term(f"city{index % 2}"))
+    return store
+
+
+def build_service(**kwargs):
+    return SparqlQueryService(build_store(), prefixes={"ex": EX}, **kwargs)
+
+
+def query_request(text, bindings=None):
+    return Request("query", "r::q", parse(f"<q>{text}</q>"),
+                   Relation(bindings if bindings is not None else [{}]))
+
+
+class TestQueries:
+    def test_standalone_select(self):
+        service = build_service()
+        result = service.query(query_request(
+            'SELECT ?n WHERE { ?p ex:lives ex:city1 . ?p ex:name ?n }'))
+        assert sorted(row["n"] for row in result) == \
+            ["name1", "name3", "name5", "name7"]
+
+    def test_ask(self):
+        service = build_service()
+        assert len(service.query(query_request(
+            "ASK { ?p ex:lives ex:city0 }"))) == 1
+        assert len(service.query(query_request(
+            "ASK { ?p ex:lives ex:mars }"))) == 0
+
+    def test_handle_speaks_the_protocol(self):
+        service = build_service()
+        response = service.handle(request_to_xml(query_request(
+            "SELECT ?n WHERE { ?p ex:name ?n }")))
+        assert not is_error(response)
+        assert response.name.local == "answers"
+
+    def test_syntax_error_is_a_service_error_message(self):
+        service = build_service()
+        response = service.handle(request_to_xml(query_request(
+            "SELECT WHERE {")))
+        assert is_error(response)
+
+
+class TestPushdown:
+    def test_seeded_join_keeps_input_linkage(self):
+        service = build_service()
+        result = service.query(query_request(
+            "SELECT ?n WHERE { ?p ex:name ?n }",
+            bindings=[{"p": Uri(EX + "p1")}, {"p": Uri(EX + "p2")}]))
+        rows = sorted((row["n"], row["p"]) for row in result)
+        # the seeded column rides along so the engine can join back
+        assert rows == [("name1", Uri(EX + "p1")),
+                        ("name2", Uri(EX + "p2"))]
+        assert service.stats["pushdown_queries"] == 1
+
+    def test_pushdown_matches_per_tuple_placeholder_path(self):
+        service = build_service()
+        bindings = [{"N": f"name{index}"} for index in range(4)]
+        per_tuple = service.query(query_request(
+            'SELECT ?p WHERE { ?p ex:name "{N}" }', bindings=bindings))
+        pushdown = service.query(query_request(
+            "SELECT ?p WHERE { ?p ex:name ?N }", bindings=bindings))
+        people = lambda relation: sorted(str(row["p"]) for row in relation)
+        assert people(per_tuple) == people(pushdown)
+
+    def test_typed_values_seed_canonical_terms(self):
+        service = build_service()
+        result = service.query(query_request(
+            "SELECT ?p WHERE { ?p ex:age ?a }",
+            bindings=[{"a": 22}, {"a": 23.0}, {"a": 99}]))
+        assert sorted(row["p"] for row in result) == \
+            [Uri(EX + "p2"), Uri(EX + "p3")]
+
+    def test_unseedable_value_leaves_variable_free(self):
+        service = build_service()
+        result = service.query(query_request(
+            "SELECT ?n WHERE { ?p ex:name ?n }",
+            bindings=[{"p": ("not", "a", "term")}]))
+        # the odd value cannot become an RDF term: the query runs
+        # unseeded and the engine's own join applies the constraint
+        assert len(result) == 8
+
+
+class TestPlanCache:
+    def test_hit_then_version_invalidation(self):
+        service = build_service()
+        request = query_request("SELECT ?n WHERE { ?p ex:name ?n }")
+        service.query(request)
+        service.query(request)
+        assert service.stats["cache_hits"] == 1
+        service.store.add(term("p9"), term("name"), Literal("name9"))
+        service.query(request)
+        assert service.stats["cache_hits"] == 1  # version changed: miss
+
+    def test_seed_signature_keys_the_cache(self):
+        service = build_service()
+        text = "SELECT ?n WHERE { ?p ex:name ?n }"
+        service.query(query_request(text))
+        service.query(query_request(text,
+                                    bindings=[{"p": Uri(EX + "p1")}]))
+        assert service.stats["cache_hits"] == 0
+        assert len(service._plans) == 2
+
+    def test_cache_is_bounded(self):
+        service = SparqlQueryService(build_store(), prefixes={"ex": EX},
+                                     plan_cache_size=2)
+        for index in range(4):
+            service.query(query_request(
+                f"SELECT ?n WHERE {{ ex:p{index} ex:name ?n }}"))
+        assert len(service._plans) == 2
+
+
+class TestObservability:
+    def test_metrics_registered_and_driven(self):
+        registry = MetricsRegistry()
+        service = SparqlQueryService(build_store(), prefixes={"ex": EX},
+                                     metrics=registry)
+        service.query(query_request(
+            "SELECT ?n WHERE { ?p ex:name ?n }",
+            bindings=[{"p": Uri(EX + "p1")}]))
+        rendered = registry.render_prometheus()
+        assert 'eca_sparql_queries_total{form="SELECT",' in rendered \
+            or 'eca_sparql_queries_total{service=' in rendered
+        assert "eca_sparql_query_seconds" in rendered
+        assert "eca_sparql_index_probes_total" in rendered
+        assert "eca_sparql_store_triples" in rendered
+        assert "eca_sparql_pushdown_seed_rows" in rendered
+
+    def test_introspection_view(self):
+        service = build_service()
+        service.query(query_request(
+            'SELECT ?n WHERE { ?p ex:lives ex:city0 . ?p ex:name ?n }'))
+        view = service.introspection()
+        assert view["service"] == "rdf-sparql"
+        assert view["store"]["triples"] == 24
+        assert view["predicates"][0]["triples"] == 8
+        assert view["stats"]["queries"] == 1
+        recent = view["recent_plans"][-1]
+        assert recent["form"] == "SELECT"
+        assert recent["actual_rows"] == 4
+        assert recent["estimated_rows"] > 0
+        assert recent["stages"][0]["op"] in ("scan", "filter")
+        assert recent["plan"]["stages"]
+
+    def test_admin_route_reports_live_services(self):
+        service = build_service()
+        service.query(query_request("ASK { ?p ex:lives ex:city0 }"))
+        surface = IntrospectionSurface(None, observability=object())
+        status, view = surface.handle("/introspect/sparql")
+        assert status == 200
+        mine = [entry for entry in view["services"]
+                if entry["store"]["triples"] == 24]
+        assert mine and mine[0]["service"] == "rdf-sparql"
+        assert view["total_triples"] >= 24
+
+    def test_live_snapshot_registry(self):
+        service = build_service()
+        assert any(view["store"]["triples"] == 24
+                   for view in live_snapshots())
+        assert service.service_name == "rdf-sparql"
+
+
+class TestConstruction:
+    def test_plain_graph_is_upgraded(self):
+        graph = Graph([(term("a"), term("p"), term("b"))])
+        service = SparqlQueryService(graph)
+        assert isinstance(service.store, TripleStore)
+
+    def test_supports_batch_declared(self):
+        assert SparqlQueryService.supports_batch is True
